@@ -1,0 +1,32 @@
+# Convenience targets for the TOL reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples lint-docs clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The two artifacts the reproduction protocol asks for.
+outputs:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+reproduce:
+	$(PYTHON) examples/reproduce_paper.py --profile quick
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/social_network.py --users 300 --events 50
+	$(PYTHON) examples/citation_analysis.py --papers 800
+	$(PYTHON) examples/trace_replay.py --vertices 400 --ops 200
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

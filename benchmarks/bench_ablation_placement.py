@@ -1,0 +1,104 @@
+"""Ablation — Algorithm 3's optimal placement vs. the cheap bottom level.
+
+Section 5.1.2 motivates Algorithm 3: always giving a new vertex the lowest
+level is the cheapest insertion, but "could be highly sub-optimal" for
+index size and query cost.  This ablation measures the drift: starting
+from a BU index, it deletes-and-reinserts a stream of vertices under both
+placement policies and tracks the resulting index size and insertion cost.
+
+Expected shape: bottom placement inserts faster but the index grows with
+churn; optimal placement holds the size flat (it can only shrink it —
+Lemma 3) at a per-insert premium.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.tables import format_bytes, format_millis, format_table
+from repro.bench.workloads import generate_updates
+from repro.core.index import TOLIndex
+
+from _config import RESULTS_DIR, cached
+
+ABLATION_DATASETS = ["RG5", "citeseerx", "go-uniprot"]
+NUM_VERTICES = 500
+NUM_UPDATES = 40
+
+
+def _churn(dataset: str, placement):
+    """Delete/re-insert NUM_UPDATES vertices; return (final size, avg ms)."""
+    import time
+
+    graph = ds.load(dataset, num_vertices=NUM_VERTICES)
+    index = TOLIndex.build(graph, order="butterfly-u")
+    workload = generate_updates(graph, NUM_UPDATES, seed=4)
+    scratch = graph.copy()
+    adjacency = {}
+    for v in workload.victims:
+        adjacency[v] = (scratch.in_neighbors(v), scratch.out_neighbors(v))
+        scratch.remove_vertex(v)
+        index.delete_vertex(v)
+    insert_seconds = 0.0
+    for v in reversed(workload.victims):
+        ins = tuple(u for u in adjacency[v][0] if u in scratch)
+        outs = tuple(w for w in adjacency[v][1] if w in scratch)
+        start = time.perf_counter()
+        index.insert_vertex(v, ins, outs, placement=placement)
+        insert_seconds += time.perf_counter() - start
+        scratch.add_vertex(v)
+        for u in ins:
+            scratch.add_edge(u, v)
+        for w in outs:
+            scratch.add_edge(v, w)
+    return index.size_bytes(), insert_seconds / NUM_UPDATES
+
+
+@pytest.mark.parametrize("policy", ["optimal", "bottom"])
+@pytest.mark.parametrize("dataset", ABLATION_DATASETS)
+def test_placement_policy(benchmark, dataset, policy):
+    placement = None if policy == "optimal" else "bottom"
+
+    result = benchmark.pedantic(
+        _churn, args=(dataset, placement), rounds=1, iterations=1
+    )
+    cached(("ablation-placement", dataset, policy), lambda: result)
+    benchmark.extra_info["final_index_bytes"] = result[0]
+    benchmark.extra_info["avg_insert_ms"] = round(result[1] * 1e3, 3)
+
+
+def test_render_placement_ablation(benchmark):
+    rows = []
+    for dataset in ABLATION_DATASETS:
+        graph = ds.load(dataset, num_vertices=NUM_VERTICES)
+        baseline = TOLIndex.build(graph, order="butterfly-u").size_bytes()
+        opt = cached(
+            ("ablation-placement", dataset, "optimal"),
+            lambda d=dataset: _churn(d, None),
+        )
+        bottom = cached(
+            ("ablation-placement", dataset, "bottom"),
+            lambda d=dataset: _churn(d, "bottom"),
+        )
+        rows.append([
+            dataset,
+            format_bytes(baseline),
+            format_bytes(opt[0]),
+            format_millis(opt[1]),
+            format_bytes(bottom[0]),
+            format_millis(bottom[1]),
+        ])
+        # Lemma 3 in action: the optimal policy never ends above the
+        # fresh-build size; bottom placement never ends below optimal.
+        assert opt[0] <= baseline
+        assert bottom[0] >= opt[0]
+    table = format_table(
+        "Ablation: insertion placement policy (Algorithm 3 vs bottom level)",
+        ["dataset", "fresh build", "optimal size", "optimal ins",
+         "bottom size", "bottom ins"],
+        rows,
+        note=f"{NUM_UPDATES} delete+reinsert churn on {NUM_VERTICES}-vertex stand-ins.",
+    )
+    benchmark(lambda: table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "ablation_placement.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)

@@ -1,0 +1,79 @@
+"""Figure 2 — average vertex-insertion time on dynamic graphs.
+
+Per-cell pytest-benchmark timings for representative datasets, plus the
+full 15-row figure (all datasets × BU/BL/Dagger) rendered to
+``benchmarks/results/fig2.txt``.  The paper's shape to look for: BU beats
+Dagger nearly everywhere except the tree-shaped uniprot rows, where
+Dagger's one-parent interval updates win.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import fig2_insertion, run_update_sweep
+from repro.bench.harness import DYNAMIC_METHODS, build_method
+from repro.bench.workloads import generate_updates
+
+from _config import (
+    CELL_DATASETS,
+    NUM_UPDATES,
+    UPDATE_VERTICES,
+    cached,
+    publish,
+)
+
+
+def _sweep():
+    return cached(
+        ("update-sweep", UPDATE_VERTICES, NUM_UPDATES),
+        lambda: run_update_sweep(
+            num_vertices=UPDATE_VERTICES, num_updates=NUM_UPDATES
+        ),
+    )
+
+
+@pytest.mark.parametrize("method", DYNAMIC_METHODS)
+@pytest.mark.parametrize("dataset", CELL_DATASETS)
+def test_insertion_batch(benchmark, dataset, method):
+    """Time the re-insertion phase of the paper's update protocol."""
+    graph = ds.load(dataset, num_vertices=UPDATE_VERTICES)
+    workload = generate_updates(graph, NUM_UPDATES, seed=1)
+
+    def setup():
+        index = build_method(method, graph)
+        adjacency = {}
+        scratch = graph.copy()
+        for v in workload.victims:
+            adjacency[v] = (
+                tuple(u for u in scratch.in_neighbors(v)),
+                tuple(w for w in scratch.out_neighbors(v)),
+            )
+            scratch.remove_vertex(v)
+            index.delete_vertex(v)
+        plan = []
+        for v in reversed(workload.victims):
+            ins = tuple(u for u in adjacency[v][0] if u in scratch)
+            outs = tuple(w for w in adjacency[v][1] if w in scratch)
+            plan.append((v, ins, outs))
+            scratch.add_vertex(v)
+            for u in ins:
+                scratch.add_edge(u, v)
+            for w in outs:
+                scratch.add_edge(v, w)
+        return (index, plan), {}
+
+    def reinsert_all(index, plan):
+        for v, ins, outs in plan:
+            index.insert_vertex(v, ins, outs)
+
+    benchmark.pedantic(reinsert_all, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["avg_insert_ms"] = (
+        benchmark.stats.stats.mean / NUM_UPDATES * 1e3
+    )
+
+
+def test_render_fig2(benchmark):
+    result = fig2_insertion(sweep=_sweep(), num_updates=NUM_UPDATES)
+    benchmark(result.render)
+    publish(result)
+    assert len(result.rows) == 15

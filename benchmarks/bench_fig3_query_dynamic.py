@@ -1,0 +1,62 @@
+"""Figure 3 — total query time on dynamic graphs.
+
+Each method first absorbs the delete/re-insert churn, then answers the
+query batch — so Dagger's interval decay shows, exactly as in the paper.
+Shapes to look for: BU/BL orders of magnitude below Dagger and BFS;
+Dagger not much better (sometimes worse) than plain BFS.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import fig3_query_dynamic
+from repro.bench.harness import build_method, measure_updates
+from repro.bench.workloads import generate_queries, generate_updates
+
+from _config import (
+    CELL_DATASETS,
+    NUM_QUERIES,
+    NUM_UPDATES,
+    UPDATE_VERTICES,
+    cached,
+    publish,
+)
+
+METHODS = ("BU", "BL", "Dagger", "BFS")
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("dataset", CELL_DATASETS)
+def test_query_batch_after_churn(benchmark, dataset, method):
+    graph = ds.load(dataset, num_vertices=UPDATE_VERTICES)
+    queries = generate_queries(graph, NUM_QUERIES, seed=2)
+    updates = generate_updates(graph, NUM_UPDATES, seed=1)
+
+    def churned_index():
+        index = build_method(method, graph)
+        measure_updates(index, graph, updates)
+        return index
+
+    index = cached(("churned", dataset, method), churned_index)
+
+    def run_queries():
+        query = index.query
+        for s, t in queries.pairs:
+            query(s, t)
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    benchmark.extra_info["queries"] = NUM_QUERIES
+
+
+def test_render_fig3(benchmark):
+    result = cached(
+        ("fig3", UPDATE_VERTICES, NUM_QUERIES, NUM_UPDATES),
+        lambda: fig3_query_dynamic(
+            num_vertices=UPDATE_VERTICES,
+            num_queries=NUM_QUERIES,
+            num_updates=NUM_UPDATES,
+        ),
+    )
+    benchmark(result.render)
+    publish(result)
+    assert len(result.rows) == 15

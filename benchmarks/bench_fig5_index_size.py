@@ -1,0 +1,46 @@
+"""Figure 5 — index sizes on static graphs (BU, BL, HL, DL, TF, Dagger).
+
+Shapes to look for: BU/BL smaller than DL and TF (the paper's headline
+static-size claim), HL above DL, Dagger's interval index tiny but paying
+for it at query time (Figure 7).
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import fig5_index_size, run_static_sweep
+from repro.bench.harness import STATIC_METHODS, build_method
+
+from _config import (
+    CELL_DATASETS,
+    NUM_QUERIES,
+    STATIC_VERTICES,
+    cached,
+    publish,
+)
+
+
+def _sweep():
+    return cached(
+        ("static-sweep", STATIC_VERTICES, NUM_QUERIES),
+        lambda: run_static_sweep(
+            num_vertices=STATIC_VERTICES, num_queries=NUM_QUERIES
+        ),
+    )
+
+
+@pytest.mark.parametrize("method", STATIC_METHODS)
+@pytest.mark.parametrize("dataset", CELL_DATASETS)
+def test_index_size(benchmark, dataset, method):
+    graph = ds.load(dataset, num_vertices=STATIC_VERTICES)
+    index = cached(("static-index", dataset, method), lambda: build_method(method, graph))
+    size = benchmark(index.size_bytes)
+    benchmark.extra_info["index_bytes"] = size
+    assert size >= 0
+
+
+def test_render_fig5(benchmark):
+    result = fig5_index_size(sweep=_sweep())
+    benchmark(result.render)
+    publish(result)
+    assert len(result.rows) == 15

@@ -1,0 +1,46 @@
+"""Figure 6 — preprocessing (index construction) time on static graphs.
+
+Shapes to look for: construction cost tracks index size, so BU/BL build
+faster than DL/TF on the dense RG rows; Dagger's interval labeling is the
+cheapest build but the worst queries (Figure 7).
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import fig6_preprocessing, run_static_sweep
+from repro.bench.harness import STATIC_METHODS, build_method
+
+from _config import (
+    CELL_DATASETS,
+    NUM_QUERIES,
+    STATIC_VERTICES,
+    cached,
+    publish,
+)
+
+
+def _sweep():
+    return cached(
+        ("static-sweep", STATIC_VERTICES, NUM_QUERIES),
+        lambda: run_static_sweep(
+            num_vertices=STATIC_VERTICES, num_queries=NUM_QUERIES
+        ),
+    )
+
+
+@pytest.mark.parametrize("method", STATIC_METHODS)
+@pytest.mark.parametrize("dataset", CELL_DATASETS)
+def test_build(benchmark, dataset, method):
+    graph = ds.load(dataset, num_vertices=STATIC_VERTICES)
+    index = benchmark.pedantic(
+        build_method, args=(method, graph), rounds=1, iterations=1
+    )
+    benchmark.extra_info["index_bytes"] = index.size_bytes()
+
+
+def test_render_fig6(benchmark):
+    result = fig6_preprocessing(sweep=_sweep())
+    benchmark(result.render)
+    publish(result)
+    assert len(result.rows) == 15

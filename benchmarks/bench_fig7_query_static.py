@@ -1,0 +1,53 @@
+"""Figure 7 — total query time on static graphs (full line-up).
+
+Shapes to look for: all four TOL instantiations (BU, BL, DL, TF) answer
+the batch orders of magnitude faster than Dagger; BU/BL lead DL/TF thanks
+to their smaller label sets.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import fig7_query_static, run_static_sweep
+from repro.bench.harness import STATIC_METHODS, build_method
+from repro.bench.workloads import generate_queries
+
+from _config import (
+    CELL_DATASETS,
+    NUM_QUERIES,
+    STATIC_VERTICES,
+    cached,
+    publish,
+)
+
+
+def _sweep():
+    return cached(
+        ("static-sweep", STATIC_VERTICES, NUM_QUERIES),
+        lambda: run_static_sweep(
+            num_vertices=STATIC_VERTICES, num_queries=NUM_QUERIES
+        ),
+    )
+
+
+@pytest.mark.parametrize("method", STATIC_METHODS)
+@pytest.mark.parametrize("dataset", CELL_DATASETS)
+def test_query_batch(benchmark, dataset, method):
+    graph = ds.load(dataset, num_vertices=STATIC_VERTICES)
+    queries = generate_queries(graph, NUM_QUERIES, seed=2)
+    index = cached(("static-index", dataset, method), lambda: build_method(method, graph))
+
+    def run_queries():
+        query = index.query
+        for s, t in queries.pairs:
+            query(s, t)
+
+    benchmark.pedantic(run_queries, rounds=3, iterations=1)
+    benchmark.extra_info["queries"] = NUM_QUERIES
+
+
+def test_render_fig7(benchmark):
+    result = fig7_query_static(sweep=_sweep(), num_queries=NUM_QUERIES)
+    benchmark(result.render)
+    publish(result)
+    assert len(result.rows) == 15

@@ -1,0 +1,91 @@
+"""Scalability sweep — how the methods grow with |V| (EXPERIMENTS.md §Fig 2).
+
+The paper's update experiments run at 10⁶–10⁷ vertices where Dagger's
+insertion (ancestor-region maintenance, cost ∝ |V|) loses to BU's
+(label-neighborhood cost).  Our stand-ins cannot reach that crossover, so
+this bench documents the trend lines instead: build, query and update cost
+for BU, Dagger and BFS at geometrically growing sizes of the go-uniprot
+stand-in.  The recorded series back the scale-divergence discussion in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.harness import build_method, measure_queries, measure_updates
+from repro.bench.tables import format_millis, format_seconds, format_table
+from repro.bench.workloads import generate_queries, generate_updates
+
+from _config import RESULTS_DIR, cached
+
+SIZES = [300, 600, 1200, 2400]
+METHODS = ["BU", "Dagger", "BFS"]
+DATASET = "go-uniprot"
+NUM_QUERIES = 400
+NUM_UPDATES = 12
+
+
+def _measure(size: int, method: str) -> dict:
+    graph = ds.load(DATASET, num_vertices=size)
+    queries = generate_queries(graph, NUM_QUERIES, seed=6)
+    updates = generate_updates(graph, NUM_UPDATES, seed=7)
+    import time
+
+    start = time.perf_counter()
+    index = build_method(method, graph)
+    build_s = time.perf_counter() - start
+    query_s = measure_queries(index, queries)
+    timings = measure_updates(index, graph, updates)
+    return {
+        "build_s": build_s,
+        "query_s": query_s,
+        "insert_s": timings.avg_insert_seconds,
+        "delete_s": timings.avg_delete_seconds,
+    }
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("size", SIZES)
+def test_scaling_point(benchmark, size, method):
+    result = benchmark.pedantic(_measure, args=(size, method), rounds=1, iterations=1)
+    cached(("scaling", size, method), lambda: result)
+    benchmark.extra_info.update(
+        {k: round(v, 6) for k, v in result.items()}
+    )
+
+
+def test_render_scalability(benchmark):
+    rows = []
+    for size in SIZES:
+        for method in METHODS:
+            cell = cached(
+                ("scaling", size, method),
+                lambda s=size, m=method: _measure(s, m),
+            )
+            rows.append([
+                f"{DATASET}@{size}/{method}",
+                format_seconds(cell["build_s"]),
+                format_millis(cell["query_s"]),
+                format_millis(cell["insert_s"]),
+                format_millis(cell["delete_s"]),
+            ])
+    table = format_table(
+        "Scalability: cost growth with |V| (go-uniprot stand-in)",
+        ["size/method", "build", f"{NUM_QUERIES} queries", "avg insert", "avg delete"],
+        rows,
+        note="Trend lines behind the Figure-2 scale discussion in EXPERIMENTS.md.",
+    )
+    benchmark(lambda: table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "scalability.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+
+    # Query cost of BU must stay essentially flat while BFS grows: the
+    # index's raison d'être.
+    bu_small = cached(("scaling", SIZES[0], "BU"), lambda: None)
+    bu_large = cached(("scaling", SIZES[-1], "BU"), lambda: None)
+    bfs_small = cached(("scaling", SIZES[0], "BFS"), lambda: None)
+    bfs_large = cached(("scaling", SIZES[-1], "BFS"), lambda: None)
+    bu_growth = bu_large["query_s"] / bu_small["query_s"]
+    bfs_growth = bfs_large["query_s"] / bfs_small["query_s"]
+    assert bu_growth < bfs_growth

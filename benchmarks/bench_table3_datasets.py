@@ -1,0 +1,33 @@
+"""Table 3 — dataset statistics (and generation cost per dataset).
+
+Regenerates the paper's Table 3 as a paper-scale vs. stand-in comparison
+(written to ``benchmarks/results/table3.txt``) and times the synthetic
+generation of each stand-in.
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import table3_datasets
+
+from _config import ALL_DATASETS, STATIC_VERTICES, cached, publish
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+def test_generate_dataset(benchmark, name):
+    spec = ds.DATASETS[name.lower()]
+    graph = benchmark(spec.generate, num_vertices=STATIC_VERTICES, seed=0)
+    assert graph.num_vertices == STATIC_VERTICES
+    benchmark.extra_info["edges"] = graph.num_edges
+    benchmark.extra_info["avg_degree"] = round(graph.average_degree(), 2)
+    benchmark.extra_info["paper_vertices"] = spec.paper_vertices
+
+
+def test_render_table3(benchmark):
+    result = cached(
+        ("table3", STATIC_VERTICES),
+        lambda: table3_datasets(num_vertices=STATIC_VERTICES),
+    )
+    text = benchmark(result.render)
+    publish(result)
+    assert all(name in text for name in ALL_DATASETS)

@@ -1,0 +1,51 @@
+"""Table 4 — iterative label reduction on DL- and TF-built indices.
+
+Shapes to look for: TF shrinks (much) more than DL; tree-shaped rows
+(uniprot*) barely move; the dense/citation rows reclaim tens of percent.
+RG20/RG40 are skipped like the paper (its DL/TF runs exhausted memory
+there).
+"""
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.experiments import table4_label_reduction
+from repro.core.index import TOLIndex
+
+from _config import REDUCTION_DATASETS, REDUCTION_VERTICES, cached, publish
+
+#: Representative reduction cells for fine-grained timing.
+CELLS = ["RG5", "uniprot100m", "wiki", "go-uniprot"]
+
+ORDER_OF = {"DL": "degree", "TF": "topological"}
+
+
+@pytest.mark.parametrize("method", ["DL", "TF"])
+@pytest.mark.parametrize("dataset", CELLS)
+def test_reduction_round(benchmark, dataset, method):
+    graph = ds.load(dataset, num_vertices=REDUCTION_VERTICES)
+
+    def setup():
+        return (TOLIndex.build(graph, order=ORDER_OF[method]),), {}
+
+    def reduce(index):
+        return index.reduce_labels(max_rounds=1)
+
+    report = benchmark.pedantic(reduce, setup=setup, rounds=1, iterations=1)
+    benchmark.extra_info["delta_labels"] = report.reduction
+    benchmark.extra_info["reduction_ratio"] = round(report.reduction_ratio, 4)
+
+
+def test_render_table4(benchmark):
+    result = cached(
+        ("table4", REDUCTION_VERTICES),
+        lambda: table4_label_reduction(
+            datasets=REDUCTION_DATASETS, num_vertices=REDUCTION_VERTICES
+        ),
+    )
+    benchmark(result.render)
+    publish(result)
+    assert len(result.rows) == len(REDUCTION_DATASETS)
+    # Monotonicity of Section 6: reduction never grows an index.
+    for row in result.rows:
+        assert row[1] >= 0 and row[4] >= 0

@@ -1,0 +1,29 @@
+"""Shared configuration for the per-figure benchmark files.
+
+Scales here are the "benchmark profile": large enough that the paper's
+qualitative shapes (who wins, by what factor, where the crossovers are)
+reproduce, small enough that the whole ``pytest benchmarks/`` run finishes
+in minutes on a laptop.  Every figure's full 15-row table is produced by
+its ``test_render_*`` target and written to ``benchmarks/results/``.
+
+The experiment drivers are memoized per session: Figures 2 and 4 share one
+update sweep, Figures 5–7 share one static sweep, so nothing is measured
+twice.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from _config import RESULTS_DIR  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    yield

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Static citation-graph analysis: choosing a reachability index.
+
+A citation graph is the classic static reachability workload ("does paper
+X transitively cite paper Y?").  This example builds every static method
+from the paper's line-up — BU, BL, HL, DL, TF (all TOL instantiations
+under different level orders), Dagger and GRAIL — over a citeseerx-style
+power-law DAG and reports the three axes the paper's Figures 5–7 compare:
+index size, construction time, and batch query time.  It then demonstrates
+Section 6's label reduction rescuing the weakest order.
+
+Run:  python examples/citation_analysis.py [--papers 1500]
+"""
+
+import argparse
+import time
+
+from repro import TOLIndex, load_dataset
+from repro.baselines.grail import GrailIndex
+from repro.bench.harness import build_method
+from repro.bench.tables import format_bytes, format_millis, format_seconds
+from repro.bench.workloads import generate_queries
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--papers", type=int, default=1500)
+    parser.add_argument("--queries", type=int, default=3000)
+    args = parser.parse_args()
+
+    graph = load_dataset("citeseerx", num_vertices=args.papers)
+    print(
+        f"citation graph (citeseerx stand-in): {graph.num_vertices} papers, "
+        f"{graph.num_edges} citations"
+    )
+    queries = generate_queries(graph, args.queries, seed=1)
+
+    methods = ["BU", "BL", "HL", "DL", "TF", "Dagger"]
+    print(f"\n{'method':8s} {'build':>10s} {'index size':>12s} "
+          f"{'{} queries'.format(args.queries):>14s}")
+    rows = {}
+    for name in methods:
+        start = time.perf_counter()
+        index = build_method(name, graph)
+        build_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for s, t in queries:
+            index.query(s, t)
+        query_s = time.perf_counter() - start
+        rows[name] = (build_s, index.size_bytes(), query_s)
+        print(
+            f"{name:8s} {format_seconds(build_s):>10s} "
+            f"{format_bytes(index.size_bytes()):>12s} {format_millis(query_s):>14s}"
+        )
+
+    # GRAIL, the pruned-DFS family's representative, for completeness.
+    start = time.perf_counter()
+    grail = GrailIndex(graph)
+    build_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for s, t in queries:
+        grail.query(s, t)
+    query_s = time.perf_counter() - start
+    print(
+        f"{'GRAIL':8s} {format_seconds(build_s):>10s} "
+        f"{format_bytes(grail.size_bytes()):>12s} {format_millis(query_s):>14s}"
+    )
+
+    print(
+        f"\nBU stores {rows['TF'][1] / rows['BU'][1]:.1f}x fewer label bytes "
+        f"than TF and {rows['DL'][1] / rows['BU'][1]:.1f}x fewer than DL on "
+        "this graph (query times at this scale are sub-millisecond noise; "
+        "see benchmarks/ for the figure-scale comparison)."
+    )
+
+    print("\n--- Section 6: label reduction on the TF-ordered index ---")
+    tf_index = TOLIndex.build(graph, order="topological")
+    before = tf_index.size_bytes()
+    start = time.perf_counter()
+    report = tf_index.reduce_labels()
+    elapsed = time.perf_counter() - start
+    print(
+        f"TF index: {format_bytes(before)} -> {format_bytes(tf_index.size_bytes())} "
+        f"({report.reduction_ratio:.1%} saved) in {format_seconds(elapsed)}; "
+        f"BU built directly: {format_bytes(rows['BU'][1])}"
+    )
+
+
+if __name__ == "__main__":
+    main()

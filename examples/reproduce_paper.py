@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's Section 8.
+
+Runs the eight experiment drivers (Table 3, Figures 2–7, Table 4) on the
+scaled-down dataset stand-ins and prints each paper-style table.  This is
+the same code path the ``benchmarks/`` suite uses; see EXPERIMENTS.md for
+the paper-vs-measured comparison and DESIGN.md §5 for the substitutions.
+
+Run:  python examples/reproduce_paper.py                  # quick profile
+      python examples/reproduce_paper.py --profile full   # registry defaults
+      python examples/reproduce_paper.py --only fig7 table4
+"""
+
+import argparse
+import time
+
+from repro.bench.experiments import (
+    fig2_insertion,
+    fig3_query_dynamic,
+    fig4_deletion,
+    fig5_index_size,
+    fig6_preprocessing,
+    fig7_query_static,
+    run_static_sweep,
+    run_update_sweep,
+    table3_datasets,
+    table4_label_reduction,
+)
+
+PROFILES = {
+    # (update |V|, static |V|, reduction |V|, queries, updates)
+    "quick": (400, 600, 250, 500, 15),
+    "full": (None, None, 600, 2000, 40),  # None = registry defaults
+}
+
+REDUCTION_DATASETS = None  # filled in main() to skip RG20/RG40 like the paper
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick")
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of: table3 fig2 fig3 fig4 fig5 fig6 fig7 table4",
+    )
+    args = parser.parse_args()
+    upd_v, sta_v, red_v, n_queries, n_updates = PROFILES[args.profile]
+
+    from repro.datasets import DATASET_NAMES
+
+    reduction_datasets = [d for d in DATASET_NAMES if d not in ("RG20", "RG40")]
+
+    wanted = set(args.only) if args.only else {
+        "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table4",
+    }
+
+    def show(result, started):
+        print()
+        print(result.render())
+        print(f"[{result.name}: {time.perf_counter() - started:.1f}s]")
+
+    if "table3" in wanted:
+        t0 = time.perf_counter()
+        show(table3_datasets(num_vertices=sta_v), t0)
+
+    if wanted & {"fig2", "fig4"}:
+        t0 = time.perf_counter()
+        sweep = run_update_sweep(num_vertices=upd_v, num_updates=n_updates)
+        if "fig2" in wanted:
+            show(fig2_insertion(sweep=sweep, num_updates=n_updates), t0)
+        if "fig4" in wanted:
+            show(fig4_deletion(sweep=sweep, num_updates=n_updates), t0)
+
+    if "fig3" in wanted:
+        t0 = time.perf_counter()
+        show(
+            fig3_query_dynamic(
+                num_vertices=upd_v, num_queries=n_queries, num_updates=n_updates
+            ),
+            t0,
+        )
+
+    if wanted & {"fig5", "fig6", "fig7"}:
+        t0 = time.perf_counter()
+        sweep = run_static_sweep(num_vertices=sta_v, num_queries=n_queries)
+        if "fig5" in wanted:
+            show(fig5_index_size(sweep=sweep), t0)
+        if "fig6" in wanted:
+            show(fig6_preprocessing(sweep=sweep), t0)
+        if "fig7" in wanted:
+            show(fig7_query_static(sweep=sweep, num_queries=n_queries), t0)
+
+    if "table4" in wanted:
+        t0 = time.perf_counter()
+        show(
+            table4_label_reduction(
+                datasets=reduction_datasets, num_vertices=red_v
+            ),
+            t0,
+        )
+
+
+if __name__ == "__main__":
+    main()

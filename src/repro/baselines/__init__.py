@@ -1,0 +1,28 @@
+"""Competitor reachability methods re-implemented from their publications."""
+
+from .dagger import DaggerIndex
+from .grail import GrailIndex
+from .search import BFSBaseline, DFSBaseline
+from .static_labels import (
+    build_dl,
+    build_hl,
+    build_pll,
+    build_tf_label,
+    pruned_landmark_build,
+)
+from .transitive_closure import TransitiveClosureIndex
+from .tree_cover import TreeCoverIndex
+
+__all__ = [
+    "BFSBaseline",
+    "DFSBaseline",
+    "GrailIndex",
+    "DaggerIndex",
+    "TransitiveClosureIndex",
+    "TreeCoverIndex",
+    "build_tf_label",
+    "build_dl",
+    "build_pll",
+    "build_hl",
+    "pruned_landmark_build",
+]

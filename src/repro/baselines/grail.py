@@ -1,0 +1,149 @@
+"""GRAIL: randomized interval labeling with pruned DFS queries [31].
+
+GRAIL assigns every vertex ``k`` intervals, one per random post-order
+traversal of the DAG: ``I_r(v) = [low_r(v), post_r(v)]`` where ``post_r``
+is the post-order rank in traversal ``r`` and ``low_r(v)`` is the minimum
+``low_r`` over ``v`` and its out-neighbors.  The invariant: if ``u -> v``
+then ``I_r(v) ⊆ I_r(u)`` for every ``r`` — so non-containment in *any*
+dimension certifies non-reachability.  Containment does not certify
+reachability, so positive queries fall back to a DFS from the source that
+prunes every vertex whose intervals do not contain the target's.
+
+This is the "pruned depth-first search" family's state of the art
+(Section 3): tiny index, cheap construction, query time far behind the
+2-hop methods — which is exactly the regime the paper's Figures 6–7 show.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from ..graph.dag import ensure_dag
+from ..graph.digraph import DiGraph
+
+__all__ = ["GrailIndex"]
+
+Vertex = Hashable
+
+
+class GrailIndex:
+    """A static GRAIL index over a DAG.
+
+    Parameters
+    ----------
+    graph:
+        The DAG to index (a private copy is kept for query DFS).
+    num_traversals:
+        ``k``, the number of random interval dimensions (GRAIL's paper
+        recommends 2–5; default 3).
+    seed:
+        Seed for the random child orders.
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[(1, 2), (2, 3), (1, 4)])
+    >>> idx = GrailIndex(g)
+    >>> idx.query(1, 3), idx.query(4, 3)
+    (True, False)
+    """
+
+    name = "GRAIL"
+
+    def __init__(
+        self, graph: DiGraph, *, num_traversals: int = 3, seed: int = 0
+    ) -> None:
+        ensure_dag(graph)
+        self._graph = graph.copy()
+        self.num_traversals = num_traversals
+        # Per-vertex interval arrays: lows[v][r], posts[v][r].
+        self._lows: dict[Vertex, list[int]] = {
+            v: [0] * num_traversals for v in graph.vertices()
+        }
+        self._posts: dict[Vertex, list[int]] = {
+            v: [0] * num_traversals for v in graph.vertices()
+        }
+        rng = random.Random(seed)
+        for r in range(num_traversals):
+            self._label_one_traversal(r, rng)
+
+    def _label_one_traversal(self, r: int, rng: random.Random) -> None:
+        """One randomized post-order pass assigning dimension *r*."""
+        graph = self._graph
+        roots = [v for v in graph.vertices() if graph.in_degree(v) == 0]
+        rng.shuffle(roots)
+        visited: set[Vertex] = set()
+        counter = 0
+        for root in roots:
+            if root in visited:
+                continue
+            # Iterative post-order DFS with randomized child order.
+            stack: list[tuple[Vertex, list[Vertex]]] = []
+            children = list(graph.iter_out(root))
+            rng.shuffle(children)
+            stack.append((root, children))
+            visited.add(root)
+            while stack:
+                v, pending = stack[-1]
+                descended = False
+                while pending:
+                    w = pending.pop()
+                    if w not in visited:
+                        visited.add(w)
+                        grandchildren = list(graph.iter_out(w))
+                        rng.shuffle(grandchildren)
+                        stack.append((w, grandchildren))
+                        descended = True
+                        break
+                if descended:
+                    continue
+                stack.pop()
+                counter += 1
+                post = counter
+                low = post
+                for w in graph.iter_out(v):
+                    if self._lows[w][r] < low:
+                        low = self._lows[w][r]
+                self._lows[v][r] = low
+                self._posts[v][r] = post
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _contains(self, u: Vertex, v: Vertex) -> bool:
+        """True iff u's intervals contain v's in every dimension."""
+        lu, pu = self._lows[u], self._posts[u]
+        lv, pv = self._lows[v], self._posts[v]
+        for r in range(self.num_traversals):
+            if lv[r] < lu[r] or pv[r] > pu[r]:
+                return False
+        return True
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t`` with interval pruning plus fallback DFS."""
+        if s == t:
+            self._lows[s]
+            return True
+        if not self._contains(s, t):
+            return False
+        # Containment is necessary but not sufficient: DFS with pruning.
+        stack = [s]
+        seen = {s}
+        while stack:
+            v = stack.pop()
+            for w in self._graph.iter_out(v):
+                if w == t:
+                    return True
+                if w in seen or not self._contains(w, t):
+                    continue
+                seen.add(w)
+                stack.append(w)
+        return False
+
+    def size_bytes(self) -> int:
+        """Index size: two 4-byte ints per vertex per traversal."""
+        return len(self._lows) * self.num_traversals * 8
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._lows

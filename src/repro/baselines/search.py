@@ -1,0 +1,85 @@
+"""Index-free query baselines (the paper's "BFS" competitor).
+
+The paper's Figures 3 and 7 include a no-index baseline: an alternating
+bidirectional BFS that expands one frontier level at a time from both
+endpoints (Section 8, "Experiments on Dynamic Graphs").  Its appeal for the
+dynamic setting is zero update cost; its query cost is what indices must
+beat.  :class:`BFSBaseline` packages it behind the same interface the
+benchmark harness uses for every method; :class:`DFSBaseline` is the even
+simpler unidirectional search, included for ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from ..graph.digraph import DiGraph
+from ..graph.traversal import bidirectional_reachable, has_path_dfs
+
+__all__ = ["BFSBaseline", "DFSBaseline"]
+
+Vertex = Hashable
+
+
+class BFSBaseline:
+    """Bidirectional-BFS reachability with zero preprocessing.
+
+    Maintains only the graph itself; updates are plain graph mutations.
+
+    Examples
+    --------
+    >>> base = BFSBaseline(DiGraph(edges=[(1, 2), (2, 3)]))
+    >>> base.query(1, 3)
+    True
+    >>> base.delete_vertex(2)
+    >>> base.query(1, 3)
+    False
+    """
+
+    name = "BFS"
+
+    def __init__(self, graph: DiGraph) -> None:
+        self._graph = graph.copy()
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t`` with an alternating bidirectional BFS."""
+        return bidirectional_reachable(self._graph, s, t)
+
+    def insert_vertex(
+        self,
+        v: Vertex,
+        in_neighbors: Iterable[Vertex] = (),
+        out_neighbors: Iterable[Vertex] = (),
+    ) -> None:
+        """Insert a vertex (O(degree); no index to maintain)."""
+        self._graph.add_vertex(v)
+        for u in in_neighbors:
+            self._graph.add_edge(u, v)
+        for w in out_neighbors:
+            self._graph.add_edge(v, w)
+
+    def delete_vertex(self, v: Vertex) -> None:
+        """Delete a vertex (O(degree); no index to maintain)."""
+        self._graph.remove_vertex(v)
+
+    def insert_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Insert an edge (O(1); no index to maintain)."""
+        self._graph.add_edge(tail, head)
+
+    def delete_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Delete an edge (O(1); no index to maintain)."""
+        self._graph.remove_edge(tail, head)
+
+    def size_bytes(self) -> int:
+        """Index size: zero — there is no index."""
+        return 0
+
+
+class DFSBaseline(BFSBaseline):
+    """Unidirectional DFS reachability (slower ablation baseline)."""
+
+    name = "DFS"
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t`` with a forward depth-first search."""
+        return has_path_dfs(self._graph, s, t)

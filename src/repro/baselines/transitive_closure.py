@@ -1,0 +1,70 @@
+"""Materialized transitive closure over bitsets.
+
+The "transitive closure retrieval" family of Section 3: pre-compute, for
+every vertex, the full set of vertices it can reach.  Queries are O(1) set
+probes, preprocessing and space are quadratic — exactly the trade-off the
+paper describes as unscalable, which is why this class doubles as the
+*ground-truth oracle* for the test suite.
+
+Reachability sets are stored as Python integers used as bitsets (vertex
+``i`` reachable ⟺ bit ``i`` set), so the all-pairs closure of a few
+thousand vertices fits comfortably and unions are single big-int ORs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..graph.dag import topological_order
+from ..graph.digraph import DiGraph
+
+__all__ = ["TransitiveClosureIndex"]
+
+Vertex = Hashable
+
+
+class TransitiveClosureIndex:
+    """All-pairs reachability with O(1) queries (static; DAGs only).
+
+    Examples
+    --------
+    >>> tc = TransitiveClosureIndex(DiGraph(edges=[(1, 2), (2, 3)]))
+    >>> tc.query(1, 3), tc.query(3, 1)
+    (True, False)
+    >>> sorted(tc.descendants(1))
+    [2, 3]
+    """
+
+    name = "TC"
+
+    def __init__(self, graph: DiGraph) -> None:
+        order = topological_order(graph)
+        self._bit: dict[Vertex, int] = {v: i for i, v in enumerate(order)}
+        self._vertices = order
+        self._reach: dict[Vertex, int] = {}
+        for v in reversed(order):
+            mask = 0
+            for w in graph.iter_out(v):
+                mask |= self._reach[w] | (1 << self._bit[w])
+            self._reach[v] = mask
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t`` with one bit probe."""
+        if s == t:
+            # Validate existence for parity with the other indices.
+            self._reach[s]
+            return True
+        return bool(self._reach[s] >> self._bit[t] & 1)
+
+    def descendants(self, v: Vertex) -> set[Vertex]:
+        """Return the set of vertices *v* can reach (excluding itself)."""
+        mask = self._reach[v]
+        return {w for w in self._vertices if mask >> self._bit[w] & 1}
+
+    def size_bytes(self) -> int:
+        """Approximate storage: one bit per vertex pair."""
+        n = len(self._vertices)
+        return n * ((n + 7) // 8)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._reach

@@ -1,0 +1,158 @@
+"""Tree-cover compressed transitive closure (Agrawal, Borgida, Jagadish [3]).
+
+The classic 1989 representative of the paper's "transitive closure
+retrieval" category (Section 3): instead of materializing each vertex's
+full descendant set, pick a spanning forest of the DAG, number vertices by
+post-order, and give every vertex the interval ``[low, post]`` covering its
+tree descendants.  Every vertex then stores a small *set of intervals*:
+its own tree interval plus the intervals inherited through non-tree edges,
+with subsumed intervals dropped.  A query ``s -> t`` checks whether ``t``'s
+post-order number falls inside any of ``s``'s intervals — O(log k) with
+k intervals after sorting.
+
+The compression wins exactly when the DAG is tree-like (few non-tree
+edges) and degrades toward quadratic storage on dense DAGs — which is the
+scalability criticism the paper levels at this whole category, and which
+``benchmarks/``' index-size comparisons show against the 2-hop methods.
+
+The spanning forest is chosen greedily: processing vertices in topological
+order, each vertex attaches to the in-neighbor whose subtree was visited
+last (a heuristic from [3] that keeps tree intervals contiguous); remaining
+in-edges become non-tree edges whose interval sets are inherited.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Hashable
+
+from ..graph.dag import ensure_dag, topological_order
+from ..graph.digraph import DiGraph
+
+__all__ = ["TreeCoverIndex"]
+
+Vertex = Hashable
+
+
+def _merge_intervals(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort, merge overlaps, and drop subsumed intervals."""
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi + 1:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+class TreeCoverIndex:
+    """Compressed transitive closure via spanning-tree intervals.
+
+    Examples
+    --------
+    >>> idx = TreeCoverIndex(DiGraph(edges=[(1, 2), (2, 3), (1, 4)]))
+    >>> idx.query(1, 3), idx.query(4, 3)
+    (True, False)
+    """
+
+    name = "TreeCover"
+
+    def __init__(self, graph: DiGraph) -> None:
+        ensure_dag(graph)
+        order = topological_order(graph)
+
+        # 1. Spanning forest: each vertex picks one tree parent among its
+        #    in-neighbors (the most recently processed one).
+        position = {v: i for i, v in enumerate(order)}
+        tree_children: dict[Vertex, list[Vertex]] = {v: [] for v in order}
+        non_tree_edges: list[tuple[Vertex, Vertex]] = []
+        for v in order:
+            parents = list(graph.iter_in(v))
+            if parents:
+                tree_parent = max(parents, key=lambda u: position[u])
+                tree_children[tree_parent].append(v)
+                for u in parents:
+                    if u is not tree_parent:
+                        non_tree_edges.append((u, v))
+
+        # 2. Post-order numbering of the forest; tree interval = [low, post]
+        #    where low = min post among the subtree.
+        self._post: dict[Vertex, int] = {}
+        low: dict[Vertex, int] = {}
+        counter = 0
+        roots = [v for v in order if graph.in_degree(v) == 0]
+        for root in roots:
+            stack: list[tuple[Vertex, int]] = [(root, 0)]
+            while stack:
+                v, child_idx = stack.pop()
+                children = tree_children[v]
+                if child_idx < len(children):
+                    stack.append((v, child_idx + 1))
+                    stack.append((children[child_idx], 0))
+                    continue
+                counter += 1
+                self._post[v] = counter
+                low[v] = min(
+                    [counter] + [low[c] for c in children]
+                )
+
+        # 3. Interval sets: own tree interval, plus inheritance along every
+        #    edge, propagated in reverse topological order so each vertex
+        #    sees its successors' finished sets.
+        self._intervals: dict[Vertex, list[tuple[int, int]]] = {}
+        for v in reversed(order):
+            collected = [(low[v], self._post[v])]
+            for w in graph.iter_out(v):
+                collected.extend(self._intervals[w])
+            self._intervals[v] = _merge_intervals(collected)
+
+        # Flatten for bisect-based queries: starts[] and ends[] per vertex.
+        self._starts = {
+            v: [lo for lo, _ in ivs] for v, ivs in self._intervals.items()
+        }
+        self._ends = {
+            v: [hi for _, hi in ivs] for v, ivs in self._intervals.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t``: is post(t) inside any of s's intervals?"""
+        post_t = self._post[t]
+        if s == t:
+            return True
+        starts = self._starts[s]
+        idx = bisect_right(starts, post_t) - 1
+        return idx >= 0 and post_t <= self._ends[s][idx]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def intervals(self, v: Vertex) -> tuple[tuple[int, int], ...]:
+        """The merged interval set of *v* (for tests and diagnostics)."""
+        return tuple(self._intervals[v])
+
+    def num_intervals(self) -> int:
+        """Total interval count — the compression metric of [3]."""
+        return sum(len(ivs) for ivs in self._intervals.values())
+
+    def size_bytes(self) -> int:
+        """Index size: two 4-byte ints per stored interval."""
+        return self.num_intervals() * 8
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._post
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|V|={len(self._post)}, "
+            f"intervals={self.num_intervals()})"
+        )

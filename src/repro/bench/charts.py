@@ -1,0 +1,106 @@
+"""ASCII bar charts: render ExperimentResults the way the paper draws them.
+
+The paper's Figures 2–7 are grouped log-scale bar charts (one group per
+dataset, one bar per method).  :func:`render_bar_chart` reproduces that as
+monospace text, so ``repro experiments --chart`` and the benchmark logs can
+show the *shape* of each figure — who wins and by how many decades —
+without a plotting dependency.
+
+Example output (abridged)::
+
+    Figure 7: total query time on static graphs  [log scale]
+    RG5        BU     |■■■■■■■■                      | 0.785ms
+               Dagger |■■■■■■■■■■■■■■■■■■■■■■■■      | 8.63ms
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .experiments import ExperimentResult
+from .tables import format_bytes, format_millis, format_seconds
+
+__all__ = ["render_bar_chart"]
+
+_BAR = "■"
+
+
+def _pick_formatter(result: ExperimentResult):
+    """Reuse the result's own column formatter when it has a uniform one."""
+    formatters = set()
+    for i in range(1, len(result.headers)):
+        formatters.add(result.formatters.get(i))
+    formatters.discard(None)
+    if len(formatters) == 1:
+        return formatters.pop()
+    return format_seconds
+
+
+def render_bar_chart(
+    result: ExperimentResult,
+    *,
+    width: int = 40,
+    log: bool = True,
+    datasets: Optional[list[str]] = None,
+) -> str:
+    """Render *result* as a grouped horizontal bar chart.
+
+    Parameters
+    ----------
+    width:
+        Bar area width in characters.
+    log:
+        Log-scale bars (the paper's axes are logarithmic).  Falls back to
+        linear when any value is zero or the dynamic range is tiny.
+    datasets:
+        Optional subset/order of dataset rows.
+    """
+    methods = result.headers[1:]
+    fmt = _pick_formatter(result)
+    rows = result.rows
+    if datasets is not None:
+        wanted = set(datasets)
+        rows = [row for row in rows if row[0] in wanted]
+
+    numeric = [
+        float(v) for row in rows for v in row[1:] if isinstance(v, (int, float))
+    ]
+    if not numeric:
+        return f"{result.title}  [no numeric data]"
+    lo, hi = min(numeric), max(numeric)
+    use_log = log and lo > 0 and hi / lo > 10
+
+    def bar_len(value: float) -> int:
+        """Bar length in characters for *value* under the chosen scale."""
+        if hi <= 0:
+            return 0
+        if use_log:
+            span = math.log10(hi) - math.log10(lo) or 1.0
+            frac = (math.log10(value) - math.log10(lo)) / span if value > 0 else 0.0
+        else:
+            frac = value / hi
+        return max(1 if value > 0 else 0, round(frac * width))
+
+    method_width = max(len(m) for m in methods)
+    dataset_width = max(len(str(row[0])) for row in rows)
+    scale_note = "log scale" if use_log else "linear scale"
+    lines = [f"{result.title}  [{scale_note}]"]
+    for row in rows:
+        name = str(row[0])
+        for i, method in enumerate(methods):
+            value = row[1 + i]
+            prefix = name if i == 0 else ""
+            if not isinstance(value, (int, float)):
+                lines.append(
+                    f"{prefix:<{dataset_width}} {method:<{method_width}} | {value}"
+                )
+                continue
+            filled = bar_len(float(value))
+            bar = (_BAR * filled).ljust(width)
+            lines.append(
+                f"{prefix:<{dataset_width}} {method:<{method_width}} "
+                f"|{bar}| {fmt(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

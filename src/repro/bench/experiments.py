@@ -1,0 +1,476 @@
+"""One driver per table/figure of the paper's Section 8.
+
+Every driver returns an :class:`ExperimentResult` whose ``rows`` hold the
+raw numbers and whose ``render()`` prints the paper-style table.  The
+pytest-benchmark targets in ``benchmarks/`` and the runnable examples both
+call these drivers, so the numbers in ``bench_output.txt`` and the numbers
+a user reproduces by hand are the same code path.
+
+Experiment ↔ paper mapping
+--------------------------
+=====================  ==================================================
+:func:`table3_datasets`      Table 3 — dataset statistics
+:func:`fig2_insertion`       Figure 2 — average vertex-insertion time
+:func:`fig3_query_dynamic`   Figure 3 — total query time on dynamic graphs
+:func:`fig4_deletion`        Figure 4 — average vertex-deletion time
+:func:`fig5_index_size`      Figure 5 — index sizes, static line-up
+:func:`fig6_preprocessing`   Figure 6 — preprocessing time, static line-up
+:func:`fig7_query_static`    Figure 7 — total query time, static line-up
+:func:`table4_label_reduction`  Table 4 — iterative label reduction
+=====================  ==================================================
+
+All experiments run on the scaled-down stand-ins of
+:mod:`repro.datasets`; pass ``num_vertices`` to scale them up or down
+uniformly, and ``datasets`` to restrict the rows.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import datasets as ds
+from ..core.index import TOLIndex
+from ..core.reduction import reduce_labels
+from ..graph.digraph import DiGraph
+from .harness import (
+    DYNAMIC_METHODS,
+    STATIC_METHODS,
+    build_method,
+    measure_build,
+    measure_queries,
+    measure_updates,
+)
+from .tables import (
+    format_bytes,
+    format_millis,
+    format_ratio,
+    format_seconds,
+    format_table,
+)
+from .workloads import generate_queries, generate_updates
+
+__all__ = [
+    "ExperimentResult",
+    "run_update_sweep",
+    "run_static_sweep",
+    "table3_datasets",
+    "fig2_insertion",
+    "fig3_query_dynamic",
+    "fig4_deletion",
+    "fig5_index_size",
+    "fig6_preprocessing",
+    "fig7_query_static",
+    "table4_label_reduction",
+    "ALL_EXPERIMENTS",
+]
+
+#: Default per-experiment workload sizes (scaled from the paper's 10^6
+#: queries / 10^4 updates to suit the scaled-down datasets).
+DEFAULT_QUERIES = 2000
+DEFAULT_UPDATES = 60
+
+
+@dataclass
+class ExperimentResult:
+    """Raw rows plus presentation for one experiment.
+
+    Attributes
+    ----------
+    name:
+        Experiment id, e.g. ``"fig2"``.
+    title:
+        Human-readable title matching the paper caption.
+    headers:
+        Column names of :attr:`rows`.
+    rows:
+        One entry per dataset; cells are raw numbers (seconds / bytes /
+        ratios) or strings.
+    note:
+        Rendering footnote (units, workload sizes).
+    formatters:
+        Per-column formatting callables used by :meth:`render`.
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    note: str = ""
+    formatters: dict[int, object] = field(default_factory=dict)
+
+    def cell(self, dataset: str, column: str):
+        """Look up one raw cell by dataset row and column name."""
+        col = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == dataset:
+                return row[col]
+        raise KeyError(dataset)
+
+    def render(self) -> str:
+        """Return the aligned text table."""
+        formatted = [
+            [
+                self.formatters.get(i, str)(cell) if not isinstance(cell, str) else cell
+                for i, cell in enumerate(row)
+            ]
+            for row in self.rows
+        ]
+        return format_table(self.title, self.headers, formatted, note=self.note)
+
+
+def _dataset_list(names: Optional[Sequence[str]]) -> list[str]:
+    return list(names) if names is not None else list(ds.DATASET_NAMES)
+
+
+# ----------------------------------------------------------------------
+# Table 3 — datasets
+# ----------------------------------------------------------------------
+
+def table3_datasets(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    num_vertices: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 3: per-dataset |V|, |E| and average degree, paper vs stand-in."""
+    result = ExperimentResult(
+        name="table3",
+        title="Table 3: datasets (paper scale vs. synthetic stand-in)",
+        headers=[
+            "dataset", "family", "paper |V|", "paper |E|", "paper deg",
+            "|V|", "|E|", "avg deg",
+        ],
+        note="Stand-ins are structure-matched synthetic graphs; see DESIGN.md §5.",
+    )
+    for name in _dataset_list(datasets):
+        spec = ds.DATASETS[name.lower()]
+        graph = spec.generate(num_vertices=num_vertices, seed=seed)
+        result.rows.append([
+            spec.name,
+            spec.family,
+            f"{spec.paper_vertices / 1e6:.1f}M",
+            f"{spec.paper_edges / 1e6:.1f}M",
+            f"{spec.avg_degree:.2f}",
+            graph.num_vertices,
+            graph.num_edges,
+            f"{graph.average_degree():.2f}",
+        ])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 2 and 4 — dynamic updates
+# ----------------------------------------------------------------------
+
+def run_update_sweep(
+    datasets: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = DYNAMIC_METHODS,
+    *,
+    num_vertices: Optional[int] = None,
+    num_updates: int = DEFAULT_UPDATES,
+    seed: int = 0,
+) -> dict[str, dict[str, object]]:
+    """Shared runner behind Figures 2 and 4: per (dataset, method)
+    delete/insert timing averages.  Exposed so callers (the benchmark
+    suite) can compute the sweep once and feed it to both figures."""
+    out: dict[str, dict[str, object]] = {}
+    for name in _dataset_list(datasets):
+        graph = ds.load(name, num_vertices=num_vertices, seed=seed)
+        workload = generate_updates(graph, num_updates, seed=seed + 1)
+        per_method: dict[str, object] = {}
+        for method in methods:
+            index = build_method(method, graph)
+            per_method[method] = measure_updates(index, graph, workload)
+        out[name] = per_method
+    return out
+
+
+def fig2_insertion(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = DYNAMIC_METHODS,
+    num_vertices: Optional[int] = None,
+    num_updates: int = DEFAULT_UPDATES,
+    seed: int = 0,
+    sweep: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 2: average vertex-insertion time per method (milliseconds).
+
+    Pass a precomputed *sweep* (from :func:`run_update_sweep`) to share
+    one measurement run with Figure 4.
+    """
+    data = sweep if sweep is not None else run_update_sweep(
+        datasets, methods, num_vertices=num_vertices,
+        num_updates=num_updates, seed=seed,
+    )
+    result = ExperimentResult(
+        name="fig2",
+        title="Figure 2: average insertion time on dynamic graphs",
+        headers=["dataset", *methods],
+        note=f"{num_updates} deletions then re-insertions per dataset; avg per insert.",
+        formatters={i + 1: format_millis for i in range(len(methods))},
+    )
+    for name, per_method in data.items():
+        result.rows.append(
+            [name, *(per_method[m].avg_insert_seconds for m in methods)]
+        )
+    return result
+
+
+def fig4_deletion(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = DYNAMIC_METHODS,
+    num_vertices: Optional[int] = None,
+    num_updates: int = DEFAULT_UPDATES,
+    seed: int = 0,
+    sweep: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 4: average vertex-deletion time per method (milliseconds).
+
+    Pass a precomputed *sweep* (from :func:`run_update_sweep`) to share
+    one measurement run with Figure 2.
+    """
+    data = sweep if sweep is not None else run_update_sweep(
+        datasets, methods, num_vertices=num_vertices,
+        num_updates=num_updates, seed=seed,
+    )
+    result = ExperimentResult(
+        name="fig4",
+        title="Figure 4: average deletion time on dynamic graphs",
+        headers=["dataset", *methods],
+        note=f"{num_updates} deletions per dataset; avg per delete.",
+        formatters={i + 1: format_millis for i in range(len(methods))},
+    )
+    for name, per_method in data.items():
+        result.rows.append(
+            [name, *(per_method[m].avg_delete_seconds for m in methods)]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — query time on dynamic graphs
+# ----------------------------------------------------------------------
+
+def fig3_query_dynamic(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = (*DYNAMIC_METHODS, "BFS"),
+    num_vertices: Optional[int] = None,
+    num_queries: int = DEFAULT_QUERIES,
+    num_updates: int = DEFAULT_UPDATES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 3: total query time after a churn of updates (milliseconds).
+
+    Each index first absorbs the delete/re-insert workload (so methods
+    whose quality decays under updates — Dagger — show it, as in the
+    paper), then answers the query batch.
+    """
+    result = ExperimentResult(
+        name="fig3",
+        title="Figure 3: total query time on dynamic graphs",
+        headers=["dataset", *methods],
+        note=(
+            f"{num_queries} topo-aware queries after {num_updates} "
+            "delete+reinsert operations; totals."
+        ),
+        formatters={i + 1: format_millis for i in range(len(methods))},
+    )
+    for name in _dataset_list(datasets):
+        graph = ds.load(name, num_vertices=num_vertices, seed=seed)
+        queries = generate_queries(graph, num_queries, seed=seed + 2)
+        updates = generate_updates(graph, num_updates, seed=seed + 1)
+        row: list = [name]
+        for method in methods:
+            index = build_method(method, graph)
+            measure_updates(index, graph, updates)
+            row.append(measure_queries(index, queries))
+        result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 5–7 — static line-up
+# ----------------------------------------------------------------------
+
+def run_static_sweep(
+    datasets: Optional[Sequence[str]] = None,
+    methods: Sequence[str] = STATIC_METHODS,
+    *,
+    num_vertices: Optional[int] = None,
+    num_queries: int = DEFAULT_QUERIES,
+    seed: int = 0,
+) -> dict[str, dict[str, tuple[float, int, float]]]:
+    """Shared runner behind Figures 5–7: per (dataset, method) a tuple of
+    (build seconds, index bytes, query-batch seconds)."""
+    out: dict[str, dict[str, tuple[float, int, float]]] = {}
+    for name in _dataset_list(datasets):
+        graph = ds.load(name, num_vertices=num_vertices, seed=seed)
+        queries = generate_queries(graph, num_queries, seed=seed + 2)
+        per_method: dict[str, tuple[float, int, float]] = {}
+        for method in methods:
+            built = measure_build(method, graph)
+            query_s = measure_queries(built.index, queries)
+            per_method[method] = (built.build_seconds, built.index_bytes, query_s)
+        out[name] = per_method
+    return out
+
+
+def fig5_index_size(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = STATIC_METHODS,
+    num_vertices: Optional[int] = None,
+    seed: int = 0,
+    sweep: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 5: index size in bytes, static line-up.
+
+    Pass a precomputed *sweep* (from :func:`run_static_sweep`) to share
+    one measurement run with Figures 6 and 7.
+    """
+    result = ExperimentResult(
+        name="fig5",
+        title="Figure 5: index sizes on static graphs",
+        headers=["dataset", *methods],
+        note="4 bytes per label for TOL methods; interval arrays for Dagger.",
+        formatters={i + 1: format_bytes for i in range(len(methods))},
+    )
+    if sweep is not None:
+        for name, per_method in sweep.items():
+            result.rows.append([name, *(per_method[m][1] for m in methods)])
+        return result
+    for name in _dataset_list(datasets):
+        graph = ds.load(name, num_vertices=num_vertices, seed=seed)
+        row: list = [name]
+        for method in methods:
+            row.append(build_method(method, graph).size_bytes())
+        result.rows.append(row)
+    return result
+
+
+def fig6_preprocessing(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = STATIC_METHODS,
+    num_vertices: Optional[int] = None,
+    seed: int = 0,
+    sweep: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 6: preprocessing (index construction) time, static line-up.
+
+    Pass a precomputed *sweep* (from :func:`run_static_sweep`) to share
+    one measurement run with Figures 5 and 7.
+    """
+    result = ExperimentResult(
+        name="fig6",
+        title="Figure 6: preprocessing time on static graphs",
+        headers=["dataset", *methods],
+        formatters={i + 1: format_seconds for i in range(len(methods))},
+    )
+    if sweep is not None:
+        for name, per_method in sweep.items():
+            result.rows.append([name, *(per_method[m][0] for m in methods)])
+        return result
+    for name in _dataset_list(datasets):
+        graph = ds.load(name, num_vertices=num_vertices, seed=seed)
+        row: list = [name]
+        for method in methods:
+            row.append(measure_build(method, graph).build_seconds)
+        result.rows.append(row)
+    return result
+
+
+def fig7_query_static(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = STATIC_METHODS,
+    num_vertices: Optional[int] = None,
+    num_queries: int = DEFAULT_QUERIES,
+    seed: int = 0,
+    sweep: Optional[dict] = None,
+) -> ExperimentResult:
+    """Figure 7: total query time on static graphs (milliseconds).
+
+    Pass a precomputed *sweep* (from :func:`run_static_sweep`) to share
+    one measurement run with Figures 5 and 6.
+    """
+    data = sweep if sweep is not None else run_static_sweep(
+        datasets, methods, num_vertices=num_vertices,
+        num_queries=num_queries, seed=seed,
+    )
+    result = ExperimentResult(
+        name="fig7",
+        title="Figure 7: total query time on static graphs",
+        headers=["dataset", *methods],
+        note=f"{num_queries} topo-aware queries; totals.",
+        formatters={i + 1: format_millis for i in range(len(methods))},
+    )
+    for name, per_method in data.items():
+        result.rows.append([name, *(per_method[m][2] for m in methods)])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 4 — label reduction
+# ----------------------------------------------------------------------
+
+def table4_label_reduction(
+    datasets: Optional[Sequence[str]] = None,
+    *,
+    methods: Sequence[str] = ("DL", "TF"),
+    num_vertices: Optional[int] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Table 4: ΔL, ΔL/|L| and reduction time for DL- and TF-built indices.
+
+    Builds each index under its native order, runs one Section-6 reduction
+    sweep (delete + optimally re-insert every vertex) and reports the
+    label-size savings exactly as Table 4 does.
+    """
+    order_of = {"DL": "degree", "TF": "topological", "HL": "hierarchical"}
+    headers = ["dataset"]
+    for m in methods:
+        headers += [f"{m} ΔL", f"{m} ΔL/|L|", f"{m} time"]
+    result = ExperimentResult(
+        name="table4",
+        title="Table 4: performance of label reduction",
+        headers=headers,
+        note="One reduction round (every vertex deleted and optimally re-inserted).",
+    )
+    fmt = {}
+    for i, _m in enumerate(methods):
+        fmt[1 + 3 * i] = format_bytes
+        fmt[2 + 3 * i] = format_ratio
+        fmt[3 + 3 * i] = format_seconds
+    result.formatters = fmt
+
+    for name in _dataset_list(datasets):
+        graph = ds.load(name, num_vertices=num_vertices, seed=seed)
+        row: list = [name]
+        for method in methods:
+            index = TOLIndex.build(graph, order=order_of[method])
+            start = time.perf_counter()
+            report = index.reduce_labels(max_rounds=1)
+            elapsed = time.perf_counter() - start
+            row += [report.reduction * 4, report.reduction_ratio, elapsed]
+        result.rows.append(row)
+    return result
+
+
+#: Registry used by the examples' run-everything script.
+ALL_EXPERIMENTS = {
+    "table3": table3_datasets,
+    "fig2": fig2_insertion,
+    "fig3": fig3_query_dynamic,
+    "fig4": fig4_deletion,
+    "fig5": fig5_index_size,
+    "fig6": fig6_preprocessing,
+    "fig7": fig7_query_static,
+    "table4": table4_label_reduction,
+}

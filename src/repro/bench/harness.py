@@ -1,0 +1,248 @@
+"""Method registry and measurement loops shared by all experiments.
+
+Every reachability method — the paper's BU/BL, the static competitors, the
+dynamic competitor Dagger and the index-free baselines — is exposed behind
+one tiny protocol (``query``, ``insert_vertex``, ``delete_vertex``,
+``size_bytes``), so the experiment drivers in
+:mod:`repro.bench.experiments` can sweep methods uniformly.
+
+Timings use :func:`time.perf_counter`.  Where the paper reports totals
+(query time over the whole batch) we total; where it reports averages
+(per-insertion / per-deletion time) we average — matching Figures 2–4 and
+6–7 row for row.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..baselines.dagger import DaggerIndex
+from ..baselines.grail import GrailIndex
+from ..baselines.search import BFSBaseline, DFSBaseline
+from ..baselines.tree_cover import TreeCoverIndex
+from ..core.index import ReachabilityIndex, TOLIndex
+from ..errors import WorkloadError
+from ..graph.digraph import DiGraph
+from .workloads import QueryWorkload, UpdateWorkload
+
+__all__ = [
+    "MethodSpec",
+    "METHODS",
+    "DYNAMIC_METHODS",
+    "STATIC_METHODS",
+    "build_method",
+    "BuildResult",
+    "measure_build",
+    "measure_queries",
+    "measure_updates",
+    "UpdateTimings",
+]
+
+Vertex = Hashable
+
+
+class _TOLAdapter:
+    """A TOL method tagged with a paper name for reporting.
+
+    Wraps :class:`ReachabilityIndex` — the full system including the SCC
+    condensation — so the measured update costs are the honest end-to-end
+    ones (Dagger's adapter likewise includes its SCC machinery) and
+    cycle-creating trace operations are handled rather than rejected.
+    """
+
+    def __init__(self, name: str, order: str, graph: DiGraph) -> None:
+        self.name = name
+        self._index = ReachabilityIndex(graph, order=order)
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t``."""
+        return self._index.query(s, t)
+
+    def insert_vertex(self, v, in_neighbors=(), out_neighbors=()) -> None:
+        """Insert a vertex with its edges (Algorithms 1-3 via the facade)."""
+        self._index.insert_vertex(v, in_neighbors, out_neighbors)
+
+    def delete_vertex(self, v) -> None:
+        """Delete a vertex (Algorithm 4 via the facade)."""
+        self._index.delete_vertex(v)
+
+    def insert_edge(self, tail, head) -> None:
+        """Insert an edge (SCC merges handled by the facade)."""
+        self._index.insert_edge(tail, head)
+
+    def delete_edge(self, tail, head) -> None:
+        """Delete an edge (SCC splits handled by the facade)."""
+        self._index.delete_edge(tail, head)
+
+    def size_bytes(self) -> int:
+        """Index size in bytes (4 bytes per label)."""
+        return self._index.size_bytes()
+
+    @property
+    def tol(self) -> TOLIndex:
+        """The underlying DAG-level TOL index."""
+        return self._index.tol
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """A named method: how to build it, and what it supports.
+
+    Attributes
+    ----------
+    name:
+        Paper name (``BU``, ``BL``, ``TF``, ``DL``, ``HL``, ``Dagger``,
+        ``GRAIL``, ``BFS``, ``DFS``).
+    build:
+        ``graph -> adapter``.
+    dynamic:
+        Whether the adapter supports vertex insertion/deletion.
+    """
+
+    name: str
+    build: Callable[[DiGraph], object]
+    dynamic: bool
+
+
+#: All benchmarkable methods, keyed by paper name.
+METHODS: dict[str, MethodSpec] = {
+    "BU": MethodSpec("BU", lambda g: _TOLAdapter("BU", "butterfly-u", g), True),
+    "BL": MethodSpec("BL", lambda g: _TOLAdapter("BL", "butterfly-l", g), True),
+    "TF": MethodSpec("TF", lambda g: _TOLAdapter("TF", "topological", g), True),
+    "DL": MethodSpec("DL", lambda g: _TOLAdapter("DL", "degree", g), True),
+    "HL": MethodSpec("HL", lambda g: _TOLAdapter("HL", "hierarchical", g), True),
+    "Dagger": MethodSpec("Dagger", lambda g: DaggerIndex(g), True),
+    "GRAIL": MethodSpec("GRAIL", lambda g: GrailIndex(g), False),
+    "TreeCover": MethodSpec("TreeCover", lambda g: TreeCoverIndex(g), False),
+    "BFS": MethodSpec("BFS", lambda g: BFSBaseline(g), True),
+    "DFS": MethodSpec("DFS", lambda g: DFSBaseline(g), True),
+}
+
+#: The method line-ups of the paper's dynamic (Figs. 2–4) and static
+#: (Figs. 5–7) experiments.
+DYNAMIC_METHODS: tuple[str, ...] = ("BU", "BL", "Dagger")
+STATIC_METHODS: tuple[str, ...] = ("BU", "BL", "HL", "DL", "TF", "Dagger")
+
+
+def build_method(name: str, graph: DiGraph):
+    """Instantiate the named method's index over *graph*."""
+    try:
+        spec = METHODS[name]
+    except KeyError:
+        known = ", ".join(METHODS)
+        raise WorkloadError(f"unknown method {name!r}; known: {known}") from None
+    return spec.build(graph)
+
+
+@dataclass
+class BuildResult:
+    """Preprocessing outcome: the adapter, wall time and index size."""
+
+    method: str
+    index: object
+    build_seconds: float
+    index_bytes: int
+
+
+@contextmanager
+def _gc_paused():
+    """Suspend the cyclic GC around a timed region (it fires at arbitrary
+    allocation counts and injects multi-hundred-ms spikes into one-shot
+    build timings)."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def measure_build(name: str, graph: DiGraph) -> BuildResult:
+    """Build the named method's index, timing it (Figure 6's metric)."""
+    with _gc_paused():
+        start = time.perf_counter()
+        index = build_method(name, graph)
+        elapsed = time.perf_counter() - start
+    return BuildResult(name, index, elapsed, index.size_bytes())
+
+
+def measure_queries(index, workload: QueryWorkload) -> float:
+    """Total seconds to answer the whole batch (Figures 3/7's metric)."""
+    query = index.query
+    pairs = workload.pairs
+    with _gc_paused():
+        start = time.perf_counter()
+        for s, t in pairs:
+            query(s, t)
+        return time.perf_counter() - start
+
+
+@dataclass
+class UpdateTimings:
+    """Per-operation averages over a delete-then-reinsert workload."""
+
+    avg_delete_seconds: float
+    avg_insert_seconds: float
+    operations: int
+    delete_seconds: list[float] = field(default_factory=list)
+    insert_seconds: list[float] = field(default_factory=list)
+
+
+def measure_updates(
+    index,
+    graph: DiGraph,
+    workload: UpdateWorkload,
+    *,
+    record_series: bool = False,
+) -> UpdateTimings:
+    """Run the paper's update protocol and time each operation.
+
+    Deletes ``workload.victims`` one at a time (recording each victim's
+    adjacency first), then re-inserts them in reverse order.  *graph* is a
+    scratch copy tracking current adjacency; it ends identical to its
+    input state.
+    """
+    scratch = graph.copy()
+    adjacency: dict[Vertex, tuple[tuple[Vertex, ...], tuple[Vertex, ...]]] = {}
+    delete_times: list[float] = []
+    insert_times: list[float] = []
+
+    for v in workload.victims:
+        adjacency[v] = (
+            tuple(scratch.in_neighbors(v)),
+            tuple(scratch.out_neighbors(v)),
+        )
+        scratch.remove_vertex(v)
+        start = time.perf_counter()
+        index.delete_vertex(v)
+        delete_times.append(time.perf_counter() - start)
+
+    for v in reversed(workload.victims):
+        ins, outs = adjacency[v]
+        # Only wire edges whose other endpoint currently exists; the rest
+        # reappear when their endpoint is re-inserted later.
+        live_ins = tuple(u for u in ins if u in scratch)
+        live_outs = tuple(w for w in outs if w in scratch)
+        start = time.perf_counter()
+        index.insert_vertex(v, live_ins, live_outs)
+        insert_times.append(time.perf_counter() - start)
+        scratch.add_vertex(v)
+        for u in live_ins:
+            scratch.add_edge(u, v)
+        for w in live_outs:
+            scratch.add_edge(v, w)
+
+    n = len(workload.victims)
+    return UpdateTimings(
+        avg_delete_seconds=sum(delete_times) / n,
+        avg_insert_seconds=sum(insert_times) / n,
+        operations=n,
+        delete_seconds=delete_times if record_series else [],
+        insert_seconds=insert_times if record_series else [],
+    )

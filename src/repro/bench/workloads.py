@@ -1,0 +1,135 @@
+"""Query and update workload generators (Section 8, "Datasets and Queries").
+
+The paper's query workload: for each query, draw two random vertices and
+use the one with the *lower* topological rank as the source — so no query
+can be answered by the trivial rank comparison ``o(s) < o(t)`` (a rank
+filter would answer any pair where the source ranks higher).  The paper
+also reports an unconstrained variant in its technical report; both are
+available here via ``mode``.
+
+The update workload: remove ``k`` random vertices one at a time, then
+re-insert them in reverse order of removal — averaging per-operation times
+over the sequence, exactly as Figures 2 and 4 do.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..graph.dag import topological_rank
+from ..graph.digraph import DiGraph
+
+__all__ = ["QueryWorkload", "UpdateWorkload", "generate_queries", "generate_updates"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A reproducible batch of reachability queries.
+
+    Attributes
+    ----------
+    pairs:
+        ``(source, terminal)`` pairs.
+    mode:
+        ``"topo-aware"`` (the paper's default) or ``"uniform"``.
+    seed:
+        Generator seed, for provenance in reports.
+    """
+
+    pairs: tuple[tuple[Vertex, Vertex], ...]
+    mode: str
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+
+@dataclass(frozen=True)
+class UpdateWorkload:
+    """A reproducible delete-then-reinsert vertex sequence.
+
+    ``victims`` lists vertices in deletion order; the re-insertion phase
+    replays them reversed, as the paper does.
+    """
+
+    victims: tuple[Vertex, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.victims)
+
+
+def generate_queries(
+    graph: DiGraph,
+    count: int,
+    *,
+    mode: str = "topo-aware",
+    seed: int = 0,
+) -> QueryWorkload:
+    """Generate *count* reachability queries on *graph*.
+
+    Parameters
+    ----------
+    mode:
+        ``"topo-aware"`` orients every random pair so the source has the
+        lower topological rank (requires a DAG); ``"uniform"`` leaves
+        pairs as drawn.
+
+    Raises
+    ------
+    WorkloadError
+        On an empty graph, a non-positive count or an unknown mode.
+    """
+    if count <= 0:
+        raise WorkloadError(f"query count must be positive, got {count}")
+    vertices = list(graph.vertices())
+    if not vertices:
+        raise WorkloadError("cannot generate queries on an empty graph")
+    rng = random.Random(seed)
+
+    if mode == "topo-aware":
+        rank = topological_rank(graph)
+        pairs = []
+        for _ in range(count):
+            s = rng.choice(vertices)
+            t = rng.choice(vertices)
+            if rank[s] > rank[t]:
+                s, t = t, s
+            pairs.append((s, t))
+    elif mode == "uniform":
+        pairs = [
+            (rng.choice(vertices), rng.choice(vertices)) for _ in range(count)
+        ]
+    else:
+        raise WorkloadError(f"unknown query mode {mode!r}")
+    return QueryWorkload(tuple(pairs), mode, seed)
+
+
+def generate_updates(
+    graph: DiGraph, count: int, *, seed: int = 0
+) -> UpdateWorkload:
+    """Pick *count* distinct random vertices to delete (and re-insert).
+
+    Raises
+    ------
+    WorkloadError
+        If *count* exceeds the number of vertices or is non-positive.
+    """
+    if count <= 0:
+        raise WorkloadError(f"update count must be positive, got {count}")
+    vertices = list(graph.vertices())
+    if count > len(vertices):
+        raise WorkloadError(
+            f"cannot delete {count} vertices from a graph with "
+            f"{len(vertices)}"
+        )
+    rng = random.Random(seed)
+    return UpdateWorkload(tuple(rng.sample(vertices, count)), seed)

@@ -1,0 +1,328 @@
+"""Command-line interface: build, persist, query and update TOL indices.
+
+Usage examples::
+
+    python -m repro generate citeseerx graph.txt --vertices 2000
+    python -m repro build graph.txt index.tolx --order bu
+    python -m repro query index.tolx 17 1291 5 880
+    python -m repro update index.tolx --insert 99999 --in 17 --out 42
+    python -m repro stats index.tolx
+    python -m repro reduce index.tolx --rounds 2
+    python -m repro trace-generate graph.txt ops.trace --ops 500
+    python -m repro trace-replay graph.txt ops.trace --methods BU Dagger BFS
+    python -m repro experiments --only fig7 table4 --chart
+
+Vertex tokens that parse as integers are treated as integers (matching the
+edge-list file format); everything else stays a string.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+from typing import Optional
+
+from . import datasets
+from .bench.experiments import ALL_EXPERIMENTS
+from .core.index import TOLIndex
+from .core.orders import ORDER_STRATEGIES
+from .core.serialize import load_index, save_index
+from .core.stats import labeling_stats, top_label_holders
+from .errors import ReproError
+from .graph.io import read_edge_list, write_edge_list
+
+__all__ = ["main", "build_parser"]
+
+
+def _vertex(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _vertex_list(text: Optional[str]):
+    if not text:
+        return []
+    return [_vertex(tok) for tok in text.split(",") if tok]
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """`repro generate`: write a dataset stand-in as an edge-list file."""
+    graph = datasets.load(args.dataset, num_vertices=args.vertices, seed=args.seed)
+    write_edge_list(
+        graph, args.output,
+        header=f"dataset={args.dataset} vertices={args.vertices} seed={args.seed}",
+    )
+    print(
+        f"wrote {args.output}: |V|={graph.num_vertices} |E|={graph.num_edges} "
+        f"(stand-in for {args.dataset})"
+    )
+    return 0
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    """`repro build`: construct and save a TOL index for a graph file."""
+    graph = read_edge_list(args.graph)
+    start = time.perf_counter()
+    index = TOLIndex.build(graph, order=args.order)
+    elapsed = time.perf_counter() - start
+    save_index(index, args.index, format=args.format)
+    stats = labeling_stats(index.labeling)
+    print(f"built {args.order} index in {elapsed:.2f}s -> {args.index}")
+    print(stats.render())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """`repro query`: answer (source, target) pairs from a saved index."""
+    if len(args.vertices) % 2:
+        print("error: query vertices must come in (source, target) pairs",
+              file=sys.stderr)
+        return 2
+    index = load_index(args.index)
+    pairs = [
+        (_vertex(args.vertices[i]), _vertex(args.vertices[i + 1]))
+        for i in range(0, len(args.vertices), 2)
+    ]
+    exit_code = 0
+    for s, t in pairs:
+        try:
+            verdict = index.query(s, t)
+        except ReproError as exc:
+            print(f"{s} -> {t}: error: {exc}", file=sys.stderr)
+            exit_code = 1
+            continue
+        suffix = ""
+        if args.witness:
+            suffix = f"  (witness: {index.witness(s, t)})"
+        print(f"{s} -> {t}: {'reachable' if verdict else 'unreachable'}{suffix}")
+    return exit_code
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    """`repro update`: insert/delete vertices in a saved index, in place."""
+    index = load_index(args.index)
+    changed = False
+    if args.insert is not None:
+        vertex = _vertex(args.insert)
+        index.insert_vertex(
+            vertex,
+            in_neighbors=_vertex_list(args.in_neighbors),
+            out_neighbors=_vertex_list(args.out_neighbors),
+        )
+        print(f"inserted {vertex!r}; index size now {index.size()} labels")
+        changed = True
+    for victim in args.delete or []:
+        vertex = _vertex(victim)
+        index.delete_vertex(vertex)
+        print(f"deleted {vertex!r}; index size now {index.size()} labels")
+        changed = True
+    if not changed:
+        print("nothing to do: pass --insert and/or --delete", file=sys.stderr)
+        return 2
+    save_index(index, args.index)
+    print(f"saved {args.index}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """`repro stats`: label-distribution diagnostics of a saved index."""
+    index = load_index(args.index)
+    stats = labeling_stats(index.labeling)
+    print(f"{args.index}: |V|={index.num_vertices} |E|={index.num_edges}")
+    print(stats.render())
+    print("heaviest vertices:")
+    for v, count in top_label_holders(index.labeling, k=args.top):
+        print(f"  {v!r}: {count} labels")
+    return 0
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    """`repro reduce`: run Section-6 label reduction on a saved index."""
+    index = load_index(args.index)
+    before = index.size()
+    start = time.perf_counter()
+    report = index.reduce_labels(max_rounds=args.rounds)
+    elapsed = time.perf_counter() - start
+    save_index(index, args.index)
+    print(
+        f"reduced {before} -> {report.final_size} labels "
+        f"({report.reduction_ratio:.1%} saved, {report.vertices_moved} vertices "
+        f"moved) in {elapsed:.1f}s; saved {args.index}"
+    )
+    return 0
+
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    """`repro trace-generate`: synthesize a mutation/query trace file."""
+    from .bench.trace import generate_trace, write_trace
+
+    graph = read_edge_list(args.graph)
+    trace = generate_trace(
+        graph, args.ops, seed=args.seed, query_fraction=args.query_fraction
+    )
+    write_trace(trace, args.output)
+    print(f"wrote {args.output}: {trace.counts()}")
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    """`repro trace-replay`: replay a trace against chosen methods."""
+    from .bench.harness import METHODS, build_method
+    from .bench.trace import read_trace, replay_trace
+
+    graph = read_edge_list(args.graph)
+    trace = read_trace(args.trace)
+    reports = {}
+    for name in args.methods:
+        if name not in METHODS:
+            print(f"unknown method {name!r}; known: {', '.join(METHODS)}",
+                  file=sys.stderr)
+            return 2
+        reports[name] = replay_trace(build_method(name, graph), trace)
+
+    answers = {name: r.answers for name, r in reports.items()}
+    reference = next(iter(answers.values()))
+    agree = all(a == reference for a in answers.values())
+    print(f"replayed {len(trace)} ops ({len(reference)} queries); "
+          f"answers {'AGREE' if agree else 'DISAGREE'} across methods")
+    header = f"{'op':7s}" + "".join(f" {name:>12s}" for name in reports)
+    print(header)
+    for kind in ("addv", "delv", "adde", "dele", "query"):
+        row = f"{kind:7s}"
+        for report in reports.values():
+            row += f" {report.seconds[kind] * 1e3:10.2f}ms"
+        print(row)
+    return 0 if agree else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """`repro experiments`: print the paper's tables and figures."""
+    wanted = args.only or sorted(ALL_EXPERIMENTS)
+    for name in wanted:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: "
+                  f"{', '.join(sorted(ALL_EXPERIMENTS))}", file=sys.stderr)
+            return 2
+    for name in wanted:
+        kwargs = {}
+        if args.vertices is not None:
+            kwargs["num_vertices"] = args.vertices
+        result = ALL_EXPERIMENTS[name](**kwargs)
+        print()
+        print(result.render())
+        if args.chart:
+            from .bench.charts import render_bar_chart
+
+            print()
+            print(render_bar_chart(result))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the `repro` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TOL reachability indices for dynamic graphs (SIGMOD'14 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a dataset stand-in as an edge list")
+    p.add_argument("dataset", choices=[n for n in datasets.DATASET_NAMES])
+    p.add_argument("output")
+    p.add_argument("--vertices", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("build", help="build an index from an edge-list file")
+    p.add_argument("graph")
+    p.add_argument("index")
+    p.add_argument(
+        "--order", default="butterfly-u",
+        choices=sorted(set(ORDER_STRATEGIES)),
+    )
+    p.add_argument("--format", default="auto", choices=["auto", "binary", "json"])
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("query", help="answer reachability queries")
+    p.add_argument("index")
+    p.add_argument("vertices", nargs="+", help="source target [source target ...]")
+    p.add_argument("--witness", action="store_true", help="show one witness vertex")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("update", help="insert/delete vertices in a saved index")
+    p.add_argument("index")
+    p.add_argument("--insert", default=None, help="vertex to insert")
+    p.add_argument("--in", dest="in_neighbors", default="",
+                   help="comma-separated in-neighbors of the inserted vertex")
+    p.add_argument("--out", dest="out_neighbors", default="",
+                   help="comma-separated out-neighbors of the inserted vertex")
+    p.add_argument("--delete", action="append", default=[],
+                   help="vertex to delete (repeatable)")
+    p.set_defaults(func=cmd_update)
+
+    p = sub.add_parser("stats", help="label statistics of a saved index")
+    p.add_argument("index")
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("reduce", help="run Section-6 label reduction in place")
+    p.add_argument("index")
+    p.add_argument("--rounds", type=int, default=1)
+    p.set_defaults(func=cmd_reduce)
+
+    p = sub.add_parser("trace-generate",
+                       help="synthesize a replayable mutation/query trace")
+    p.add_argument("graph", help="edge-list file of the starting graph")
+    p.add_argument("output", help="trace file to write")
+    p.add_argument("--ops", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--query-fraction", type=float, default=0.5)
+    p.set_defaults(func=cmd_trace_generate)
+
+    p = sub.add_parser("trace-replay",
+                       help="replay a trace against one or more methods")
+    p.add_argument("graph", help="edge-list file of the starting graph")
+    p.add_argument("trace", help="trace file to replay")
+    p.add_argument("--methods", nargs="+", default=["BU", "Dagger"])
+    p.set_defaults(func=cmd_trace_replay)
+
+    p = sub.add_parser("experiments", help="print the paper's tables/figures")
+    p.add_argument("--only", nargs="*", default=None,
+                   help="subset of: " + " ".join(sorted(ALL_EXPERIMENTS)))
+    p.add_argument("--vertices", type=int, default=None,
+                   help="override every dataset's stand-in size")
+    p.add_argument("--chart", action="store_true",
+                   help="also draw each experiment as an ASCII bar chart")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

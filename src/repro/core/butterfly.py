@@ -1,0 +1,118 @@
+"""Butterfly: construct a TOL index for a given level order (Algorithm 5).
+
+The algorithm peels vertices off the DAG from the highest level down.  In
+iteration ``k`` it takes the level-``k`` vertex ``v``, finds everything it
+can still reach (``B+(v)``) and everything that can still reach it
+(``B-(v)``) in the residual graph ``G_k`` (the graph with all higher-level
+vertices already removed), and offers ``v`` as an in-label to the former and
+as an out-label to the latter, skipping any vertex ``u`` whose existing
+labels already witness the connection (``Lout(v) ∩ Lin(u) ≠ ∅``).  Lemma 5
+proves the result is exactly the TOL index of Definition 1.
+
+Two faithful variants are provided:
+
+* ``prune=False`` — Algorithm 5 verbatim: the BFS visits all of ``B+(v)`` /
+  ``B-(v)`` and the cover check only gates label *insertion*.
+* ``prune=True`` (default) — the cover check also gates BFS *expansion*,
+  PLL-style.  This is provably equivalent: if ``w ∈ Lout(v) ∩ Lin(u)``
+  then every vertex ``u'`` reached through ``u`` has ``v -> w -> u -> u'``
+  with ``l(w) < l(v)``, so ``v`` could never become a label of ``u'`` via
+  this path, and any alternative path to ``u'`` is explored separately.
+  (The symmetric argument covers the backward search.)  On label-friendly
+  orders this prunes the vast majority of the traversal and is what makes
+  construction practical; the equivalence is property-tested against both
+  the verbatim variant and the Definition-1 reference.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from ..graph.dag import ensure_dag
+from ..graph.digraph import DiGraph
+from .labeling import TOLLabeling
+from .order import LevelOrder
+
+__all__ = ["butterfly_build"]
+
+Vertex = Hashable
+
+
+def butterfly_build(
+    graph: DiGraph,
+    order: LevelOrder,
+    *,
+    prune: bool = True,
+) -> TOLLabeling:
+    """Build the TOL index of *graph* under *order* (Algorithm 5).
+
+    Parameters
+    ----------
+    graph:
+        A DAG.  Not modified (the peeling uses a "removed" set rather than
+        destroying a copy).
+    order:
+        The level order; must contain exactly the vertices of *graph*.
+    prune:
+        Use the pruned-expansion variant (see module docstring).
+
+    Returns
+    -------
+    TOLLabeling
+        The unique TOL index for ``(graph, order)``; shares *order*.
+    """
+    ensure_dag(graph)
+    if len(order) != graph.num_vertices or any(v not in order for v in graph.vertices()):
+        raise ValueError("level order must contain exactly the graph's vertices")
+
+    labeling = TOLLabeling(order)
+    removed: set[Vertex] = set()
+
+    for v in order:  # highest level first
+        _sweep(graph, labeling, v, removed, forward=True, prune=prune)
+        _sweep(graph, labeling, v, removed, forward=False, prune=prune)
+        removed.add(v)
+    return labeling
+
+
+def _sweep(
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    v: Vertex,
+    removed: set[Vertex],
+    *,
+    forward: bool,
+    prune: bool,
+) -> None:
+    """One direction of iteration k: label B+(v) (forward) or B-(v)."""
+    if forward:
+        neighbors = graph.iter_out
+        my_labels = labeling.label_out[v]  # Lout(v), complete at this point
+        their_labels = labeling.label_in  # Lin(u) for the check
+        add_label = labeling.add_in_label  # v joins Lin(u)
+    else:
+        neighbors = graph.iter_in
+        my_labels = labeling.label_in[v]  # Lin(v), complete at this point
+        their_labels = labeling.label_out
+        add_label = labeling.add_out_label
+
+    seen: set[Vertex] = {v}
+    queue: deque[Vertex] = deque([v])
+    while queue:
+        x = queue.popleft()
+        for u in neighbors(x):
+            if u in seen or u in removed:
+                continue
+            seen.add(u)
+            covered = _intersects(my_labels, their_labels[u])
+            if not covered:
+                add_label(u, v)
+            if covered and prune:
+                continue
+            queue.append(u)
+
+
+def _intersects(a: set, b: set) -> bool:
+    # set.isdisjoint runs in C and short-circuits on the first witness.
+    return not a.isdisjoint(b)

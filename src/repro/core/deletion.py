@@ -1,0 +1,225 @@
+"""Vertex deletion for TOL indices (Section 5.2, Algorithm 4).
+
+Deleting vertex ``v`` can only invalidate labels that depended on paths
+through ``v``: the in-labels of vertices ``v`` could reach (``B+(v)``) and
+the out-labels of vertices that could reach ``v`` (``B-(v)``).  Algorithm 4
+therefore:
+
+1. strips ``v`` itself from every label set (via the inverted lists),
+2. rebuilds ``Lin(u)`` for every ``u ∈ B+(v)`` in ascending topological
+   order — each rebuild merges the (already-rebuilt) in-labels of ``u``'s
+   surviving in-neighbors into a candidate set and re-filters it by the
+   Level and Path constraints, pruning labels elsewhere that each accepted
+   label makes redundant,
+3. does the mirror-image rebuild of ``Lout(u)`` for ``u ∈ B-(v)`` in
+   descending topological order.
+
+The topological orders needed in steps 2–3 are computed locally on the
+affected sets (a Kahn pass over each induced subgraph), so small deletions
+stay cheap.
+
+Stale-witness correction
+------------------------
+Algorithm 4 as printed has a subtle soundness gap: while rebuilding
+``Lin(u)`` in step 2, the Path-Constraint check consults ``Lout(w)`` of
+candidate labels ``w``, but for ``w ∈ B-(v)`` that set is rebuilt only in
+step 3 and may still contain a *stale* witness ``x`` — one whose every
+``w ⇝ x`` path ran through the deleted ``v``.  Trusting it makes the check
+reject ``w`` even though nothing covers the pair anymore, leaving a
+reachable pair without a witness.  We therefore re-verify a claimed witness
+``x`` with a graph search whenever (and only when) ``w ∈ B-(v)`` and
+``x ∈ B+(v)`` — the only combination that can be stale.  Step 3 needs no
+such guard: it runs after step 2, so every ``Lin`` set it consults is
+already rebuilt.  The guard is exercised directly by a regression test
+(``tests/core/test_deletion.py``) that constructs the pathological graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from ..errors import IndexStateError
+from ..graph.digraph import DiGraph
+from ..graph.traversal import (
+    backward_reachable,
+    bidirectional_reachable,
+    forward_reachable,
+)
+from .labeling import TOLLabeling
+
+__all__ = ["delete_vertex"]
+
+Vertex = Hashable
+
+
+def delete_vertex(graph: DiGraph, labeling: TOLLabeling, v: Vertex) -> None:
+    """Delete *v* from the index (Algorithm 4).
+
+    Parameters
+    ----------
+    graph:
+        The DAG *still containing* ``v``; this function removes ``v`` from
+        it as its final step, keeping graph and labeling in lockstep.
+    labeling:
+        The live TOL index; updated in place (order included).
+
+    Raises
+    ------
+    IndexStateError
+        If *v* is not indexed.
+    """
+    if v not in labeling:
+        raise IndexStateError(f"vertex {v!r} is not indexed")
+
+    # The affected sets must be taken while v is still present: they are
+    # exactly the vertices whose labels may have depended on paths via v.
+    affected_fwd = forward_reachable(graph, v)  # B+(v)
+    affected_bwd = backward_reachable(graph, v)  # B-(v)
+
+    graph.remove_vertex(v)
+    labeling.drop_vertex(v)  # lines 1–4: purge v from all label sets
+    labeling.order.remove(v)
+
+    for u in _local_topological(graph, affected_fwd, forward=True):
+        _rebuild_labels(
+            graph, labeling, u, incoming=True,
+            suspect_holders=affected_bwd, suspect_witnesses=affected_fwd,
+        )
+    for u in _local_topological(graph, affected_bwd, forward=False):
+        _rebuild_labels(
+            graph, labeling, u, incoming=False,
+            suspect_holders=None, suspect_witnesses=None,
+        )
+
+
+def _local_topological(
+    graph: DiGraph, members: set[Vertex], *, forward: bool
+) -> list[Vertex]:
+    """Topologically sort *members* within their induced subgraph.
+
+    ``forward=True`` yields ascending topological order (in-neighbors
+    first); ``forward=False`` yields descending (out-neighbors first) —
+    i.e. in both cases a vertex appears after the neighbors whose rebuilt
+    labels its own rebuild consumes.
+    """
+    if not members:
+        return []
+    upstream = graph.iter_in if forward else graph.iter_out
+    downstream = graph.iter_out if forward else graph.iter_in
+    pending = {
+        u: sum(1 for z in upstream(u) if z in members) for u in members
+    }
+    queue: deque[Vertex] = deque(u for u, d in pending.items() if d == 0)
+    ordered: list[Vertex] = []
+    while queue:
+        u = queue.popleft()
+        ordered.append(u)
+        for w in downstream(u):
+            if w in pending:
+                pending[w] -= 1
+                if pending[w] == 0:
+                    queue.append(w)
+    if len(ordered) != len(members):
+        raise IndexStateError("affected region is not acyclic")
+    return ordered
+
+
+def _rebuild_labels(
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    u: Vertex,
+    *,
+    incoming: bool,
+    suspect_holders: set[Vertex] | None,
+    suspect_witnesses: set[Vertex] | None,
+) -> None:
+    """Rebuild ``Lin(u)`` (incoming) or ``Lout(u)`` from neighbor labels.
+
+    Algorithm 4, lines 7–17 (and their mirrored repetition): the candidate
+    set is the union of each surviving neighbor ``z``'s rebuilt label set
+    plus ``z`` itself (Section 5.2 proves this is a superset of the true
+    label set); candidates are re-admitted from the highest level down
+    under the Level and Path constraints.  Each admitted label ``w`` then
+    invalidates ``u`` as a label of any vertex that holds ``w`` on the
+    other side (the path now runs through the higher-level ``w``).
+
+    *suspect_holders* / *suspect_witnesses* implement the stale-witness
+    correction (module docstring): a coverage claim ``x ∈ cover(w)`` with
+    ``w ∈ suspect_holders`` and ``x ∈ suspect_witnesses`` is confirmed with
+    a bidirectional search before being trusted.
+    """
+    order = labeling.order
+    if incoming:
+        neighbors = graph.iter_in(u)
+        their_labels = labeling.label_in
+        cover_labels = labeling.label_out
+        inv_other = labeling.inv_out
+        add = labeling.add_in_label
+        clear = labeling.clear_in_labels
+        remove_mirror = labeling.remove_out_label
+    else:
+        neighbors = graph.iter_out(u)
+        their_labels = labeling.label_out
+        cover_labels = labeling.label_in
+        inv_other = labeling.inv_in
+        add = labeling.add_out_label
+        clear = labeling.clear_out_labels
+        remove_mirror = labeling.remove_in_label
+
+    candidates: set[Vertex] = set()
+    for z in neighbors:
+        candidates.add(z)
+        candidates |= their_labels[z]
+    clear(u)
+    own = their_labels[u]
+    for w in sorted(candidates, key=order.key):
+        if not order.higher(w, u):
+            continue  # Level Constraint
+        if _covered(
+            graph, cover_labels[w], own, w,
+            incoming=incoming,
+            suspect=suspect_holders is not None and w in suspect_holders,
+            suspect_witnesses=suspect_witnesses,
+        ):
+            continue  # Path Constraint: covered by a higher label
+        add(u, w)
+        # Prune: any s holding w on the opposite side connects to u
+        # through w, so u may no longer label s.  The affected s are
+        # exactly inv_other[w] ∩ inv_other[u]; iterate the smaller side.
+        holders_w = inv_other[w]
+        holders_u = inv_other[u]
+        if holders_u and holders_w:
+            if len(holders_u) <= len(holders_w):
+                doomed = [s for s in holders_u if s in holders_w]
+            else:
+                doomed = [s for s in holders_w if s in holders_u]
+            for s in doomed:
+                remove_mirror(s, u)
+
+
+def _covered(
+    graph: DiGraph,
+    cover: set[Vertex],
+    own: set[Vertex],
+    w: Vertex,
+    *,
+    incoming: bool,
+    suspect: bool,
+    suspect_witnesses: set[Vertex] | None,
+) -> bool:
+    """Does some already-admitted label witness coverage of candidate *w*?"""
+    small, large = (cover, own) if len(cover) <= len(own) else (own, cover)
+    if not suspect:
+        return any(x in large for x in small)
+    for x in small:
+        if x not in large:
+            continue
+        if suspect_witnesses is not None and x in suspect_witnesses:
+            # w's label set may predate the deletion; confirm the w -> x
+            # (resp. x -> w) leg still exists before trusting the witness.
+            src, dst = (w, x) if incoming else (x, w)
+            if not bidirectional_reachable(graph, src, dst):
+                continue
+        return True
+    return False

@@ -1,0 +1,259 @@
+"""The Total Order Labeling state: label sets, inverted indices, queries.
+
+:class:`TOLLabeling` holds, for every vertex ``v`` of a DAG:
+
+* the in-label set ``Lin(v)`` and out-label set ``Lout(v)`` of Definition 1,
+* the inverted lists ``Iin(u) = {w : u in Lin(w)}`` and
+  ``Iout(u) = {w : u in Lout(w)}`` (Equations 3–4), kept in sync with every
+  label mutation — the update algorithms of Section 5 rely on them to find
+  all label sets affected by a vertex in time proportional to their number,
+
+plus the :class:`~repro.core.order.LevelOrder` that parameterizes the index.
+
+Queries are answered with the witness set of Equation 1:
+
+    ``W(s, t) = (Lout(s) ∪ {s}) ∩ (Lin(t) ∪ {t})``
+
+returning ``True`` iff it is non-empty (Lemma 1).
+
+This class is deliberately *just* the data structure: construction
+(:mod:`repro.core.butterfly`), insertion (:mod:`repro.core.insertion`),
+deletion (:mod:`repro.core.deletion`) and reduction
+(:mod:`repro.core.reduction`) are separate modules operating on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import Optional
+
+from ..errors import IndexStateError
+from .order import LevelOrder
+
+__all__ = ["TOLLabeling"]
+
+Vertex = Hashable
+
+#: Bytes one label entry occupies in the paper's C++ implementation
+#: (a 32-bit vertex id); used to report index sizes in bytes as Figure 5
+#: does.
+BYTES_PER_LABEL = 4
+
+
+class TOLLabeling:
+    """Label sets and inverted indices of a TOL index over a DAG.
+
+    Parameters
+    ----------
+    order:
+        The level order.  Every vertex registered in the labeling must be
+        present in the order (and vice versa for labels to make sense).
+    """
+
+    __slots__ = ("order", "label_in", "label_out", "inv_in", "inv_out")
+
+    def __init__(self, order: LevelOrder) -> None:
+        self.order = order
+        self.label_in: dict[Vertex, set[Vertex]] = {}
+        self.label_out: dict[Vertex, set[Vertex]] = {}
+        self.inv_in: dict[Vertex, set[Vertex]] = {}
+        self.inv_out: dict[Vertex, set[Vertex]] = {}
+        for v in order:
+            self._register(v)
+
+    # ------------------------------------------------------------------
+    # Vertex registry
+    # ------------------------------------------------------------------
+
+    def _register(self, v: Vertex) -> None:
+        self.label_in[v] = set()
+        self.label_out[v] = set()
+        self.inv_in[v] = set()
+        self.inv_out[v] = set()
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Register *v* with empty label sets (order must already hold it)."""
+        if v in self.label_in:
+            raise IndexStateError(f"vertex {v!r} already registered")
+        if v not in self.order:
+            raise IndexStateError(f"vertex {v!r} missing from the level order")
+        self._register(v)
+
+    def drop_vertex(self, v: Vertex) -> None:
+        """Unregister *v*: strip it from every label set, then forget it.
+
+        The caller removes *v* from the level order separately.
+        """
+        for w in tuple(self.inv_in[v]):
+            self.remove_in_label(w, v)
+        for w in tuple(self.inv_out[v]):
+            self.remove_out_label(w, v)
+        for u in tuple(self.label_in[v]):
+            self.remove_in_label(v, u)
+        for u in tuple(self.label_out[v]):
+            self.remove_out_label(v, u)
+        del self.label_in[v]
+        del self.label_out[v]
+        del self.inv_in[v]
+        del self.inv_out[v]
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self.label_in
+
+    def vertices(self) -> Iterable[Vertex]:
+        """Iterate over all registered vertices."""
+        return self.label_in.keys()
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of registered vertices."""
+        return len(self.label_in)
+
+    # ------------------------------------------------------------------
+    # Label mutation (inverted lists stay in sync)
+    # ------------------------------------------------------------------
+
+    def add_in_label(self, v: Vertex, u: Vertex) -> None:
+        """Insert *u* into ``Lin(v)``."""
+        self.label_in[v].add(u)
+        self.inv_in[u].add(v)
+
+    def add_out_label(self, v: Vertex, u: Vertex) -> None:
+        """Insert *u* into ``Lout(v)``."""
+        self.label_out[v].add(u)
+        self.inv_out[u].add(v)
+
+    def remove_in_label(self, v: Vertex, u: Vertex) -> None:
+        """Remove *u* from ``Lin(v)``."""
+        self.label_in[v].remove(u)
+        self.inv_in[u].remove(v)
+
+    def remove_out_label(self, v: Vertex, u: Vertex) -> None:
+        """Remove *u* from ``Lout(v)``."""
+        self.label_out[v].remove(u)
+        self.inv_out[u].remove(v)
+
+    def discard_in_label(self, v: Vertex, u: Vertex) -> bool:
+        """Remove *u* from ``Lin(v)`` if present; report whether it was."""
+        if u in self.label_in[v]:
+            self.remove_in_label(v, u)
+            return True
+        return False
+
+    def discard_out_label(self, v: Vertex, u: Vertex) -> bool:
+        """Remove *u* from ``Lout(v)`` if present; report whether it was."""
+        if u in self.label_out[v]:
+            self.remove_out_label(v, u)
+            return True
+        return False
+
+    def clear_in_labels(self, v: Vertex) -> None:
+        """Empty ``Lin(v)`` (inverted lists updated)."""
+        for u in tuple(self.label_in[v]):
+            self.remove_in_label(v, u)
+
+    def clear_out_labels(self, v: Vertex) -> None:
+        """Empty ``Lout(v)`` (inverted lists updated)."""
+        for u in tuple(self.label_out[v]):
+            self.remove_out_label(v, u)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer the reachability query ``s -> t`` (Equation 1 / Lemma 1)."""
+        if s == t:
+            if s not in self.label_in:
+                raise IndexStateError(f"vertex {s!r} is not indexed")
+            return True
+        try:
+            out_s = self.label_out[s]
+            in_t = self.label_in[t]
+        except KeyError as missing:
+            raise IndexStateError(
+                f"vertex {missing.args[0]!r} is not indexed"
+            ) from None
+        if t in out_s or s in in_t:
+            return True
+        if len(out_s) > len(in_t):
+            out_s, in_t = in_t, out_s
+        return any(w in in_t for w in out_s)
+
+    def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
+        """Return one element of ``W(s, t)``, or ``None`` if unreachable."""
+        if s == t:
+            return s
+        out_s = self.label_out[s]
+        in_t = self.label_in[t]
+        if t in out_s:
+            return t
+        if s in in_t:
+            return s
+        small, large = (out_s, in_t) if len(out_s) <= len(in_t) else (in_t, out_s)
+        for w in small:
+            if w in large:
+                return w
+        return None
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def size(self) -> int:
+        """Total number of labels, ``|L| = Σ_v |Lin(v)| + |Lout(v)|``."""
+        return sum(len(s) for s in self.label_in.values()) + sum(
+            len(s) for s in self.label_out.values()
+        )
+
+    def size_bytes(self, bytes_per_label: int = BYTES_PER_LABEL) -> int:
+        """Index size in bytes, as reported by the paper's Figure 5."""
+        return self.size() * bytes_per_label
+
+    def label_count(self, v: Vertex) -> int:
+        """``|Lin(v)| + |Lout(v)|`` for one vertex."""
+        return len(self.label_in[v]) + len(self.label_out[v])
+
+    # ------------------------------------------------------------------
+    # Copying and comparison
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[Vertex, tuple[frozenset, frozenset]]:
+        """Return an immutable ``{v: (Lin(v), Lout(v))}`` view for tests."""
+        return {
+            v: (frozenset(self.label_in[v]), frozenset(self.label_out[v]))
+            for v in self.label_in
+        }
+
+    def equals_labels(self, other: "TOLLabeling") -> bool:
+        """Compare label sets only (ignores order object identity)."""
+        return self.snapshot() == other.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(vertices={self.num_vertices}, "
+            f"labels={self.size()})"
+        )
+
+    def check_invariants(self) -> None:
+        """Validate inverted-list consistency and level constraints (tests)."""
+        assert (
+            self.label_in.keys()
+            == self.label_out.keys()
+            == self.inv_in.keys()
+            == self.inv_out.keys()
+        )
+        for v, labels in self.label_in.items():
+            for u in labels:
+                assert v in self.inv_in[u], (v, u)
+                assert self.order.higher(u, v), f"level constraint: {u} in Lin({v})"
+        for v, labels in self.label_out.items():
+            for u in labels:
+                assert v in self.inv_out[u], (v, u)
+                assert self.order.higher(u, v), f"level constraint: {u} in Lout({v})"
+        for u, holders in self.inv_in.items():
+            for w in holders:
+                assert u in self.label_in[w], (u, w)
+        for u, holders in self.inv_out.items():
+            for w in holders:
+                assert u in self.label_out[w], (u, w)

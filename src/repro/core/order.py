@@ -1,0 +1,240 @@
+"""Order maintenance for dynamic level orders.
+
+A TOL index is parameterized by a *level order* — a strict total order on
+the vertices (Section 4).  The update algorithms of Section 5 must insert a
+new vertex at an arbitrary position in that order (Algorithm 3 picks the
+size-minimizing position) and delete vertices, all **without renumbering the
+other vertices**: the whole point of the paper's update scheme is that the
+relative order of surviving vertices never changes.
+
+Storing ranks as dense integers would make a mid-order insertion O(|V|).
+:class:`LevelOrder` instead solves the classic *order-maintenance* problem
+with the list-labeling technique: every item carries a 63-bit integer tag;
+comparisons compare tags in O(1); insertion places the new tag midway
+between its neighbors' tags, and when a gap is exhausted the structure
+relabels all items evenly (amortized O(log n) per insertion for the access
+patterns this library produces, and always correct).
+
+A doubly-linked list threaded through the items supports ordered iteration
+and O(1) neighbor lookup, which Algorithm 3 needs to express "insert v
+immediately above u".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Optional
+
+from ..errors import OrderError
+
+__all__ = ["LevelOrder"]
+
+Item = Hashable
+
+_TAG_SPAN = 1 << 62  # tags live in (0, _TAG_SPAN); plenty of headroom
+
+
+class _Node:
+    __slots__ = ("item", "tag", "prev", "next")
+
+    def __init__(self, item: Item, tag: int) -> None:
+        self.item = item
+        self.tag = tag
+        self.prev: Optional[_Node] = None
+        self.next: Optional[_Node] = None
+
+
+class LevelOrder:
+    """A dynamic strict total order over hashable items.
+
+    Convention (matching the paper): item ``a`` has a *higher level* than
+    ``b`` when ``a`` precedes ``b`` in this order; "first" therefore means
+    "highest level" (``l(v) = 1`` in the paper's 1-based rank notation).
+
+    Examples
+    --------
+    >>> order = LevelOrder(["a", "b", "c"])
+    >>> order.higher("a", "c")
+    True
+    >>> order.insert_before("x", "b")
+    >>> list(order)
+    ['a', 'x', 'b', 'c']
+    >>> order.remove("b")
+    >>> list(order)
+    ['a', 'x', 'c']
+    >>> order.rank("c")
+    3
+    """
+
+    def __init__(self, items: Iterable[Item] = ()) -> None:
+        self._nodes: dict[Item, _Node] = {}
+        self._head: Optional[_Node] = None
+        self._tail: Optional[_Node] = None
+        self._relabel_count = 0
+        for item in items:
+            self.insert_last(item)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._nodes
+
+    def __iter__(self) -> Iterator[Item]:
+        """Iterate items from highest level (first) to lowest (last)."""
+        node = self._head
+        while node is not None:
+            yield node.item
+            node = node.next
+
+    def key(self, item: Item) -> int:
+        """Return an integer sort key: smaller key == higher level.
+
+        Keys are only meaningful relative to one another and are invalidated
+        by subsequent insertions (a relabel may change them); use them for
+        immediate sorting, not for storage.
+        """
+        return self._node(item).tag
+
+    def higher(self, a: Item, b: Item) -> bool:
+        """Return ``True`` iff *a* has a strictly higher level than *b*."""
+        return self._node(a).tag < self._node(b).tag
+
+    def rank(self, item: Item) -> int:
+        """Return the 1-based rank of *item* (1 == highest level).  O(n)."""
+        target = self._node(item)
+        position = 1
+        node = self._head
+        while node is not None and node is not target:
+            position += 1
+            node = node.next
+        return position
+
+    def first(self) -> Item:
+        """Return the highest-level item."""
+        if self._head is None:
+            raise OrderError("order is empty")
+        return self._head.item
+
+    def last(self) -> Item:
+        """Return the lowest-level item."""
+        if self._tail is None:
+            raise OrderError("order is empty")
+        return self._tail.item
+
+    def predecessor(self, item: Item) -> Optional[Item]:
+        """Return the item immediately above *item*, or ``None``."""
+        node = self._node(item).prev
+        return None if node is None else node.item
+
+    def successor(self, item: Item) -> Optional[Item]:
+        """Return the item immediately below *item*, or ``None``."""
+        node = self._node(item).next
+        return None if node is None else node.item
+
+    @property
+    def relabel_count(self) -> int:
+        """Number of global relabels performed (observability for tests)."""
+        return self._relabel_count
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert_first(self, item: Item) -> None:
+        """Insert *item* as the new highest-level element."""
+        self._insert(item, before=self._head)
+
+    def insert_last(self, item: Item) -> None:
+        """Insert *item* as the new lowest-level element."""
+        self._insert(item, before=None)
+
+    def insert_before(self, item: Item, reference: Item) -> None:
+        """Insert *item* immediately above *reference* (one level higher)."""
+        self._insert(item, before=self._node(reference))
+
+    def insert_after(self, item: Item, reference: Item) -> None:
+        """Insert *item* immediately below *reference* (one level lower)."""
+        self._insert(item, before=self._node(reference).next)
+
+    def remove(self, item: Item) -> None:
+        """Remove *item* from the order."""
+        node = self._node(item)
+        if node.prev is None:
+            self._head = node.next
+        else:
+            node.prev.next = node.next
+        if node.next is None:
+            self._tail = node.prev
+        else:
+            node.next.prev = node.prev
+        del self._nodes[item]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _node(self, item: Item) -> _Node:
+        try:
+            return self._nodes[item]
+        except KeyError:
+            raise OrderError(f"item {item!r} is not in the order") from None
+
+    def _insert(self, item: Item, before: Optional[_Node]) -> None:
+        if item in self._nodes:
+            raise OrderError(f"item {item!r} is already in the order")
+        after = self._tail if before is None else before.prev
+        low = 0 if after is None else after.tag
+        high = _TAG_SPAN if before is None else before.tag
+        if high - low < 2:
+            self._relabel()
+            low = 0 if after is None else after.tag
+            high = _TAG_SPAN if before is None else before.tag
+        node = _Node(item, (low + high) // 2)
+        node.prev = after
+        node.next = before
+        if after is None:
+            self._head = node
+        else:
+            after.next = node
+        if before is None:
+            self._tail = node
+        else:
+            before.prev = node
+        self._nodes[item] = node
+
+    def _relabel(self) -> None:
+        """Spread all tags evenly across the tag space."""
+        self._relabel_count += 1
+        count = len(self._nodes)
+        step = _TAG_SPAN // (count + 1)
+        if step < 2:
+            raise OrderError(
+                f"order capacity exceeded: cannot hold {count + 1} items"
+            )
+        tag = step
+        node = self._head
+        while node is not None:
+            node.tag = tag
+            tag += step
+            node = node.next
+
+    def check_invariants(self) -> None:
+        """Validate linkage and tag monotonicity (for tests)."""
+        seen = 0
+        prev: Optional[_Node] = None
+        node = self._head
+        while node is not None:
+            assert node.prev is prev
+            if prev is not None:
+                assert prev.tag < node.tag
+            assert self._nodes[node.item] is node
+            prev = node
+            node = node.next
+            seen += 1
+        assert prev is self._tail
+        assert seen == len(self._nodes)

@@ -1,0 +1,246 @@
+"""Level-order strategies (Section 7.1 plus the existing instantiations).
+
+A level order decides everything about a TOL index — size, build time and
+query time (Section 4) — so this module is where the quality differences
+between TF-Label, DL/PLL, HL and the paper's Butterfly variants come from:
+
+* :func:`topological_order_strategy` — TF-Label's order: the topological
+  rank ``o`` used directly as the level order (ties broken by vertex id).
+* :func:`degree_order_strategy` — DL's (and, per [17], PLL's) order:
+  descending total degree.
+* :func:`hierarchical_order_strategy` — an HL-like stand-in: descending
+  ``(in_degree + 1) * (out_degree + 1)``, a "hub-ness" product that favours
+  vertices lying on many potential paths.  HL's exact hierarchy
+  construction is under-specified in [17]; see DESIGN.md §5.
+* :func:`exact_greedy_order` — the paper's "intuitive but impractical"
+  algorithm: repeatedly pick the vertex maximizing the exact score
+  ``f(v, G)`` and remove it.  O(|V| (|V|+|E|)); test/ablation use only.
+* :func:`butterfly_upper_order` (**BU**) / :func:`butterfly_lower_order`
+  (**BL**) — the paper's contribution: rank by the score function ``f``
+  evaluated on the linear-time upper-bound scores ``S⊤`` or lower-bound
+  scores ``S⊥``.
+* :func:`random_order_strategy` — ablation baseline.
+
+All strategies return a :class:`~repro.core.order.LevelOrder` whose first
+element is the *highest*-level vertex, and are deterministic (ties broken by
+``repr`` of the vertex, which is total for ints and strings used here).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Hashable
+
+from ..errors import GraphError
+from ..graph.dag import topological_order
+from ..graph.digraph import DiGraph
+from ..graph.traversal import backward_reachable, forward_reachable
+from .order import LevelOrder
+
+__all__ = [
+    "score_function",
+    "exact_scores",
+    "upper_bound_scores",
+    "lower_bound_scores",
+    "topological_order_strategy",
+    "reverse_topological_order_strategy",
+    "degree_order_strategy",
+    "hierarchical_order_strategy",
+    "random_order_strategy",
+    "butterfly_upper_order",
+    "butterfly_lower_order",
+    "exact_greedy_order",
+    "resolve_order_strategy",
+    "ORDER_STRATEGIES",
+]
+
+Vertex = Hashable
+OrderStrategy = Callable[[DiGraph], LevelOrder]
+
+
+def score_function(s_in: float, s_out: float) -> float:
+    """The paper's score ``f`` of Section 7.1.
+
+    ``f = (s_in * s_out + s_in + s_out) / (s_in + s_out)``, with the
+    pathological ``s_in + s_out == 0`` case defined as 0.  A large ``f``
+    means the vertex should be ranked above its ancestors and descendants
+    to avoid the worst-case ``s_in * s_out`` label blow-up.
+    """
+    total = s_in + s_out
+    if total == 0:
+        return 0.0
+    return (s_in * s_out + total) / total
+
+
+def exact_scores(graph: DiGraph) -> dict[Vertex, tuple[int, int]]:
+    """Exact ``(|Sin(v,G)|, |Sout(v,G)|)`` for every vertex, via BFS each.
+
+    Quadratic; used by :func:`exact_greedy_order` and tests only.
+    """
+    return {
+        v: (len(backward_reachable(graph, v)), len(forward_reachable(graph, v)))
+        for v in graph.vertices()
+    }
+
+
+def upper_bound_scores(graph: DiGraph) -> dict[Vertex, tuple[float, float]]:
+    """The linear-time upper-bound scores ``(S⊤in(v), S⊤out(v))``.
+
+    ``S⊤in(v) = Σ_{u ∈ Nin(v)} (S⊤in(u) + 1)`` (0 for sources), computed in
+    one topological sweep; ``S⊤out`` symmetrically in one reverse sweep.
+    Each counts ancestors/descendants with multiplicity (once per path), so
+    it upper-bounds the exact score.
+    """
+    order = topological_order(graph)
+    s_in: dict[Vertex, float] = {}
+    for v in order:
+        s_in[v] = sum(s_in[u] + 1.0 for u in graph.iter_in(v))
+    s_out: dict[Vertex, float] = {}
+    for v in reversed(order):
+        s_out[v] = sum(s_out[w] + 1.0 for w in graph.iter_out(v))
+    return {v: (s_in[v], s_out[v]) for v in order}
+
+
+def lower_bound_scores(graph: DiGraph) -> dict[Vertex, tuple[float, float]]:
+    """The linear-time lower-bound scores ``(S⊥in(v), S⊥out(v))``.
+
+    ``S⊥in(v) = Σ_{u ∈ Nin(v)} (S⊥in(u) + 1) / |Nout(u)|``: each ancestor's
+    mass is split evenly among its out-neighbors, so every ancestor
+    contributes at most 1 in total and the sum lower-bounds the exact
+    in-score.  The out-side divides by ``|Nin(u)|`` — the paper's printed
+    formula repeats ``|Nout(u)|``, which would not be a lower bound; we take
+    that as a typo and use the symmetric form (see DESIGN.md §5).
+    """
+    order = topological_order(graph)
+    s_in: dict[Vertex, float] = {}
+    for v in order:
+        s_in[v] = sum(
+            (s_in[u] + 1.0) / graph.out_degree(u) for u in graph.iter_in(v)
+        )
+    s_out: dict[Vertex, float] = {}
+    for v in reversed(order):
+        s_out[v] = sum(
+            (s_out[w] + 1.0) / graph.in_degree(w) for w in graph.iter_out(v)
+        )
+    return {v: (s_in[v], s_out[v]) for v in order}
+
+
+def _tie_key(v: Vertex) -> tuple[str, str]:
+    # Stable, total tie-break across mixed vertex types.
+    return (type(v).__name__, repr(v))
+
+
+def _order_by_score(
+    graph: DiGraph, scores: dict[Vertex, tuple[float, float]]
+) -> LevelOrder:
+    ranked = sorted(
+        graph.vertices(),
+        key=lambda v: (-score_function(*scores[v]), _tie_key(v)),
+    )
+    return LevelOrder(ranked)
+
+
+def butterfly_upper_order(graph: DiGraph) -> LevelOrder:
+    """BU: rank by ``f`` over the upper-bound scores ``S⊤`` (descending)."""
+    return _order_by_score(graph, upper_bound_scores(graph))
+
+
+def butterfly_lower_order(graph: DiGraph) -> LevelOrder:
+    """BL: rank by ``f`` over the lower-bound scores ``S⊥`` (descending)."""
+    return _order_by_score(graph, lower_bound_scores(graph))
+
+
+def exact_greedy_order(graph: DiGraph) -> LevelOrder:
+    """The exact greedy order: peel the max-``f`` vertex repeatedly.
+
+    This is the algorithm the paper motivates and then replaces with the
+    BU/BL approximations because recomputing scores after every removal is
+    too expensive at scale.  Kept for ablation benchmarks and tests.
+    """
+    residual = graph.copy()
+    ranked: list[Vertex] = []
+    while residual.num_vertices:
+        scores = exact_scores(residual)
+        best = min(
+            residual.vertices(),
+            key=lambda v: (-score_function(*scores[v]), _tie_key(v)),
+        )
+        ranked.append(best)
+        residual.remove_vertex(best)
+    return LevelOrder(ranked)
+
+
+def topological_order_strategy(graph: DiGraph) -> LevelOrder:
+    """TF-Label's level order: the topological rank ``o`` itself."""
+    return LevelOrder(topological_order(graph))
+
+
+def reverse_topological_order_strategy(graph: DiGraph) -> LevelOrder:
+    """Reverse topological order (sinks get the highest level)."""
+    return LevelOrder(reversed(topological_order(graph)))
+
+
+def degree_order_strategy(graph: DiGraph) -> LevelOrder:
+    """DL/PLL's level order: descending total degree."""
+    ranked = sorted(
+        graph.vertices(), key=lambda v: (-graph.degree(v), _tie_key(v))
+    )
+    return LevelOrder(ranked)
+
+
+def hierarchical_order_strategy(graph: DiGraph) -> LevelOrder:
+    """HL-like level order: descending ``(din + 1) * (dout + 1)``."""
+    ranked = sorted(
+        graph.vertices(),
+        key=lambda v: (
+            -(graph.in_degree(v) + 1) * (graph.out_degree(v) + 1),
+            _tie_key(v),
+        ),
+    )
+    return LevelOrder(ranked)
+
+
+def random_order_strategy(graph: DiGraph, *, seed: int = 0) -> LevelOrder:
+    """Uniformly random level order (ablation baseline)."""
+    ranked = sorted(graph.vertices(), key=_tie_key)
+    random.Random(seed).shuffle(ranked)
+    return LevelOrder(ranked)
+
+
+#: Registry of named strategies, as accepted by the index facades.
+ORDER_STRATEGIES: dict[str, OrderStrategy] = {
+    "butterfly-u": butterfly_upper_order,
+    "butterfly-l": butterfly_lower_order,
+    "topological": topological_order_strategy,
+    "reverse-topological": reverse_topological_order_strategy,
+    "degree": degree_order_strategy,
+    "hierarchical": hierarchical_order_strategy,
+    "exact-greedy": exact_greedy_order,
+    "random": random_order_strategy,
+    # Aliases matching the paper's method names.
+    "bu": butterfly_upper_order,
+    "bl": butterfly_lower_order,
+    "tf": topological_order_strategy,
+    "dl": degree_order_strategy,
+    "pll": degree_order_strategy,
+    "hl": hierarchical_order_strategy,
+}
+
+
+def resolve_order_strategy(strategy: str | OrderStrategy) -> OrderStrategy:
+    """Turn a strategy name or callable into a callable.
+
+    Raises
+    ------
+    GraphError
+        If *strategy* is an unknown name.
+    """
+    if callable(strategy):
+        return strategy
+    try:
+        return ORDER_STRATEGIES[strategy.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(ORDER_STRATEGIES)))
+        raise GraphError(
+            f"unknown order strategy {strategy!r}; known: {known}"
+        ) from None

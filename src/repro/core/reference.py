@@ -1,0 +1,92 @@
+"""Obviously-correct (and deliberately slow) reference TOL construction.
+
+This module builds a TOL index straight from Definition 1 of the paper,
+using materialized reachability sets.  It exists purely as a test oracle:
+:mod:`repro.core.butterfly` and the update algorithms of Section 5 are all
+validated against it on small graphs.
+
+Definition 1, restated operationally for a DAG ``G`` and level order ``l``:
+
+* ``u ∈ Lin(v)``  iff  ``u -> v``, ``l(u) < l(v)``, and **no** vertex ``w``
+  with ``l(w) < l(u)`` satisfies ``u -> w`` and ``w -> v``.
+* ``u ∈ Lout(v)`` iff  ``v -> u``, ``l(u) < l(v)``, and **no** vertex ``w``
+  with ``l(w) < l(u)`` satisfies ``v -> w`` and ``w -> u``.
+
+The path-constraint rewriting ("some simple path from u to v contains a
+higher-level vertex w" ⟺ "∃ w higher than u with u -> w and w -> v") is
+valid in DAGs because concatenating a ``u ⇝ w`` path with a ``w ⇝ v`` path
+can never revisit a vertex — a revisit would close a cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..graph.dag import topological_order
+from ..graph.digraph import DiGraph
+from .labeling import TOLLabeling
+from .order import LevelOrder
+
+__all__ = ["descendants_map", "ancestors_map", "reference_tol"]
+
+Vertex = Hashable
+
+
+def descendants_map(graph: DiGraph) -> dict[Vertex, set[Vertex]]:
+    """Return ``{v: set of vertices v can reach}`` (v excluded), for a DAG.
+
+    Computed by a reverse-topological dynamic program; O(|V|^2) space, which
+    is fine for the test-oracle graph sizes this module is meant for.
+    """
+    desc: dict[Vertex, set[Vertex]] = {}
+    for v in reversed(topological_order(graph)):
+        reach: set[Vertex] = set()
+        for w in graph.iter_out(v):
+            reach.add(w)
+            reach |= desc[w]
+        desc[v] = reach
+    return desc
+
+
+def ancestors_map(graph: DiGraph) -> dict[Vertex, set[Vertex]]:
+    """Return ``{v: set of vertices that can reach v}`` (v excluded)."""
+    anc: dict[Vertex, set[Vertex]] = {}
+    for v in topological_order(graph):
+        reach: set[Vertex] = set()
+        for u in graph.iter_in(v):
+            reach.add(u)
+            reach |= anc[u]
+        anc[v] = reach
+    return anc
+
+
+def reference_tol(graph: DiGraph, order: LevelOrder) -> TOLLabeling:
+    """Build the unique TOL index of *graph* under *order* from Definition 1.
+
+    The *order* must contain exactly the vertices of *graph*.  The returned
+    labeling shares the *order* object.
+    """
+    desc = descendants_map(graph)
+    labeling = TOLLabeling(order)
+    by_level = list(order)  # highest level first
+    level_pos = {v: i for i, v in enumerate(by_level)}
+
+    for v in graph.vertices():
+        higher_than_v = by_level[: level_pos[v]]
+        for u in higher_than_v:
+            if v in desc[u]:  # u -> v: candidate for Lin(v)
+                # Path constraint: no w higher than u with u -> w -> v.
+                covered = any(
+                    w in desc[u] and v in desc[w]
+                    for w in by_level[: level_pos[u]]
+                )
+                if not covered:
+                    labeling.add_in_label(v, u)
+            if u in desc[v]:  # v -> u: candidate for Lout(v)
+                covered = any(
+                    w in desc[v] and u in desc[w]
+                    for w in by_level[: level_pos[u]]
+                )
+                if not covered:
+                    labeling.add_out_label(v, u)
+    return labeling

@@ -1,0 +1,269 @@
+"""Persisting TOL indices: save a built index, load it without rebuilding.
+
+The paper's preprocessing is the expensive phase (Figure 6); a production
+deployment builds once and serves queries from many processes, so the index
+must round-trip through disk.  Two formats:
+
+* **binary** (``.tolx``, default) — a compact custom format: a header, the
+  vertex table, the level order as ranks, and delta-coded label arrays.
+  Integer vertex ids are stored natively; other hashable vertices go
+  through their JSON representation in the vertex table.
+* **json** (``.json``) — a transparent, diff-able format for debugging and
+  interchange.
+
+Both formats store the *graph* alongside the labels: the update algorithms
+(Section 5) need adjacency, and shipping it in the same artifact keeps the
+pair consistent by construction.  Loading verifies a checksum over the
+payload and the format version.
+
+Example
+-------
+>>> import tempfile, os
+>>> from repro import TOLIndex
+>>> from repro.graph.generators import figure1_dag
+>>> index = TOLIndex.build(figure1_dag())
+>>> path = os.path.join(tempfile.mkdtemp(), "fig1.tolx")
+>>> save_index(index, path)
+>>> restored = load_index(path)
+>>> restored.query("e", "c")
+True
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from collections.abc import Hashable
+from pathlib import Path
+from typing import Union
+
+from ..errors import IndexStateError
+from ..graph.digraph import DiGraph
+from .index import TOLIndex
+from .labeling import TOLLabeling
+from .order import LevelOrder
+
+__all__ = ["save_index", "load_index", "index_to_dict", "index_from_dict"]
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"TOLX"
+_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Dict (JSON) representation
+# ----------------------------------------------------------------------
+
+def index_to_dict(index: TOLIndex) -> dict:
+    """Return a JSON-serializable representation of *index*.
+
+    Vertices must be JSON-compatible (int, str, bool, None, or nested
+    lists/tuples thereof); anything else raises :class:`IndexStateError`.
+    """
+    labeling = index.labeling
+    order = list(labeling.order)
+    position = {v: i for i, v in enumerate(order)}
+    graph = index.graph_copy()
+    try:
+        vertex_table = [json.loads(json.dumps(v)) for v in order]
+    except (TypeError, ValueError) as exc:
+        raise IndexStateError(
+            f"vertices are not JSON-serializable: {exc}"
+        ) from None
+    return {
+        "format": "tol-index",
+        "version": _VERSION,
+        "vertices": vertex_table,
+        # Edges and labels reference vertices by their order position.
+        "edges": sorted(
+            (position[t], position[h]) for t, h in graph.edges()
+        ),
+        "labels_in": [
+            sorted(position[u] for u in labeling.label_in[v]) for v in order
+        ],
+        "labels_out": [
+            sorted(position[u] for u in labeling.label_out[v]) for v in order
+        ],
+    }
+
+
+def index_from_dict(payload: dict) -> TOLIndex:
+    """Rebuild a :class:`TOLIndex` from :func:`index_to_dict` output."""
+    if payload.get("format") != "tol-index":
+        raise IndexStateError("payload is not a serialized TOL index")
+    if payload.get("version") != _VERSION:
+        raise IndexStateError(
+            f"unsupported index format version {payload.get('version')!r}"
+        )
+    raw_vertices = payload["vertices"]
+    # JSON round-trips tuples as lists; make them hashable again.
+    vertices = [_hashable(v) for v in raw_vertices]
+    if len(set(vertices)) != len(vertices):
+        raise IndexStateError("serialized vertex table contains duplicates")
+
+    order = LevelOrder(vertices)
+    labeling = TOLLabeling(order)
+    for i, ids in enumerate(payload["labels_in"]):
+        v = vertices[i]
+        for u in ids:
+            labeling.add_in_label(v, vertices[u])
+    for i, ids in enumerate(payload["labels_out"]):
+        v = vertices[i]
+        for u in ids:
+            labeling.add_out_label(v, vertices[u])
+
+    graph = DiGraph(vertices=vertices)
+    for tail, head in payload["edges"]:
+        graph.add_edge(vertices[tail], vertices[head])
+    return TOLIndex(graph, labeling)
+
+
+def _hashable(v):
+    return tuple(_hashable(x) for x in v) if isinstance(v, list) else v
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+def _write_uvarint(buf: io.BytesIO, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.write(bytes((byte | 0x80,)))
+        else:
+            buf.write(bytes((byte,)))
+            return
+
+
+def _read_uvarint(buf: io.BytesIO) -> int:
+    shift = 0
+    result = 0
+    while True:
+        raw = buf.read(1)
+        if not raw:
+            raise IndexStateError("truncated index file")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+
+
+def _write_id_list(buf: io.BytesIO, ids: list[int]) -> None:
+    """Delta-coded sorted id list: count, first, then gaps."""
+    _write_uvarint(buf, len(ids))
+    previous = 0
+    for i in sorted(ids):
+        _write_uvarint(buf, i - previous)
+        previous = i
+
+
+def _read_id_list(buf: io.BytesIO) -> list[int]:
+    count = _read_uvarint(buf)
+    ids = []
+    current = 0
+    for _ in range(count):
+        current += _read_uvarint(buf)
+        ids.append(current)
+    return ids
+
+
+def _encode_binary(payload: dict) -> bytes:
+    body = io.BytesIO()
+    vertices = payload["vertices"]
+    _write_uvarint(body, len(vertices))
+    vertex_blob = json.dumps(vertices, separators=(",", ":")).encode("utf-8")
+    _write_uvarint(body, len(vertex_blob))
+    body.write(vertex_blob)
+
+    edges = payload["edges"]
+    _write_uvarint(body, len(edges))
+    for tail, head in edges:
+        _write_uvarint(body, tail)
+        _write_uvarint(body, head)
+    for key in ("labels_in", "labels_out"):
+        for ids in payload[key]:
+            _write_id_list(body, ids)
+
+    raw = body.getvalue()
+    compressed = zlib.compress(raw, level=6)
+    header = _MAGIC + struct.pack(
+        "<HII", _VERSION, len(raw), zlib.crc32(raw)
+    )
+    return header + compressed
+
+
+def _decode_binary(blob: bytes) -> dict:
+    if blob[:4] != _MAGIC:
+        raise IndexStateError("not a TOL index file (bad magic)")
+    version, raw_len, checksum = struct.unpack("<HII", blob[4:14])
+    if version != _VERSION:
+        raise IndexStateError(f"unsupported index format version {version}")
+    raw = zlib.decompress(blob[14:])
+    if len(raw) != raw_len or zlib.crc32(raw) != checksum:
+        raise IndexStateError("index file is corrupt (checksum mismatch)")
+
+    buf = io.BytesIO(raw)
+    num_vertices = _read_uvarint(buf)
+    blob_len = _read_uvarint(buf)
+    vertices = json.loads(buf.read(blob_len).decode("utf-8"))
+    if len(vertices) != num_vertices:
+        raise IndexStateError("index file is corrupt (vertex count)")
+    num_edges = _read_uvarint(buf)
+    edges = [
+        (_read_uvarint(buf), _read_uvarint(buf)) for _ in range(num_edges)
+    ]
+    labels_in = [_read_id_list(buf) for _ in range(num_vertices)]
+    labels_out = [_read_id_list(buf) for _ in range(num_vertices)]
+    return {
+        "format": "tol-index",
+        "version": version,
+        "vertices": vertices,
+        "edges": edges,
+        "labels_in": labels_in,
+        "labels_out": labels_out,
+    }
+
+
+# ----------------------------------------------------------------------
+# Public file API
+# ----------------------------------------------------------------------
+
+def save_index(index: TOLIndex, path: PathLike, *, format: str = "auto") -> None:
+    """Write *index* to *path*.
+
+    ``format="auto"`` picks JSON for ``.json`` paths and the binary
+    format otherwise; ``"json"`` / ``"binary"`` force a format.
+    """
+    path = Path(path)
+    fmt = format
+    if fmt == "auto":
+        fmt = "json" if path.suffix == ".json" else "binary"
+    payload = index_to_dict(index)
+    if fmt == "json":
+        path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    elif fmt == "binary":
+        path.write_bytes(_encode_binary(payload))
+    else:
+        raise IndexStateError(f"unknown index format {format!r}")
+
+
+def load_index(path: PathLike) -> TOLIndex:
+    """Load an index written by :func:`save_index` (format auto-detected)."""
+    path = Path(path)
+    blob = path.read_bytes()
+    if blob[:4] == _MAGIC:
+        payload = _decode_binary(blob)
+    else:
+        try:
+            payload = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise IndexStateError(
+                f"{path} is neither a binary nor a JSON TOL index"
+            ) from None
+    return index_from_dict(payload)

@@ -1,0 +1,109 @@
+"""Diagnostics: label-distribution statistics for a TOL index.
+
+The quality of a TOL index is the distribution of its label-set sizes —
+query cost is the size of the two sets probed, memory is their sum, and a
+heavy tail means some vertices are expensive to query.  This module
+computes the summary a practitioner (or an ablation benchmark) needs to
+compare level orders beyond the single ``|L|`` number the paper reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from .labeling import TOLLabeling
+
+__all__ = ["LabelStats", "labeling_stats", "top_label_holders"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class LabelStats:
+    """Summary of a labeling's size distribution.
+
+    Attributes
+    ----------
+    num_vertices / total_labels:
+        Basic sizes (``total_labels`` is the paper's ``|L|``).
+    mean / p50 / p90 / p99 / max:
+        Statistics of the per-vertex label count ``|Lin(v)| + |Lout(v)|``.
+    in_labels / out_labels:
+        Totals per side.
+    empty_vertices:
+        Vertices carrying no labels at all (typical for sources/sinks
+        ranked low).
+    histogram:
+        ``{label_count: vertices_with_that_count}``.
+    """
+
+    num_vertices: int
+    total_labels: int
+    mean: float
+    p50: int
+    p90: int
+    p99: int
+    max: int
+    in_labels: int
+    out_labels: int
+    empty_vertices: int
+    histogram: dict[int, int]
+
+    def render(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"|V|={self.num_vertices} |L|={self.total_labels} "
+            f"(in={self.in_labels}, out={self.out_labels}); per-vertex "
+            f"mean={self.mean:.2f} p50={self.p50} p90={self.p90} "
+            f"p99={self.p99} max={self.max}; "
+            f"{self.empty_vertices} label-free vertices"
+        )
+
+
+def _percentile(sorted_values: list[int], fraction: float) -> int:
+    if not sorted_values:
+        return 0
+    position = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[position]
+
+
+def labeling_stats(labeling: TOLLabeling) -> LabelStats:
+    """Compute :class:`LabelStats` for *labeling*."""
+    counts = sorted(
+        len(labeling.label_in[v]) + len(labeling.label_out[v])
+        for v in labeling.vertices()
+    )
+    total_in = sum(len(s) for s in labeling.label_in.values())
+    total_out = sum(len(s) for s in labeling.label_out.values())
+    n = len(counts)
+    return LabelStats(
+        num_vertices=n,
+        total_labels=total_in + total_out,
+        mean=(total_in + total_out) / n if n else 0.0,
+        p50=_percentile(counts, 0.50),
+        p90=_percentile(counts, 0.90),
+        p99=_percentile(counts, 0.99),
+        max=counts[-1] if counts else 0,
+        in_labels=total_in,
+        out_labels=total_out,
+        empty_vertices=sum(1 for c in counts if c == 0),
+        histogram=dict(Counter(counts)),
+    )
+
+
+def top_label_holders(
+    labeling: TOLLabeling, k: int = 10
+) -> list[tuple[Vertex, int]]:
+    """The *k* vertices with the largest label sets (the query hot spots)."""
+    ranked = sorted(
+        (
+            (v, len(labeling.label_in[v]) + len(labeling.label_out[v]))
+            for v in labeling.vertices()
+        ),
+        key=lambda pair: (-pair[1], repr(pair[0])),
+    )
+    return ranked[:k]

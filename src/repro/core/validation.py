@@ -1,0 +1,83 @@
+"""Validation of TOL indices against Definition 1 (test oracle).
+
+These checks are the backbone of the test suite: every construction and
+update algorithm is validated by asserting that its output *is* the unique
+TOL index for the current ``(graph, order)`` pair, which simultaneously
+establishes the Reachability, Level and Path constraints, completeness
+(Lemma 1: every reachable pair has a witness) and minimality (Lemma 2: no
+label can be dropped).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from ..graph.digraph import DiGraph
+from .labeling import TOLLabeling
+from .reference import descendants_map, reference_tol
+
+__all__ = [
+    "TOLViolation",
+    "find_violations",
+    "assert_valid_tol",
+    "assert_queries_correct",
+]
+
+Vertex = Hashable
+
+
+class TOLViolation(AssertionError):
+    """A labeling failed validation against Definition 1."""
+
+
+def find_violations(graph: DiGraph, labeling: TOLLabeling) -> list[str]:
+    """Return human-readable descriptions of every Definition-1 violation.
+
+    An empty list means *labeling* is exactly the TOL index of the graph
+    under its own level order.
+    """
+    problems: list[str] = []
+    expected = reference_tol(graph, labeling.order)
+    got = labeling.snapshot()
+    want = expected.snapshot()
+    for v in sorted(want, key=repr):
+        if v not in got:
+            problems.append(f"vertex {v!r} missing from labeling")
+            continue
+        got_in, got_out = got[v]
+        want_in, want_out = want[v]
+        for u in sorted(want_in - got_in, key=repr):
+            problems.append(f"Lin({v!r}) is missing label {u!r}")
+        for u in sorted(got_in - want_in, key=repr):
+            problems.append(f"Lin({v!r}) has extra label {u!r}")
+        for u in sorted(want_out - got_out, key=repr):
+            problems.append(f"Lout({v!r}) is missing label {u!r}")
+        for u in sorted(got_out - want_out, key=repr):
+            problems.append(f"Lout({v!r}) has extra label {u!r}")
+    for v in sorted(got, key=repr):
+        if v not in want:
+            problems.append(f"labeling has unknown vertex {v!r}")
+    return problems
+
+
+def assert_valid_tol(graph: DiGraph, labeling: TOLLabeling) -> None:
+    """Raise :class:`TOLViolation` unless *labeling* matches Definition 1."""
+    labeling.check_invariants()
+    problems = find_violations(graph, labeling)
+    if problems:
+        shown = "\n  ".join(problems[:20])
+        suffix = "" if len(problems) <= 20 else f"\n  ... {len(problems) - 20} more"
+        raise TOLViolation(f"labeling violates Definition 1:\n  {shown}{suffix}")
+
+
+def assert_queries_correct(graph: DiGraph, labeling: TOLLabeling) -> None:
+    """Check every (s, t) query against materialized reachability."""
+    desc = descendants_map(graph)
+    for s in graph.vertices():
+        for t in graph.vertices():
+            expected = s == t or t in desc[s]
+            got = labeling.query(s, t)
+            if got != expected:
+                raise TOLViolation(
+                    f"query({s!r}, {t!r}) = {got}, reachability says {expected}"
+                )

@@ -1,0 +1,157 @@
+"""Named dataset registry: scaled-down stand-ins for the paper's Table 3.
+
+The paper evaluates on 15 datasets (four synthetic RG* DAGs and eleven real
+graphs of 1.6M–25M vertices).  The real graphs are not redistributable and
+a pure-Python label build at those sizes is infeasible, so each entry here
+is a *structure-matched, scaled-down synthetic stand-in* (see DESIGN.md §5):
+
+* ``RG5/RG10/RG20/RG40`` use the same generator recipe as the paper
+  (random layered DAG, 8 topological levels, matching average degree);
+* the tree-shaped ``uniprot`` entries become random recursive trees;
+* the web/social/citation graphs become power-law DAGs matched on average
+  degree.
+
+Every entry records the paper's original |V|, |E| and average degree so the
+benchmark tables can print "paper-scale vs. our-scale" side by side, and a
+``family`` tag benchmarks use to interpret results (e.g. Dagger is expected
+to win insertions only on ``tree`` datasets).
+
+Use :func:`load` to materialize a dataset at its default (or a custom)
+scale; generation is deterministic per (name, scale, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .errors import DatasetError
+from .graph.digraph import DiGraph
+from .graph.generators import power_law_dag, random_layered_dag, random_tree_dag
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "DATASET_NAMES",
+    "SYNTHETIC_RG",
+    "REAL_STANDINS",
+    "load",
+    "dataset_names",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one benchmark dataset.
+
+    Attributes
+    ----------
+    name:
+        Canonical name (matches the paper's Table 3 row).
+    family:
+        ``"layered"`` (RG*), ``"tree"`` (uniprot-like) or ``"power-law"``.
+    paper_vertices / paper_edges:
+        The original dataset's size, for reporting.
+    avg_degree:
+        Average degree to match (paper's Table 3 column).
+    default_vertices:
+        Stand-in size used when no explicit scale is given.
+    num_levels:
+        Topological levels for the layered family (paper: 8).
+    """
+
+    name: str
+    family: str
+    paper_vertices: int
+    paper_edges: int
+    avg_degree: float
+    default_vertices: int
+    num_levels: int = 8
+
+    def generate(
+        self, *, num_vertices: Optional[int] = None, seed: int = 0
+    ) -> DiGraph:
+        """Materialize the stand-in graph deterministically."""
+        n = num_vertices if num_vertices is not None else self.default_vertices
+        if n <= 0:
+            raise DatasetError(f"dataset size must be positive, got {n}")
+        if self.family == "layered":
+            return random_layered_dag(
+                n, self.avg_degree, num_levels=self.num_levels, seed=seed
+            )
+        if self.family == "tree":
+            return random_tree_dag(n, seed=seed)
+        if self.family == "power-law":
+            return power_law_dag(n, self.avg_degree, seed=seed)
+        raise DatasetError(f"unknown dataset family {self.family!r}")
+
+
+def _m(millions: float) -> int:
+    return int(millions * 1_000_000)
+
+
+#: The paper's four synthetic datasets (Table 3, top block).
+SYNTHETIC_RG: tuple[DatasetSpec, ...] = (
+    DatasetSpec("RG5", "layered", _m(1.0), _m(5.0), 5.0, 1200),
+    DatasetSpec("RG10", "layered", _m(1.0), _m(10.0), 10.0, 1200),
+    DatasetSpec("RG20", "layered", _m(1.0), _m(20.0), 20.0, 1200),
+    DatasetSpec("RG40", "layered", _m(1.0), _m(40.0), 40.0, 1200),
+)
+
+#: Stand-ins for the paper's eleven real datasets (Table 3, bottom block).
+REAL_STANDINS: tuple[DatasetSpec, ...] = (
+    DatasetSpec("uniprot22m", "tree", _m(1.6), _m(1.6), 1.00, 2400),
+    DatasetSpec("uniprot100m", "tree", _m(16.1), _m(16.1), 1.00, 3200),
+    DatasetSpec("uniprot150m", "tree", _m(25.0), _m(25.0), 1.00, 4000),
+    DatasetSpec("wiki", "power-law", _m(2.3), _m(2.3), 1.01, 2400),
+    DatasetSpec("Twitter", "power-law", _m(16.6), _m(18.4), 1.10, 3200),
+    DatasetSpec("Yago2", "power-law", _m(16.1), _m(25.7), 1.59, 3200),
+    DatasetSpec("Web-UK", "power-law", _m(20.4), _m(37.8), 1.85, 3200),
+    DatasetSpec("citeseerx", "power-law", _m(6.3), _m(14.8), 2.36, 2400),
+    DatasetSpec("GovWild", "power-law", _m(8.0), _m(23.7), 2.95, 2400),
+    DatasetSpec("patent", "power-law", _m(3.7), _m(15.7), 4.27, 2400),
+    DatasetSpec("go-uniprot", "power-law", _m(7.0), _m(34.8), 4.99, 2400),
+)
+
+#: All datasets, keyed by lower-cased name.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name.lower(): spec for spec in SYNTHETIC_RG + REAL_STANDINS
+}
+
+#: Canonical dataset names in Table-3 order.
+DATASET_NAMES: tuple[str, ...] = tuple(
+    spec.name for spec in SYNTHETIC_RG + REAL_STANDINS
+)
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Return all dataset names in the paper's Table 3 order."""
+    return DATASET_NAMES
+
+
+def load(
+    name: str, *, num_vertices: Optional[int] = None, seed: int = 0
+) -> DiGraph:
+    """Materialize the named dataset's stand-in graph.
+
+    Parameters
+    ----------
+    name:
+        Case-insensitive dataset name (see :data:`DATASET_NAMES`).
+    num_vertices:
+        Override the default stand-in size.
+    seed:
+        Generator seed; same (name, size, seed) always yields the same
+        graph.
+
+    Raises
+    ------
+    DatasetError
+        For unknown names or invalid sizes.
+    """
+    try:
+        spec = DATASETS[name.lower()]
+    except KeyError:
+        known = ", ".join(DATASET_NAMES)
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+    return spec.generate(num_vertices=num_vertices, seed=seed)

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "VertexNotFoundError",
+    "VertexExistsError",
+    "EdgeNotFoundError",
+    "EdgeExistsError",
+    "NotADagError",
+    "IndexStateError",
+    "OrderError",
+    "DatasetError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors concerning graph structure or graph operations."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A referenced vertex does not exist in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # KeyError repr-quotes its arg; keep it readable.
+        return f"vertex {self.vertex!r} is not in the graph"
+
+
+class VertexExistsError(GraphError):
+    """An inserted vertex already exists in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is already in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__((tail, head))
+        self.tail = tail
+        self.head = head
+
+    def __str__(self) -> str:
+        return f"edge ({self.tail!r} -> {self.head!r}) is not in the graph"
+
+
+class EdgeExistsError(GraphError):
+    """An inserted edge already exists in the graph."""
+
+    def __init__(self, tail: object, head: object) -> None:
+        super().__init__(f"edge ({tail!r} -> {head!r}) is already in the graph")
+        self.tail = tail
+        self.head = head
+
+
+class NotADagError(GraphError):
+    """An operation that requires a DAG received a graph with a cycle."""
+
+
+class IndexStateError(ReproError):
+    """A reachability index was used in a way inconsistent with its state.
+
+    Raised, for example, when querying an index for a vertex it does not
+    cover, or when updating an index whose underlying graph has been mutated
+    behind its back.
+    """
+
+
+class OrderError(ReproError):
+    """An order-maintenance structure was used incorrectly."""
+
+
+class DatasetError(ReproError):
+    """A dataset name or configuration is invalid."""
+
+
+class WorkloadError(ReproError):
+    """A benchmark workload specification is invalid."""

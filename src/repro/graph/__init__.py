@@ -1,0 +1,64 @@
+"""Graph substrate: storage, traversal, DAG utilities, SCCs, generators, I/O."""
+
+from .condensation import CondensationDelta, DynamicCondensation
+from .dag import (
+    ensure_dag,
+    is_dag,
+    longest_path_depths,
+    topological_levels,
+    topological_order,
+    topological_rank,
+)
+from .digraph import DiGraph
+from .generators import (
+    FIGURE1_EDGES,
+    figure1_dag,
+    power_law_dag,
+    random_dag,
+    random_layered_dag,
+    random_tree_dag,
+)
+from .interop import from_networkx, to_networkx
+from .io import format_edge_list, parse_edge_list, read_edge_list, write_edge_list
+from .scc import Condensation, condense, strongly_connected_components
+from .traversal import (
+    backward_reachable,
+    bfs_order,
+    bidirectional_reachable,
+    dfs_preorder,
+    forward_reachable,
+    has_path_dfs,
+)
+
+__all__ = [
+    "DiGraph",
+    "CondensationDelta",
+    "DynamicCondensation",
+    "Condensation",
+    "condense",
+    "strongly_connected_components",
+    "topological_order",
+    "topological_rank",
+    "is_dag",
+    "ensure_dag",
+    "longest_path_depths",
+    "topological_levels",
+    "bfs_order",
+    "dfs_preorder",
+    "forward_reachable",
+    "backward_reachable",
+    "bidirectional_reachable",
+    "has_path_dfs",
+    "figure1_dag",
+    "FIGURE1_EDGES",
+    "random_layered_dag",
+    "random_tree_dag",
+    "power_law_dag",
+    "random_dag",
+    "parse_edge_list",
+    "format_edge_list",
+    "read_edge_list",
+    "write_edge_list",
+    "from_networkx",
+    "to_networkx",
+]

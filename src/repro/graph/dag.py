@@ -1,0 +1,107 @@
+"""DAG-specific utilities: topological orders, acyclicity checks, depths.
+
+The paper (Section 2) assumes the input graph has been reduced to a DAG and
+relies on a *topological order* ``o``: if ``u -> v`` then ``o(u) < o(v)``.
+Algorithm 4 (deletion) processes vertices "in ascending order of o(u)", and
+the score functions of Section 7.1 are computed by sweeps in topological and
+reverse-topological order.  All of that lives here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable
+
+from ..errors import NotADagError
+from .digraph import DiGraph
+
+__all__ = [
+    "topological_order",
+    "topological_rank",
+    "is_dag",
+    "ensure_dag",
+    "longest_path_depths",
+    "topological_levels",
+]
+
+Vertex = Hashable
+
+
+def topological_order(graph: DiGraph) -> list[Vertex]:
+    """Return the vertices of *graph* in a topological order.
+
+    Uses Kahn's algorithm.  Ties (vertices whose in-degrees reach zero
+    together) are broken by graph insertion order, so the result is
+    deterministic for a deterministically built graph.
+
+    Raises
+    ------
+    NotADagError
+        If the graph contains a cycle (including self-loops).
+    """
+    indegree = {v: graph.in_degree(v) for v in graph.vertices()}
+    queue: deque[Vertex] = deque(v for v, d in indegree.items() if d == 0)
+    order: list[Vertex] = []
+    while queue:
+        v = queue.popleft()
+        order.append(v)
+        for w in graph.iter_out(v):
+            indegree[w] -= 1
+            if indegree[w] == 0:
+                queue.append(w)
+    if len(order) != graph.num_vertices:
+        raise NotADagError(
+            f"graph contains a cycle: only {len(order)} of "
+            f"{graph.num_vertices} vertices could be topologically sorted"
+        )
+    return order
+
+
+def topological_rank(graph: DiGraph) -> dict[Vertex, int]:
+    """Return ``o(v)`` for every vertex: its position in a topological order.
+
+    Ranks start at 0 and satisfy ``u -> v  =>  o(u) < o(v)``.
+    """
+    return {v: i for i, v in enumerate(topological_order(graph))}
+
+
+def is_dag(graph: DiGraph) -> bool:
+    """Return ``True`` iff *graph* is acyclic."""
+    try:
+        topological_order(graph)
+    except NotADagError:
+        return False
+    return True
+
+
+def ensure_dag(graph: DiGraph) -> None:
+    """Raise :class:`NotADagError` unless *graph* is acyclic."""
+    topological_order(graph)
+
+
+def longest_path_depths(graph: DiGraph) -> dict[Vertex, int]:
+    """Return, for each vertex, the length of the longest path ending at it.
+
+    Source vertices (no in-edges) have depth 0.  This is the "topological
+    level" notion used by the RG* synthetic generators of [8]: a generated
+    graph with ``topological level = 8`` has ``max(depth) + 1 == 8`` layers.
+    """
+    depths: dict[Vertex, int] = {}
+    for v in topological_order(graph):
+        best = -1
+        for u in graph.iter_in(v):
+            if depths[u] > best:
+                best = depths[u]
+        depths[v] = best + 1
+    return depths
+
+
+def topological_levels(graph: DiGraph) -> list[list[Vertex]]:
+    """Group vertices by longest-path depth; level ``i`` holds depth-``i``."""
+    depths = longest_path_depths(graph)
+    if not depths:
+        return []
+    levels: list[list[Vertex]] = [[] for _ in range(max(depths.values()) + 1)]
+    for v, d in depths.items():
+        levels[d].append(v)
+    return levels

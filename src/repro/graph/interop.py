@@ -1,0 +1,55 @@
+"""Interoperability with NetworkX.
+
+Most Python graph pipelines already hold a ``networkx.DiGraph``; these
+adapters let them build a TOL index without manual conversion.  NetworkX
+is an *optional* dependency: the module imports it lazily and raises a
+helpful error when it is missing, so the core library stays
+dependency-free.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from .digraph import DiGraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _networkx():
+    try:
+        import networkx
+    except ImportError:  # pragma: no cover - depends on environment
+        raise GraphError(
+            "networkx is not installed; `pip install networkx` to use the "
+            "interop helpers"
+        ) from None
+    return networkx
+
+
+def from_networkx(nx_graph) -> DiGraph:
+    """Convert a ``networkx.DiGraph`` (or ``MultiDiGraph``) to a DiGraph.
+
+    Parallel edges collapse to one; node and edge attributes are dropped
+    (reachability only needs structure).  Undirected graphs are rejected —
+    silently directing them would invent reachability the caller never
+    asserted.
+    """
+    nx = _networkx()
+    if not nx_graph.is_directed():
+        raise GraphError(
+            "expected a directed networkx graph; convert explicitly with "
+            "Graph.to_directed() if every edge is really bidirectional"
+        )
+    graph = DiGraph(vertices=nx_graph.nodes())
+    for tail, head in nx_graph.edges():
+        graph.add_edge_if_absent(tail, head)
+    return graph
+
+
+def to_networkx(graph: DiGraph):
+    """Convert a :class:`DiGraph` to a ``networkx.DiGraph``."""
+    nx = _networkx()
+    out = nx.DiGraph()
+    out.add_nodes_from(graph.vertices())
+    out.add_edges_from(graph.edges())
+    return out

@@ -1,0 +1,102 @@
+"""Reading and writing graphs as edge-list text files.
+
+The on-disk format is the de-facto standard used by the reachability
+literature's benchmark suites: one ``tail head`` pair per line, ``#``
+comments, blank lines ignored.  Files ending in ``.gz`` are transparently
+(de)compressed.  Vertex tokens are kept as strings unless they parse as
+integers, in which case they are converted — this matches how the published
+datasets number their vertices.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from collections.abc import Callable, Hashable
+from pathlib import Path
+from typing import Union
+
+from ..errors import GraphError
+from .digraph import DiGraph
+
+__all__ = ["read_edge_list", "write_edge_list", "parse_edge_list", "format_edge_list"]
+
+PathLike = Union[str, Path]
+
+
+def _coerce_token(token: str) -> Hashable:
+    """Convert *token* to ``int`` when possible, else keep the string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def parse_edge_list(text: str) -> DiGraph:
+    """Parse edge-list *text* into a :class:`DiGraph`.
+
+    Lines may contain:
+
+    * ``tail head`` — a directed edge,
+    * ``vertex`` (a single token) — an isolated vertex,
+    * ``# ...`` — a comment,
+    * nothing — ignored.
+
+    Duplicate edges are an error: silently merging them would mask generator
+    or serialization bugs.
+    """
+    graph = DiGraph()
+    for lineno, raw in enumerate(io.StringIO(text), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if len(tokens) == 1:
+            graph.add_vertex_if_absent(_coerce_token(tokens[0]))
+        elif len(tokens) == 2:
+            tail, head = (_coerce_token(t) for t in tokens)
+            if not graph.add_edge_if_absent(tail, head):
+                raise GraphError(f"duplicate edge on line {lineno}: {line!r}")
+        else:
+            raise GraphError(
+                f"malformed edge-list line {lineno}: expected 1 or 2 tokens, "
+                f"got {len(tokens)}: {line!r}"
+            )
+    return graph
+
+
+def format_edge_list(graph: DiGraph, *, header: str = "") -> str:
+    """Serialize *graph* to edge-list text (inverse of :func:`parse_edge_list`).
+
+    Isolated vertices are written as single-token lines so the round trip
+    preserves the vertex set exactly.
+    """
+    lines: list[str] = []
+    if header:
+        for header_line in header.splitlines():
+            lines.append(f"# {header_line}")
+    lines.append(f"# vertices={graph.num_vertices} edges={graph.num_edges}")
+    for v in graph.vertices():
+        if graph.out_degree(v) == 0 and graph.in_degree(v) == 0:
+            lines.append(str(v))
+    for tail, head in graph.edges():
+        lines.append(f"{tail} {head}")
+    return "\n".join(lines) + "\n"
+
+
+def _opener(path: Path) -> Callable:
+    return gzip.open if path.suffix == ".gz" else open
+
+
+def read_edge_list(path: PathLike) -> DiGraph:
+    """Read a graph from an edge-list file (gzip-compressed if ``.gz``)."""
+    path = Path(path)
+    with _opener(path)(path, "rt", encoding="utf-8") as handle:
+        return parse_edge_list(handle.read())
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, *, header: str = "") -> None:
+    """Write *graph* to an edge-list file (gzip-compressed if ``.gz``)."""
+    path = Path(path)
+    with _opener(path)(path, "wt", encoding="utf-8") as handle:
+        handle.write(format_edge_list(graph, header=header))

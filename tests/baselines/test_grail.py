@@ -1,0 +1,75 @@
+"""Tests for the GRAIL interval index."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.grail import GrailIndex
+from repro.core.reference import descendants_map
+from repro.errors import NotADagError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_layered_dag
+
+from ..conftest import small_dags
+
+
+class TestBasics:
+    def test_chain(self):
+        idx = GrailIndex(DiGraph(edges=[(1, 2), (2, 3)]))
+        assert idx.query(1, 3)
+        assert not idx.query(3, 1)
+        assert idx.query(2, 2)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotADagError):
+            GrailIndex(DiGraph(edges=[(1, 2), (2, 1)]))
+
+    def test_interval_containment_invariant(self):
+        g = random_dag(40, 150, seed=2)
+        idx = GrailIndex(g, num_traversals=4, seed=2)
+        for tail, head in g.edges():
+            assert idx._contains(tail, head)
+
+    def test_size_scales_with_traversals(self):
+        g = DiGraph(vertices=range(10))
+        assert GrailIndex(g, num_traversals=5).size_bytes() == 10 * 5 * 8
+
+    def test_contains_protocol(self):
+        idx = GrailIndex(DiGraph(vertices=[1]))
+        assert 1 in idx and 2 not in idx
+
+    def test_forest_roots(self):
+        # Two disjoint chains: both must be fully labeled.
+        g = DiGraph(edges=[(1, 2), (10, 11)])
+        idx = GrailIndex(g)
+        assert idx.query(1, 2) and idx.query(10, 11)
+        assert not idx.query(1, 11)
+
+
+@given(small_dags())
+def test_matches_reachability(graph):
+    idx = GrailIndex(graph, seed=7)
+    desc = descendants_map(graph)
+    for s in graph.vertices():
+        for t in graph.vertices():
+            assert idx.query(s, t) == (s == t or t in desc[s])
+
+
+def test_pruning_actually_prunes():
+    """On a layered DAG, negative queries should rarely need a full DFS."""
+    g = random_layered_dag(300, 3.0, seed=3)
+    idx = GrailIndex(g, num_traversals=3, seed=3)
+    desc = descendants_map(g)
+    import random
+
+    r = random.Random(0)
+    vs = list(g.vertices())
+    pruned_immediately = 0
+    negatives = 0
+    for _ in range(500):
+        s, t = r.choice(vs), r.choice(vs)
+        if s != t and t not in desc[s]:
+            negatives += 1
+            if not idx._contains(s, t):
+                pruned_immediately += 1
+    assert negatives > 0
+    assert pruned_immediately / negatives > 0.5

@@ -1,0 +1,62 @@
+"""Tests for the index-free BFS/DFS baselines."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.search import BFSBaseline, DFSBaseline
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import bidirectional_reachable
+
+from ..conftest import small_dags
+
+
+@pytest.fixture(params=[BFSBaseline, DFSBaseline], ids=["bfs", "dfs"])
+def baseline_cls(request):
+    return request.param
+
+
+class TestQueries:
+    def test_positive_negative(self, baseline_cls):
+        base = baseline_cls(DiGraph(edges=[(1, 2), (2, 3)]))
+        assert base.query(1, 3)
+        assert not base.query(3, 1)
+
+    def test_reflexive(self, baseline_cls):
+        base = baseline_cls(DiGraph(vertices=[7]))
+        assert base.query(7, 7)
+
+    def test_zero_index_size(self, baseline_cls):
+        assert baseline_cls(DiGraph()).size_bytes() == 0
+
+    def test_name(self):
+        assert BFSBaseline.name == "BFS"
+        assert DFSBaseline.name == "DFS"
+
+
+class TestUpdates:
+    def test_insert_vertex(self, baseline_cls):
+        base = baseline_cls(DiGraph(edges=[(1, 2)]))
+        base.insert_vertex(3, in_neighbors=[2], out_neighbors=[])
+        assert base.query(1, 3)
+
+    def test_delete_vertex(self, baseline_cls):
+        base = baseline_cls(DiGraph(edges=[(1, 2), (2, 3)]))
+        base.delete_vertex(2)
+        assert not base.query(1, 3)
+
+    def test_owns_its_copy(self, baseline_cls):
+        g = DiGraph(edges=[(1, 2)])
+        base = baseline_cls(g)
+        g.remove_vertex(2)
+        assert base.query(1, 2)  # baseline unaffected by caller mutation
+
+
+@given(small_dags())
+def test_baselines_agree_with_each_other(graph):
+    bfs = BFSBaseline(graph)
+    dfs = DFSBaseline(graph)
+    for s in graph.vertices():
+        for t in graph.vertices():
+            expected = bidirectional_reachable(graph, s, t)
+            assert bfs.query(s, t) == expected
+            assert dfs.query(s, t) == expected

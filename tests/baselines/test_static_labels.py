@@ -1,0 +1,66 @@
+"""Tests for the TF/DL/PLL/HL builders and the independent PLL oracle."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.static_labels import (
+    build_dl,
+    build_hl,
+    build_pll,
+    build_tf_label,
+    pruned_landmark_build,
+)
+from repro.core.butterfly import butterfly_build
+from repro.core.order import LevelOrder
+from repro.core.validation import assert_queries_correct, find_violations
+from repro.graph.generators import figure1_dag, random_dag
+
+from ..conftest import dags_with_order
+
+
+@pytest.mark.parametrize(
+    "builder", [build_tf_label, build_dl, build_pll, build_hl],
+    ids=["tf", "dl", "pll", "hl"],
+)
+class TestBuilders:
+    def test_valid_tol(self, builder):
+        g = random_dag(18, 50, seed=3)
+        idx = builder(g)
+        assert find_violations(idx.graph_copy(), idx.labeling) == []
+
+    def test_queries(self, builder):
+        g = figure1_dag()
+        idx = builder(g)
+        assert_queries_correct(g, idx.labeling)
+
+    def test_supports_updates(self, builder):
+        g = figure1_dag()
+        idx = builder(g)
+        idx.insert_vertex("z", in_neighbors=["c"])
+        assert idx.query("e", "z")
+        idx.delete_vertex("z")
+        assert "z" not in idx
+
+
+def test_pll_equals_dl():
+    """[17]'s equivalence claim: PLL and DL share the degree order."""
+    g = random_dag(20, 70, seed=4)
+    assert build_pll(g).labeling.snapshot() == build_dl(g).labeling.snapshot()
+
+
+@given(dags_with_order())
+def test_independent_pll_matches_butterfly(pair):
+    """Two algorithmically unrelated constructions agree byte-for-byte."""
+    graph, order = pair
+    a = butterfly_build(graph, order)
+    b = pruned_landmark_build(graph, LevelOrder(list(order)))
+    assert a.snapshot() == b.snapshot()
+
+
+def test_independent_pll_on_larger_graph():
+    from repro.core.orders import degree_order_strategy
+
+    g = random_dag(60, 400, seed=5)
+    a = butterfly_build(g, degree_order_strategy(g))
+    b = pruned_landmark_build(g, degree_order_strategy(g))
+    assert a.snapshot() == b.snapshot()

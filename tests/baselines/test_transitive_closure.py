@@ -1,0 +1,53 @@
+"""Tests for the bitset transitive-closure index."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.transitive_closure import TransitiveClosureIndex
+from repro.core.reference import descendants_map
+from repro.errors import NotADagError
+from repro.graph.digraph import DiGraph
+
+from ..conftest import small_dags
+
+
+class TestBasics:
+    def test_chain(self):
+        tc = TransitiveClosureIndex(DiGraph(edges=[(1, 2), (2, 3)]))
+        assert tc.query(1, 3)
+        assert not tc.query(3, 1)
+        assert tc.query(2, 2)
+
+    def test_descendants(self):
+        tc = TransitiveClosureIndex(DiGraph(edges=[(1, 2), (2, 3), (1, 4)]))
+        assert tc.descendants(1) == {2, 3, 4}
+        assert tc.descendants(3) == set()
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotADagError):
+            TransitiveClosureIndex(DiGraph(edges=[(1, 2), (2, 1)]))
+
+    def test_unknown_vertex_raises(self):
+        tc = TransitiveClosureIndex(DiGraph(vertices=[1]))
+        with pytest.raises(KeyError):
+            tc.query(1, 99)
+        with pytest.raises(KeyError):
+            tc.query(99, 99)
+
+    def test_contains(self):
+        tc = TransitiveClosureIndex(DiGraph(vertices=[1]))
+        assert 1 in tc and 2 not in tc
+
+    def test_size_is_quadratic_bits(self):
+        tc = TransitiveClosureIndex(DiGraph(vertices=range(16)))
+        assert tc.size_bytes() == 16 * 2  # 16 vertices * ceil(16/8) bytes
+
+
+@given(small_dags())
+def test_matches_reachability(graph):
+    tc = TransitiveClosureIndex(graph)
+    desc = descendants_map(graph)
+    for s in graph.vertices():
+        assert tc.descendants(s) == desc[s]
+        for t in graph.vertices():
+            assert tc.query(s, t) == (s == t or t in desc[s])

@@ -1,0 +1,89 @@
+"""Tests for the tree-cover compressed transitive closure."""
+
+import pytest
+from hypothesis import given
+
+from repro.baselines.transitive_closure import TransitiveClosureIndex
+from repro.baselines.tree_cover import TreeCoverIndex, _merge_intervals
+from repro.errors import NotADagError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_tree_dag
+
+from ..conftest import small_dags
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert _merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert _merge_intervals([(5, 6), (1, 2)]) == [(1, 2), (5, 6)]
+
+    def test_overlap_merged(self):
+        assert _merge_intervals([(1, 4), (3, 7)]) == [(1, 7)]
+
+    def test_adjacent_merged(self):
+        assert _merge_intervals([(1, 2), (3, 4)]) == [(1, 4)]
+
+    def test_subsumed_dropped(self):
+        assert _merge_intervals([(1, 10), (3, 5)]) == [(1, 10)]
+
+
+class TestIndex:
+    def test_chain(self):
+        idx = TreeCoverIndex(DiGraph(edges=[(1, 2), (2, 3)]))
+        assert idx.query(1, 3)
+        assert not idx.query(3, 1)
+        assert idx.query(2, 2)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotADagError):
+            TreeCoverIndex(DiGraph(edges=[(1, 2), (2, 1)]))
+
+    def test_tree_needs_one_interval_per_vertex(self):
+        g = random_tree_dag(150, seed=1)
+        idx = TreeCoverIndex(g)
+        # On a tree the cover is exact: exactly one interval everywhere.
+        assert idx.num_intervals() == 150
+        assert all(len(idx.intervals(v)) == 1 for v in g.vertices())
+
+    def test_dense_dag_costs_more(self):
+        sparse = TreeCoverIndex(random_tree_dag(100, seed=2))
+        dense = TreeCoverIndex(random_dag(100, 1200, seed=2))
+        per_vertex_sparse = sparse.num_intervals() / 100
+        per_vertex_dense = dense.num_intervals() / 100
+        assert per_vertex_dense >= per_vertex_sparse
+
+    def test_contains_and_repr(self):
+        idx = TreeCoverIndex(DiGraph(vertices=[1]))
+        assert 1 in idx and 2 not in idx
+        assert "TreeCover" in repr(idx)
+        assert idx.size_bytes() == idx.num_intervals() * 8
+
+    def test_forest_input(self):
+        g = DiGraph(edges=[(1, 2), (10, 11), (11, 12)])
+        idx = TreeCoverIndex(g)
+        assert idx.query(10, 12)
+        assert not idx.query(1, 12)
+
+
+@given(small_dags())
+def test_matches_bitset_closure(graph):
+    tree = TreeCoverIndex(graph)
+    tc = TransitiveClosureIndex(graph)
+    for s in graph.vertices():
+        for t in graph.vertices():
+            assert tree.query(s, t) == tc.query(s, t), (s, t)
+
+
+def test_bigger_random_cross_check():
+    import random
+
+    g = random_dag(120, 500, seed=5)
+    tree = TreeCoverIndex(g)
+    tc = TransitiveClosureIndex(g)
+    r = random.Random(6)
+    vs = list(g.vertices())
+    for _ in range(2000):
+        s, t = r.choice(vs), r.choice(vs)
+        assert tree.query(s, t) == tc.query(s, t)

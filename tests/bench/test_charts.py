@@ -1,0 +1,72 @@
+"""Tests for ASCII bar-chart rendering."""
+
+import pytest
+
+from repro.bench.charts import render_bar_chart
+from repro.bench.experiments import ExperimentResult
+from repro.bench.tables import format_bytes, format_millis
+
+
+@pytest.fixture
+def result():
+    res = ExperimentResult(
+        name="demo",
+        title="Demo figure",
+        headers=["dataset", "BU", "TF"],
+        formatters={1: format_millis, 2: format_millis},
+    )
+    res.rows = [["alpha", 0.001, 0.1], ["beta", 0.002, 0.05]]
+    return res
+
+
+class TestRendering:
+    def test_contains_all_cells(self, result):
+        chart = render_bar_chart(result)
+        for token in ["alpha", "beta", "BU", "TF", "1ms", "100ms"]:
+            assert token in chart
+
+    def test_log_scale_used_for_wide_range(self, result):
+        assert "log scale" in render_bar_chart(result)
+
+    def test_linear_scale_for_narrow_range(self, result):
+        result.rows = [["alpha", 1.0, 2.0]]
+        assert "linear scale" in render_bar_chart(result)
+
+    def test_larger_value_gets_longer_bar(self, result):
+        chart = render_bar_chart(result)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        bu_alpha = lines[0].count("■")
+        tf_alpha = lines[1].count("■")
+        assert tf_alpha > bu_alpha
+
+    def test_dataset_subset(self, result):
+        chart = render_bar_chart(result, datasets=["beta"])
+        assert "beta" in chart and "alpha" not in chart
+
+    def test_zero_values_render_empty_bar(self, result):
+        result.rows = [["alpha", 0, 5.0]]
+        chart = render_bar_chart(result)
+        assert "|" in chart  # no crash; zero row renders
+
+    def test_non_numeric_cells_pass_through(self, result):
+        result.rows = [["alpha", "n/a", 0.5]]
+        chart = render_bar_chart(result)
+        assert "n/a" in chart
+
+    def test_no_numeric_data(self, result):
+        result.rows = [["alpha", "x", "y"]]
+        assert "no numeric data" in render_bar_chart(result)
+
+    def test_byte_formatter_detected(self):
+        res = ExperimentResult(
+            name="sizes", title="Sizes", headers=["dataset", "BU"],
+            formatters={1: format_bytes},
+        )
+        res.rows = [["alpha", 2048]]
+        assert "2.0KiB" in render_bar_chart(res)
+
+    def test_custom_width(self, result):
+        chart = render_bar_chart(result, width=10)
+        for line in chart.splitlines():
+            if "■" in line:
+                assert line.count("■") <= 10

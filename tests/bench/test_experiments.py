@@ -1,0 +1,90 @@
+"""Smoke + shape tests for the per-figure experiment drivers.
+
+Run at tiny scale (a couple of datasets, few hundred vertices) so the whole
+file stays fast; the real numbers come from ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    fig2_insertion,
+    fig3_query_dynamic,
+    fig4_deletion,
+    fig5_index_size,
+    fig6_preprocessing,
+    fig7_query_static,
+    table3_datasets,
+    table4_label_reduction,
+)
+
+SMALL = dict(datasets=["RG5", "wiki"], num_vertices=250)
+
+
+class TestTable3:
+    def test_rows_and_render(self):
+        res = table3_datasets(**SMALL)
+        assert [r[0] for r in res.rows] == ["RG5", "wiki"]
+        assert res.cell("RG5", "|V|") == 250
+        text = res.render()
+        assert "Table 3" in text and "RG5" in text
+
+    def test_full_registry(self):
+        res = table3_datasets(num_vertices=100)
+        assert len(res.rows) == 15
+
+
+class TestDynamicFigures:
+    def test_fig2_shape(self):
+        res = fig2_insertion(**SMALL, num_updates=5)
+        assert res.headers == ["dataset", "BU", "BL", "Dagger"]
+        assert all(isinstance(row[1], float) for row in res.rows)
+        assert "Figure 2" in res.render()
+
+    def test_fig4_shape(self):
+        res = fig4_deletion(**SMALL, num_updates=5)
+        assert res.headers[0] == "dataset"
+        assert len(res.rows) == 2
+
+    def test_fig3_includes_bfs(self):
+        res = fig3_query_dynamic(**SMALL, num_queries=50, num_updates=5)
+        assert res.headers == ["dataset", "BU", "BL", "Dagger", "BFS"]
+        for row in res.rows:
+            assert all(v > 0 for v in row[1:])
+
+
+class TestStaticFigures:
+    def test_fig5_shape(self):
+        res = fig5_index_size(**SMALL)
+        assert res.headers == ["dataset", "BU", "BL", "HL", "DL", "TF", "Dagger"]
+        assert all(v >= 0 for row in res.rows for v in row[1:])
+
+    def test_fig6_positive_times(self):
+        res = fig6_preprocessing(**SMALL)
+        assert all(v > 0 for row in res.rows for v in row[1:])
+
+    def test_fig7_queries(self):
+        res = fig7_query_static(**SMALL, num_queries=50)
+        assert all(v > 0 for row in res.rows for v in row[1:])
+
+    def test_method_subset(self):
+        res = fig5_index_size(datasets=["RG5"], num_vertices=200, methods=("BU", "TF"))
+        assert res.headers == ["dataset", "BU", "TF"]
+
+
+class TestTable4:
+    def test_shape_and_nonnegative(self):
+        res = table4_label_reduction(datasets=["RG5"], num_vertices=200)
+        assert res.headers == [
+            "dataset", "DL ΔL", "DL ΔL/|L|", "DL time", "TF ΔL", "TF ΔL/|L|", "TF time",
+        ]
+        row = res.rows[0]
+        assert row[1] >= 0 and 0 <= row[2] <= 1
+        assert "Table 4" in res.render()
+
+
+class TestRegistryCompleteness:
+    def test_all_eight_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table4",
+        }

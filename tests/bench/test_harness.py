@@ -1,0 +1,77 @@
+"""Tests for the method registry and measurement loops."""
+
+import pytest
+
+from repro.bench.harness import (
+    DYNAMIC_METHODS,
+    METHODS,
+    STATIC_METHODS,
+    build_method,
+    measure_build,
+    measure_queries,
+    measure_updates,
+)
+from repro.bench.workloads import generate_queries, generate_updates
+from repro.errors import WorkloadError
+from repro.graph.generators import random_dag
+from repro.graph.traversal import bidirectional_reachable
+
+
+@pytest.fixture(scope="module")
+def g():
+    return random_dag(40, 120, seed=2)
+
+
+class TestRegistry:
+    def test_lineups_match_paper(self):
+        assert DYNAMIC_METHODS == ("BU", "BL", "Dagger")
+        assert STATIC_METHODS == ("BU", "BL", "HL", "DL", "TF", "Dagger")
+
+    def test_unknown_method(self, g):
+        with pytest.raises(WorkloadError):
+            build_method("nope", g)
+
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_every_method_answers_correctly(self, name, g):
+        idx = build_method(name, g)
+        queries = generate_queries(g, 60, seed=3)
+        for s, t in queries:
+            assert idx.query(s, t) == bidirectional_reachable(g, s, t)
+
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_every_method_reports_size(self, name, g):
+        assert build_method(name, g).size_bytes() >= 0
+
+
+class TestMeasurement:
+    def test_measure_build(self, g):
+        res = measure_build("BU", g)
+        assert res.method == "BU"
+        assert res.build_seconds > 0
+        assert res.index_bytes > 0
+
+    def test_measure_queries(self, g):
+        idx = build_method("BU", g)
+        wl = generate_queries(g, 100, seed=4)
+        assert measure_queries(idx, wl) > 0
+
+    @pytest.mark.parametrize("name", [m for m in sorted(METHODS) if METHODS[m].dynamic])
+    def test_measure_updates_round_trip(self, name, g):
+        idx = build_method(name, g)
+        wl = generate_updates(g, 8, seed=5)
+        scratch = g.copy()
+        timings = measure_updates(idx, scratch, wl)
+        assert timings.operations == 8
+        assert timings.avg_delete_seconds >= 0
+        assert timings.avg_insert_seconds >= 0
+        assert scratch == g  # input graph untouched
+        # After delete + reinsert the index answers like the original graph.
+        for s, t in generate_queries(g, 50, seed=6):
+            assert idx.query(s, t) == bidirectional_reachable(g, s, t)
+
+    def test_record_series(self, g):
+        idx = build_method("Dagger", g)
+        wl = generate_updates(g, 5, seed=7)
+        timings = measure_updates(idx, g, wl, record_series=True)
+        assert len(timings.delete_seconds) == 5
+        assert len(timings.insert_seconds) == 5

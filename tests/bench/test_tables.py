@@ -1,0 +1,91 @@
+"""Tests for table/number formatting."""
+
+import pytest
+
+from repro.bench.tables import (
+    format_bytes,
+    format_millis,
+    format_ratio,
+    format_seconds,
+    format_table,
+)
+
+
+class TestSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "—"),
+            (250, "250s"),
+            (2.5, "2.50s"),
+            (0.25, "250.00ms"),
+            (0.00025, "250.00us"),
+            (2.5e-8, "25ns"),
+        ],
+    )
+    def test_units(self, value, expected):
+        assert format_seconds(value) == expected
+
+
+class TestMillis:
+    def test_none(self):
+        assert format_millis(None) == "—"
+
+    def test_three_sig_figs(self):
+        assert format_millis(0.123456) == "123ms"
+        assert format_millis(0.00123456) == "1.23ms"
+
+
+class TestBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "—"),
+            (0, "0B"),
+            (512, "512B"),
+            (2048, "2.0KiB"),
+            (3 * 1024 * 1024, "3.0MiB"),
+            (5 * 1024**3, "5.0GiB"),
+        ],
+    )
+    def test_units(self, value, expected):
+        assert format_bytes(value) == expected
+
+    def test_huge_values_stay_gib(self):
+        assert format_bytes(5000 * 1024**3).endswith("GiB")
+
+
+class TestRatio:
+    def test_percent(self):
+        assert format_ratio(0.8161) == "81.61%"
+
+    def test_none(self):
+        assert format_ratio(None) == "—"
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            "My Title",
+            ["name", "value"],
+            [["short", "1"], ["a-much-longer-name", "22"]],
+            note="footer",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[-1] == "footer"
+        # All data rows align the second column at the same offset.
+        header_line = lines[2]
+        assert header_line.startswith("name")
+        offset = header_line.index("value")
+        for line in lines[4:6]:
+            cell = line[offset:].strip()
+            assert cell in {"1", "22"}
+
+    def test_none_cells_rendered_as_dash(self):
+        text = format_table("T", ["a"], [[None]])
+        assert "—" in text
+
+    def test_numbers_stringified(self):
+        text = format_table("T", ["a"], [[42]])
+        assert "42" in text

@@ -1,0 +1,65 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.bench.workloads import generate_queries, generate_updates
+from repro.errors import WorkloadError
+from repro.graph.dag import topological_rank
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+
+@pytest.fixture
+def g():
+    return random_dag(50, 200, seed=1)
+
+
+class TestQueries:
+    def test_count(self, g):
+        wl = generate_queries(g, 100, seed=0)
+        assert len(wl) == 100
+        assert len(list(wl)) == 100
+
+    def test_topo_aware_orientation(self, g):
+        wl = generate_queries(g, 200, mode="topo-aware", seed=1)
+        rank = topological_rank(g)
+        for s, t in wl:
+            assert rank[s] <= rank[t]
+
+    def test_uniform_mode(self, g):
+        wl = generate_queries(g, 200, mode="uniform", seed=2)
+        rank = topological_rank(g)
+        # Unconstrained pairs go against the rank at least sometimes.
+        assert any(rank[s] > rank[t] for s, t in wl)
+
+    def test_deterministic(self, g):
+        assert generate_queries(g, 50, seed=3).pairs == generate_queries(
+            g, 50, seed=3
+        ).pairs
+
+    def test_bad_inputs(self, g):
+        with pytest.raises(WorkloadError):
+            generate_queries(g, 0)
+        with pytest.raises(WorkloadError):
+            generate_queries(DiGraph(), 5)
+        with pytest.raises(WorkloadError):
+            generate_queries(g, 5, mode="sideways")
+
+
+class TestUpdates:
+    def test_distinct_victims(self, g):
+        wl = generate_updates(g, 30, seed=0)
+        assert len(wl) == 30
+        assert len(set(wl.victims)) == 30
+        assert all(v in g for v in wl.victims)
+
+    def test_bad_inputs(self, g):
+        with pytest.raises(WorkloadError):
+            generate_updates(g, 0)
+        with pytest.raises(WorkloadError):
+            generate_updates(g, g.num_vertices + 1)
+
+    def test_deterministic(self, g):
+        assert generate_updates(g, 10, seed=4).victims == generate_updates(
+            g, 10, seed=4
+        ).victims

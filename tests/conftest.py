@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.core.order import LevelOrder
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_dag, random_dag
+
+# A calmer default hypothesis profile: property tests here build whole
+# indices per example, so fewer/larger examples beat many/tiny ones.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def small_dags(draw, max_vertices: int = 10) -> DiGraph:
+    """Hypothesis strategy: a small random DAG (possibly empty/edgeless)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    # Random permutation fixes a topological order; edges go forward in it.
+    perm = draw(st.permutations(list(range(n))))
+    graph = DiGraph(vertices=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                graph.add_edge(perm[i], perm[j])
+    return graph
+
+
+@st.composite
+def dags_with_order(draw, max_vertices: int = 10):
+    """Hypothesis strategy: (DAG, random LevelOrder over its vertices)."""
+    graph = draw(small_dags(max_vertices=max_vertices))
+    seq = draw(st.permutations(sorted(graph.vertices())))
+    return graph, LevelOrder(seq)
+
+
+@pytest.fixture
+def fig1() -> DiGraph:
+    """The paper's Figure 1 DAG."""
+    return figure1_dag()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for ad-hoc sampling inside tests."""
+    return random.Random(0xC0FFEE)
+
+
+def make_random_dag(trial: int, *, max_n: int = 12) -> DiGraph:
+    """Deterministic random DAG for seeded loop-style tests."""
+    r = random.Random(trial)
+    n = r.randint(1, max_n)
+    m = r.randint(0, n * (n - 1) // 2)
+    return random_dag(n, m, seed=trial)

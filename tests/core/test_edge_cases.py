@@ -1,0 +1,107 @@
+"""Edge-case coverage: self-loops, singletons, degenerate shapes."""
+
+import pytest
+
+from repro.core.index import ReachabilityIndex, TOLIndex
+from repro.errors import NotADagError
+from repro.graph.condensation import DynamicCondensation
+from repro.graph.digraph import DiGraph
+
+
+class TestSelfLoops:
+    def test_condensation_absorbs_self_loop(self):
+        dc = DynamicCondensation(DiGraph(edges=[(1, 1), (1, 2)]))
+        assert dc.dag.num_vertices == 2
+        assert not dc.dag.has_edge(dc.component(1), dc.component(1))
+        dc.check_invariants()
+
+    def test_self_loop_edge_insert_is_silent(self):
+        g = DiGraph(vertices=[1, 2])
+        idx = ReachabilityIndex(g)
+        idx.insert_edge(1, 1)
+        assert idx.query(1, 1)
+        assert not idx.query(1, 2)
+        idx.condensation.check_invariants()
+
+    def test_self_loop_edge_delete(self):
+        idx = ReachabilityIndex(DiGraph(edges=[(1, 1), (1, 2)]))
+        idx.delete_edge(1, 1)
+        assert idx.query(1, 2)
+        idx.condensation.check_invariants()
+
+    def test_tol_index_rejects_self_loop(self):
+        with pytest.raises(NotADagError):
+            TOLIndex.build(DiGraph(edges=[(1, 1)]))
+
+    def test_tol_insert_edge_rejects_self_loop(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1]))
+        with pytest.raises(NotADagError):
+            idx.insert_edge(1, 1)
+
+
+class TestDegenerateShapes:
+    def test_single_vertex_everything(self):
+        idx = TOLIndex.build(DiGraph(vertices=["only"]))
+        assert idx.query("only", "only")
+        assert idx.size() == 0
+        report = idx.reduce_labels()
+        assert report.final_size == 0
+        idx.delete_vertex("only")
+        assert idx.num_vertices == 0
+
+    def test_empty_reachability_index_updates(self):
+        idx = ReachabilityIndex()
+        idx.insert_vertex("a")
+        idx.insert_vertex("b", in_neighbors=["a"])
+        assert idx.query("a", "b")
+        idx.delete_vertex("a")
+        assert idx.num_vertices == 1
+
+    def test_totally_disconnected_graph(self):
+        g = DiGraph(vertices=range(30))
+        idx = TOLIndex.build(g)
+        assert idx.size() == 0
+        for s in range(0, 30, 7):
+            for t in range(0, 30, 7):
+                assert idx.query(s, t) == (s == t)
+
+    def test_two_vertex_toggle(self):
+        """Insert/delete the same edge repeatedly; state must not drift."""
+        idx = TOLIndex.build(DiGraph(vertices=[1, 2]))
+        for _ in range(5):
+            idx.insert_edge(1, 2)
+            assert idx.query(1, 2)
+            idx.delete_edge(1, 2)
+            assert not idx.query(1, 2)
+        assert idx.size() == 0
+
+    def test_rebuild_after_emptying(self):
+        idx = TOLIndex.build(DiGraph(edges=[(1, 2)]))
+        idx.delete_vertex(1)
+        idx.delete_vertex(2)
+        idx.insert_vertex("x")
+        idx.insert_vertex("y", in_neighbors=["x"])
+        assert idx.query("x", "y")
+
+
+class TestSweepParameterPlumbing:
+    def test_figures_accept_precomputed_sweeps(self):
+        from repro.bench.experiments import (
+            fig2_insertion,
+            fig4_deletion,
+            fig5_index_size,
+            fig6_preprocessing,
+            fig7_query_static,
+            run_static_sweep,
+            run_update_sweep,
+        )
+
+        upd = run_update_sweep(datasets=["wiki"], num_vertices=120, num_updates=4)
+        assert fig2_insertion(sweep=upd).rows[0][0] == "wiki"
+        assert fig4_deletion(sweep=upd).rows[0][0] == "wiki"
+
+        sta = run_static_sweep(datasets=["wiki"], num_vertices=120, num_queries=30)
+        for fig in (fig5_index_size, fig6_preprocessing, fig7_query_static):
+            result = fig(sweep=sta)
+            assert result.rows[0][0] == "wiki"
+            assert len(result.rows) == 1

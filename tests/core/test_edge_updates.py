@@ -1,0 +1,104 @@
+"""Tests for TOLIndex edge insertion/deletion (level-preserving reindex)."""
+
+import random
+
+import pytest
+
+from repro.core.index import TOLIndex
+from repro.core.reference import reference_tol
+from repro.errors import IndexStateError, NotADagError
+from repro.graph.digraph import DiGraph
+
+from ..conftest import make_random_dag
+
+
+class TestBasics:
+    def test_insert_edge_connects(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1, 2, 3]))
+        idx.insert_edge(1, 2)
+        idx.insert_edge(2, 3)
+        assert idx.query(1, 3)
+        assert idx.num_edges == 2
+
+    def test_delete_edge_disconnects(self):
+        idx = TOLIndex.build(DiGraph(edges=[(1, 2), (2, 3)]))
+        idx.delete_edge(2, 3)
+        assert not idx.query(1, 3)
+        assert idx.query(1, 2)
+
+    def test_duplicate_edge_rejected(self):
+        idx = TOLIndex.build(DiGraph(edges=[(1, 2)]))
+        with pytest.raises(IndexStateError):
+            idx.insert_edge(1, 2)
+
+    def test_missing_edge_rejected(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1, 2]))
+        with pytest.raises(IndexStateError):
+            idx.delete_edge(1, 2)
+
+    def test_missing_endpoint_rejected(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1]))
+        with pytest.raises(IndexStateError):
+            idx.insert_edge(1, 99)
+
+    def test_cycle_rejected_without_damage(self):
+        idx = TOLIndex.build(DiGraph(edges=[(1, 2), (2, 3)]))
+        with pytest.raises(NotADagError):
+            idx.insert_edge(3, 1)
+        assert idx.num_edges == 2
+        assert idx.query(1, 3)
+
+    def test_order_is_preserved(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1, 2, 3, 4]))
+        before = list(idx.order)
+        idx.insert_edge(1, 3)
+        assert list(idx.order) == before
+
+
+class TestReachSets:
+    def test_descendants_ancestors(self):
+        idx = TOLIndex.build(DiGraph(edges=[(1, 2), (2, 3), (1, 4)]))
+        assert idx.descendants(1) == {2, 3, 4}
+        assert idx.ancestors(3) == {1, 2}
+        assert idx.descendants(3) == set()
+
+    def test_unknown_vertex(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1]))
+        with pytest.raises(IndexStateError):
+            idx.descendants(9)
+        with pytest.raises(IndexStateError):
+            idx.ancestors(9)
+
+
+@pytest.mark.parametrize("trial", range(30))
+def test_random_edge_churn_stays_reference_exact(trial):
+    r = random.Random(9000 + trial)
+    g = make_random_dag(trial, max_n=9)
+    idx = TOLIndex.build(g, order="butterfly-u")
+    live = g.copy()
+    for _ in range(10):
+        if r.random() < 0.5:
+            pairs = [
+                (a, b)
+                for a in live.vertices()
+                for b in live.vertices()
+                if a != b and not live.has_edge(a, b)
+            ]
+            r.shuffle(pairs)
+            for a, b in pairs:
+                try:
+                    idx.insert_edge(a, b)
+                except NotADagError:
+                    continue
+                live.add_edge(a, b)
+                break
+        else:
+            edges = list(live.edges())
+            if not edges:
+                continue
+            a, b = r.choice(edges)
+            live.remove_edge(a, b)
+            idx.delete_edge(a, b)
+        ref = reference_tol(live, idx.order)
+        assert idx.labeling.snapshot() == ref.snapshot()
+        assert idx.graph_copy() == live

@@ -1,0 +1,80 @@
+"""Tests for ReachabilityIndex derived queries (witness/descendants/ancestors)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.index import ReachabilityIndex
+from repro.errors import VertexNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import backward_reachable, forward_reachable
+
+
+@pytest.fixture
+def cyclic():
+    # a <-> b cycle feeding c; d isolated.
+    return ReachabilityIndex(
+        DiGraph(edges=[("a", "b"), ("b", "a"), ("b", "c")], vertices=["d"])
+    )
+
+
+class TestWitness:
+    def test_same_component(self, cyclic):
+        assert cyclic.witness("a", "b") == "a"
+
+    def test_cross_component(self, cyclic):
+        w = cyclic.witness("a", "c")
+        assert w in {"a", "b", "c"}
+
+    def test_unreachable(self, cyclic):
+        assert cyclic.witness("c", "a") is None
+        assert cyclic.witness("a", "d") is None
+
+    def test_unknown_vertex(self, cyclic):
+        with pytest.raises(VertexNotFoundError):
+            cyclic.witness("a", "ghost")
+
+
+class TestReachSets:
+    def test_component_members_included(self, cyclic):
+        assert cyclic.descendants("a") == {"b", "c"}
+        assert cyclic.ancestors("c") == {"a", "b"}
+
+    def test_self_excluded(self, cyclic):
+        assert "a" not in cyclic.descendants("a")
+        assert "c" not in cyclic.ancestors("c")
+
+    def test_isolated(self, cyclic):
+        assert cyclic.descendants("d") == set()
+        assert cyclic.ancestors("d") == set()
+
+    def test_after_update(self, cyclic):
+        cyclic.insert_edge("c", "d")
+        assert "d" in cyclic.descendants("a")
+        cyclic.delete_edge("c", "d")
+        assert "d" not in cyclic.descendants("a")
+
+
+@given(st.integers(0, 120))
+def test_reach_sets_match_graph_truth(seed):
+    r = random.Random(seed)
+    n = r.randint(1, 9)
+    g = DiGraph(vertices=range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and r.random() < 0.25:
+                g.add_edge_if_absent(i, j)
+    idx = ReachabilityIndex(g)
+    for v in g.vertices():
+        assert idx.descendants(v) == forward_reachable(g, v)
+        assert idx.ancestors(v) == backward_reachable(g, v)
+        for t in g.vertices():
+            w = idx.witness(v, t)
+            if idx.query(v, t):
+                assert w is not None
+                # The witness lies on some v ⇝ t path.
+                assert w == v or w in forward_reachable(g, v)
+                assert w == t or t in forward_reachable(g, w)
+            else:
+                assert w is None

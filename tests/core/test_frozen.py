@@ -1,0 +1,120 @@
+"""Tests for the frozen (CSR-packed) index."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.frozen import FrozenTOLIndex, freeze
+from repro.core.index import TOLIndex
+from repro.core.reference import descendants_map
+from repro.errors import IndexStateError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_dag, random_dag
+
+from ..conftest import small_dags
+
+
+@pytest.fixture
+def live():
+    return TOLIndex.build(figure1_dag(), order="butterfly-u")
+
+
+class TestFreeze:
+    def test_queries_match_live(self, live):
+        frozen = freeze(live)
+        for s in "abcdefgh":
+            for t in "abcdefgh":
+                assert frozen.query(s, t) == live.query(s, t), (s, t)
+
+    def test_label_views_match(self, live):
+        frozen = freeze(live)
+        for v in "abcdefgh":
+            assert frozen.in_labels(v) == live.in_labels(v)
+            assert frozen.out_labels(v) == live.out_labels(v)
+
+    def test_size_preserved(self, live):
+        frozen = freeze(live)
+        assert frozen.size() == live.size()
+        assert frozen.num_vertices == live.num_vertices
+
+    def test_packed_bytes_accounting(self, live):
+        frozen = freeze(live)
+        # labels + the two (n+1)-long offset arrays
+        item = frozen._in_labels.itemsize
+        expected = item * (live.size() + 2 * (live.num_vertices + 1))
+        assert frozen.size_bytes() == expected
+
+    def test_unknown_vertex(self, live):
+        frozen = freeze(live)
+        with pytest.raises(IndexStateError):
+            frozen.query("a", "ghost")
+
+    def test_contains_and_repr(self, live):
+        frozen = freeze(live)
+        assert "a" in frozen and "zz" not in frozen
+        assert "FrozenTOLIndex" in repr(frozen)
+
+    def test_live_index_unaffected(self, live):
+        freeze(live)
+        live.insert_vertex("z", in_neighbors=["c"])
+        assert live.query("e", "z")
+
+    def test_query_many(self, live):
+        frozen = freeze(live)
+        answers = frozen.query_many([("e", "c"), ("c", "e"), ("a", "a")])
+        assert answers == [True, False, True]
+
+    def test_empty_index(self):
+        frozen = freeze(TOLIndex.build(DiGraph()))
+        assert frozen.num_vertices == 0
+        assert frozen.size() == 0
+
+
+class TestThaw:
+    def test_round_trip(self, live):
+        thawed = freeze(live).thaw()
+        assert thawed.labeling.snapshot() == live.labeling.snapshot()
+        assert list(thawed.order) == list(live.order)
+        assert thawed.graph_copy() == live.graph_copy()
+
+    def test_thawed_index_is_updatable(self, live):
+        thawed = freeze(live).thaw()
+        thawed.insert_vertex("z", in_neighbors=["c"])
+        assert thawed.query("e", "z")
+        thawed.delete_vertex("a")
+        assert not thawed.query("e", "c")
+
+
+class TestSkewedIntersection:
+    def test_galloping_path(self):
+        # One huge out-label slice against a tiny in-label slice forces
+        # the galloping branch.
+        g = DiGraph()
+        hub = "hub"
+        for i in range(200):
+            g.add_edge(hub, i)
+        g.add_edge(0, "deep")
+        idx = TOLIndex.build(g, order="topological")
+        frozen = freeze(idx)
+        assert frozen.query(hub, "deep")
+        assert not frozen.query("deep", hub)
+
+
+@given(small_dags())
+def test_frozen_matches_ground_truth(graph):
+    frozen = freeze(TOLIndex.build(graph, order="degree"))
+    desc = descendants_map(graph)
+    for s in graph.vertices():
+        for t in graph.vertices():
+            assert frozen.query(s, t) == (s == t or t in desc[s])
+
+
+def test_memory_packing_is_denser_than_sets():
+    import sys
+
+    g = random_dag(300, 1500, seed=3)
+    live = TOLIndex.build(g)
+    frozen = freeze(live)
+    set_bytes = sum(
+        sys.getsizeof(s) for s in live.labeling.label_in.values()
+    ) + sum(sys.getsizeof(s) for s in live.labeling.label_out.values())
+    assert frozen.size_bytes() < set_bytes

@@ -1,0 +1,183 @@
+"""Tests for vertex insertion (Algorithms 1–3).
+
+The heavyweight guarantees — insertion at *any* placement reproduces the
+Definition-1 reference on the updated graph, and the default placement is
+the global size minimizer — are checked by brute force over every possible
+position on random DAGs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.butterfly import butterfly_build
+from repro.core.insertion import choose_level, insert_vertex
+from repro.core.order import LevelOrder
+from repro.core.reference import reference_tol
+from repro.errors import IndexStateError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+
+from ..conftest import make_random_dag
+
+
+def split_out_vertex(graph, order_seq, v):
+    """Return (graph without v, order without v)."""
+    sub = graph.copy()
+    sub.remove_vertex(v)
+    return sub, [u for u in order_seq if u != v]
+
+
+class TestBasics:
+    def test_insert_into_empty(self):
+        g = DiGraph(vertices=["v"])
+        lab = butterfly_build(DiGraph(), LevelOrder())
+        insert_vertex(g, lab, "v")
+        assert "v" in lab
+        assert lab.query("v", "v")
+
+    def test_insert_chain_head(self):
+        g = DiGraph(edges=[(1, 2)])
+        sub = DiGraph(vertices=[2])
+        lab = butterfly_build(sub, LevelOrder([2]))
+        insert_vertex(g, lab, 1)
+        assert lab.query(1, 2)
+        assert not lab.query(2, 1)
+
+    def test_duplicate_insert_rejected(self):
+        g = DiGraph(vertices=[1])
+        lab = butterfly_build(g, LevelOrder([1]))
+        with pytest.raises(IndexStateError):
+            insert_vertex(g, lab, 1)
+
+    def test_vertex_missing_from_graph_rejected(self):
+        lab = butterfly_build(DiGraph(), LevelOrder())
+        with pytest.raises(IndexStateError):
+            insert_vertex(DiGraph(), lab, "ghost")
+
+    def test_unknown_placement_rejected(self):
+        g = DiGraph(vertices=[1])
+        lab = butterfly_build(DiGraph(), LevelOrder())
+        with pytest.raises(IndexStateError):
+            insert_vertex(g, lab, 1, placement=("sideways", 2))
+
+    def test_neighbor_not_indexed_rejected(self):
+        g = DiGraph(edges=[(1, 2)])
+        lab = butterfly_build(DiGraph(), LevelOrder())
+        with pytest.raises(IndexStateError):
+            insert_vertex(g, lab, 2)
+
+
+class TestPlacementSemantics:
+    def test_bottom_placement(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        sub, seq = split_out_vertex(g, [1, 2, 3], 3)
+        lab = butterfly_build(sub, LevelOrder(seq))
+        insert_vertex(g, lab, 3, placement="bottom")
+        assert lab.order.last() == 3
+
+    def test_above_placement(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        sub, seq = split_out_vertex(g, [1, 2, 3], 2)
+        lab = butterfly_build(sub, LevelOrder(seq))
+        insert_vertex(g, lab, 2, placement=("above", 1))
+        assert list(lab.order) == [2, 1, 3]
+
+
+@pytest.mark.parametrize("trial", range(40))
+def test_insertion_at_every_position_matches_reference(trial):
+    r = random.Random(5000 + trial)
+    g = make_random_dag(trial, max_n=9)
+    if g.num_vertices < 2:
+        pytest.skip("too small")
+    seq = list(g.vertices())
+    r.shuffle(seq)
+    v = r.choice(seq)
+    sub, base = split_out_vertex(g, seq, v)
+    for placement in ["bottom", *(("above", u) for u in base)]:
+        lab = butterfly_build(sub, LevelOrder(base))
+        insert_vertex(g, lab, v, placement=placement)
+        ref = reference_tol(g, lab.order)
+        assert lab.snapshot() == ref.snapshot(), placement
+        lab.check_invariants()
+
+
+@pytest.mark.parametrize("trial", range(40))
+def test_default_placement_is_globally_optimal(trial):
+    r = random.Random(6000 + trial)
+    g = make_random_dag(1000 + trial, max_n=9)
+    if g.num_vertices < 2:
+        pytest.skip("too small")
+    seq = list(g.vertices())
+    r.shuffle(seq)
+    v = r.choice(seq)
+    sub, base = split_out_vertex(g, seq, v)
+
+    sizes = []
+    for placement in ["bottom", *(("above", u) for u in base)]:
+        lab = butterfly_build(sub, LevelOrder(base))
+        insert_vertex(g, lab, v, placement=placement)
+        sizes.append(lab.size())
+
+    lab = butterfly_build(sub, LevelOrder(base))
+    insert_vertex(g, lab, v)  # Algorithm-3 default
+    assert lab.size() == min(sizes)
+    ref = reference_tol(g, lab.order)
+    assert lab.snapshot() == ref.snapshot()
+
+
+@pytest.mark.parametrize("trial", range(25))
+def test_choose_level_theta_is_exact(trial):
+    r = random.Random(7000 + trial)
+    g = make_random_dag(2000 + trial, max_n=9)
+    if g.num_vertices < 2:
+        pytest.skip("too small")
+    seq = list(g.vertices())
+    r.shuffle(seq)
+    v = r.choice(seq)
+    sub, base = split_out_vertex(g, seq, v)
+
+    lab = butterfly_build(sub, LevelOrder(base))
+    insert_vertex(g, lab, v, placement="bottom")
+    bottom_size = lab.size()
+    choice = choose_level(lab, v)
+
+    lab2 = butterfly_build(sub, LevelOrder(base))
+    insert_vertex(g, lab2, v, placement=choice.placement)
+    assert lab2.size() - bottom_size == choice.theta
+
+
+def test_incremental_build_equals_batch_build():
+    """Inserting every vertex one by one converges to a valid TOL."""
+    g = random_dag(25, 80, seed=9)
+    from repro.graph.dag import topological_order
+
+    live = DiGraph()
+    lab = butterfly_build(DiGraph(), LevelOrder())
+    for v in topological_order(g):
+        ins = [u for u in g.in_neighbors(v) if u in live]
+        live.add_vertex(v)
+        for u in ins:
+            live.add_edge(u, v)
+        insert_vertex(live, lab, v)
+    ref = reference_tol(live, lab.order)
+    assert lab.snapshot() == ref.snapshot()
+    assert live == g
+
+
+@given(st.integers(0, 10_000))
+def test_insertion_keeps_surviving_order_stable(seed):
+    """The relative order of pre-existing vertices never changes."""
+    r = random.Random(seed)
+    g = make_random_dag(seed % 500, max_n=8)
+    if g.num_vertices < 2:
+        return
+    seq = list(g.vertices())
+    r.shuffle(seq)
+    v = r.choice(seq)
+    sub, base = split_out_vertex(g, seq, v)
+    lab = butterfly_build(sub, LevelOrder(base))
+    insert_vertex(g, lab, v)
+    after = [u for u in lab.order if u != v]
+    assert after == base

@@ -1,0 +1,99 @@
+"""Stress tests for the order-maintenance structure under index workloads.
+
+The level order is the one data structure every algorithm leans on; these
+tests drive it with the exact access patterns the TOL machinery produces
+(bursts of insert-above at a hot position, interleaved removals) at sizes
+above the unit tests', and cross-check against a list model throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.core.order import LevelOrder
+from repro.errors import OrderError
+
+
+class TestHotspotPatterns:
+    def test_repeated_insert_above_same_anchor(self):
+        """Algorithm 3 frequently lands new vertices just above one hub."""
+        order = LevelOrder(["hub", "tail"])
+        for i in range(3000):
+            order.insert_before(i, "hub")
+        order.check_invariants()
+        seq = list(order)
+        assert seq[-2:] == ["hub", "tail"]
+        assert len(seq) == 3002
+
+    def test_repeated_insert_below_same_anchor(self):
+        order = LevelOrder(["head", "hub"])
+        for i in range(3000):
+            order.insert_after(i, "hub")
+        order.check_invariants()
+        assert list(order)[:2] == ["head", "hub"]
+
+    def test_alternating_insert_remove_at_bottom(self):
+        """The bottom-placement fast path of insertion."""
+        order = LevelOrder(range(50))
+        for round_ in range(500):
+            order.insert_last(("tmp", round_))
+            assert order.last() == ("tmp", round_)
+            order.remove(("tmp", round_))
+        assert list(order) == list(range(50))
+
+    def test_churn_keeps_comparisons_transitive(self):
+        rng = random.Random(5)
+        order = LevelOrder(range(60))
+        alive = list(range(60))
+        nxt = 60
+        for _ in range(800):
+            if rng.random() < 0.5 and len(alive) > 2:
+                victim = alive.pop(rng.randrange(len(alive)))
+                order.remove(victim)
+            else:
+                anchor = alive[rng.randrange(len(alive))]
+                order.insert_before(nxt, anchor)
+                alive.insert(alive.index(anchor), nxt)
+                nxt += 1
+        order.check_invariants()
+        assert list(order) == alive
+        # Spot-check transitivity: a < b and b < c implies a < c.
+        for _ in range(200):
+            a, b, c = rng.sample(alive, 3)
+            pairs = sorted([a, b, c], key=order.key)
+            assert order.higher(pairs[0], pairs[2])
+
+
+class TestRelabelBehaviour:
+    def test_relabel_fires_under_pressure_and_preserves_order(self):
+        order = LevelOrder(["a", "b"])
+        before = order.relabel_count
+        # Squeezing into the same gap halves it each time: ~62 inserts
+        # exhaust the 2^62 span and force relabels.
+        for i in range(200):
+            order.insert_after(i, "a")
+        assert order.relabel_count > before
+        seq = list(order)
+        assert seq[0] == "a" and seq[-1] == "b"
+        # Newest insertions sit closest to the anchor.
+        assert seq[1] == 199
+
+    def test_keys_refresh_after_relabel(self):
+        order = LevelOrder(["a", "b"])
+        for i in range(200):
+            order.insert_after(i, "a")
+        keys = [order.key(v) for v in order]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+
+class TestScaleSanity:
+    @pytest.mark.parametrize("n", [1000, 5000])
+    def test_bulk_build_and_teardown(self, n):
+        order = LevelOrder(range(n))
+        assert order.rank(n - 1) == n
+        for v in range(0, n, 2):
+            order.remove(v)
+        order.check_invariants()
+        assert len(order) == n // 2
+        assert order.first() == 1

@@ -1,0 +1,113 @@
+"""Cross-module property tests: the paper's key theorems, fuzzed.
+
+These hypothesis tests tie the whole core together: whatever the graph,
+whatever the order, whatever the update sequence — the live index must
+remain *the* TOL index of Definition 1 (checked via the independent
+reference construction) and must answer every query like a BFS would.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.butterfly import butterfly_build
+from repro.core.deletion import delete_vertex
+from repro.core.insertion import insert_vertex
+from repro.core.order import LevelOrder
+from repro.core.reference import descendants_map, reference_tol
+from repro.errors import NotADagError
+from repro.graph.dag import ensure_dag
+from repro.graph.digraph import DiGraph
+
+from ..conftest import dags_with_order
+
+
+@given(dags_with_order(), st.randoms(use_true_random=False))
+def test_update_sequences_stay_reference_exact(pair, r):
+    """Interleaved inserts/deletes always equal from-scratch construction."""
+    graph, order = pair
+    live = graph.copy()
+    lab = butterfly_build(live, order)
+    nxt = 10_000
+    for _ in range(6):
+        if r.random() < 0.5 and live.num_vertices > 1:
+            v = r.choice(sorted(live.vertices(), key=repr))
+            delete_vertex(live, lab, v)
+        else:
+            verts = sorted(live.vertices(), key=repr)
+            ins = [x for x in verts if r.random() < 0.35]
+            outs = [x for x in verts if x not in ins and r.random() < 0.35]
+            v = nxt
+            nxt += 1
+            live.add_vertex(v)
+            for u in ins:
+                live.add_edge(u, v)
+            for w in outs:
+                live.add_edge(v, w)
+            try:
+                ensure_dag(live)
+            except NotADagError:
+                live.remove_vertex(v)
+                continue
+            insert_vertex(live, lab, v)
+        ref = reference_tol(live, lab.order)
+        assert lab.snapshot() == ref.snapshot()
+        lab.check_invariants()
+
+
+@given(dags_with_order())
+def test_delete_then_reinsert_round_trip_never_grows(pair):
+    """The Section-6 observation behind label reduction, per vertex."""
+    graph, order = pair
+    live = graph.copy()
+    lab = butterfly_build(live, order)
+    for v in sorted(graph.vertices(), key=repr):
+        before = lab.size()
+        ins = live.in_neighbors(v)
+        outs = live.out_neighbors(v)
+        delete_vertex(live, lab, v)
+        live.add_vertex(v)
+        for u in ins:
+            live.add_edge(u, v)
+        for w in outs:
+            live.add_edge(v, w)
+        insert_vertex(live, lab, v)
+        assert lab.size() <= before
+
+
+@given(dags_with_order())
+def test_query_equals_ground_truth_after_one_update(pair):
+    graph, order = pair
+    live = graph.copy()
+    lab = butterfly_build(live, order)
+    victim = sorted(live.vertices(), key=repr)[0]
+    delete_vertex(live, lab, victim)
+    desc = descendants_map(live)
+    for s in live.vertices():
+        for t in live.vertices():
+            assert lab.query(s, t) == (s == t or t in desc[s])
+
+
+@given(dags_with_order())
+def test_label_sets_only_hold_higher_levels(pair):
+    """The Level Constraint as a standalone fuzzed invariant."""
+    graph, order = pair
+    lab = butterfly_build(graph, order)
+    for v in lab.vertices():
+        for u in lab.label_in[v] | lab.label_out[v]:
+            assert lab.order.higher(u, v)
+
+
+@given(dags_with_order())
+def test_two_hop_cover_witness_is_on_a_path(pair):
+    """Every positive witness really lies on an s ⇝ t path."""
+    graph, order = pair
+    lab = butterfly_build(graph, order)
+    desc = descendants_map(graph)
+    for s in graph.vertices():
+        for t in graph.vertices():
+            w = lab.witness(s, t)
+            if w is None:
+                continue
+            assert (w == s or w in desc[s])
+            assert (w == t or t in desc[w])

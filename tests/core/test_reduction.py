@@ -1,0 +1,109 @@
+"""Tests for iterative label reduction (Section 6)."""
+
+import random
+
+import pytest
+
+from repro.core.butterfly import butterfly_build
+from repro.core.index import TOLIndex
+from repro.core.order import LevelOrder
+from repro.core.reduction import reduce_labels
+from repro.core.reference import reference_tol
+from repro.core.validation import assert_queries_correct
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag, random_layered_dag
+
+from ..conftest import make_random_dag
+
+
+class TestReport:
+    def test_empty_graph(self):
+        g = DiGraph()
+        lab = butterfly_build(g, LevelOrder())
+        report = reduce_labels(g, lab)
+        assert report.initial_size == 0
+        assert report.final_size == 0
+        assert report.reduction_ratio == 0.0
+
+    def test_report_fields(self):
+        g = random_dag(15, 40, seed=0)
+        seq = list(g.vertices())
+        lab = butterfly_build(g, LevelOrder(seq))
+        report = reduce_labels(g, lab, max_rounds=1)
+        assert report.initial_size >= report.final_size
+        assert report.reduction == report.initial_size - report.final_size
+        assert report.round_sizes[-1] == lab.size()
+
+    def test_on_vertex_callback(self):
+        g = random_dag(8, 12, seed=1)
+        lab = butterfly_build(g, LevelOrder(list(g.vertices())))
+        calls = []
+        reduce_labels(g, lab, on_vertex=lambda v, size: calls.append((v, size)))
+        assert len(calls) == g.num_vertices
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_never_increases_and_stays_valid(self, trial):
+        r = random.Random(trial)
+        g = make_random_dag(trial, max_n=10)
+        seq = list(g.vertices())
+        r.shuffle(seq)
+        lab = butterfly_build(g, LevelOrder(seq))
+        before_graph = g.copy()
+        sizes = [lab.size()]
+        report = reduce_labels(g, lab, max_rounds=3)
+        sizes.extend(report.round_sizes)
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert g == before_graph  # graph restored after the churn
+        ref = reference_tol(g, lab.order)
+        assert lab.snapshot() == ref.snapshot()
+        assert_queries_correct(g, lab)
+
+    def test_fixpoint_stops_early(self):
+        g = random_dag(10, 20, seed=3)
+        lab = butterfly_build(g, LevelOrder(list(g.vertices())))
+        report = reduce_labels(g, lab, max_rounds=10)
+        # Far fewer than 10 rounds actually execute once a fixpoint hits.
+        assert len(report.round_sizes) <= 10
+        again = reduce_labels(g, lab, max_rounds=1)
+        assert again.reduction == 0
+
+
+class TestEffectiveness:
+    """Table 4's qualitative claim: weak orders shrink a lot."""
+
+    def test_tf_on_layered_graph_shrinks(self):
+        g = random_layered_dag(150, 3.0, seed=4)
+        idx = TOLIndex.build(g, order="topological")
+        before = idx.size()
+        report = idx.reduce_labels()
+        assert report.final_size <= before
+        # The topological order on layered graphs is far from optimal;
+        # a single round should reclaim a visible fraction.
+        assert report.reduction_ratio > 0.05
+
+    def test_reduced_tf_approaches_bu(self):
+        g = random_layered_dag(120, 3.0, seed=5)
+        tf = TOLIndex.build(g, order="topological")
+        tf.reduce_labels(max_rounds=2)
+        bu = TOLIndex.build(g, order="butterfly-u")
+        # Reduction should close most of the gap (within 25%).
+        assert tf.size() <= bu.size() * 1.25
+
+    def test_reduction_on_tree_reaches_bu_quality(self):
+        """On trees one reduction round lands at (or below) BU's size."""
+        from repro.graph.generators import random_tree_dag
+
+        g = random_tree_dag(200, seed=6)
+        idx = TOLIndex.build(g, order="degree")
+        idx.reduce_labels()
+        bu = TOLIndex.build(g, order="butterfly-u")
+        assert idx.size() <= bu.size() * 1.05
+
+    def test_explicit_sweep_order(self):
+        g = random_dag(12, 25, seed=7)
+        lab = butterfly_build(g, LevelOrder(list(g.vertices())))
+        sweep = sorted(g.vertices())
+        report = reduce_labels(g, lab, sweep=sweep)
+        assert report.final_size <= report.initial_size

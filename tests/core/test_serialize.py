@@ -1,0 +1,125 @@
+"""Tests for index persistence (binary + JSON round trips)."""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from repro.core.index import TOLIndex
+from repro.core.serialize import (
+    index_from_dict,
+    index_to_dict,
+    load_index,
+    save_index,
+)
+from repro.core.validation import find_violations
+from repro.errors import IndexStateError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_dag, random_dag
+
+from ..conftest import small_dags
+
+
+@pytest.fixture
+def index():
+    return TOLIndex.build(figure1_dag(), order="butterfly-u")
+
+
+class TestDictRoundTrip:
+    def test_basic(self, index):
+        restored = index_from_dict(index_to_dict(index))
+        assert restored.labeling.snapshot() == index.labeling.snapshot()
+        assert list(restored.order) == list(index.order)
+        assert restored.graph_copy() == index.graph_copy()
+
+    def test_dict_is_json_compatible(self, index):
+        json.dumps(index_to_dict(index))
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(IndexStateError):
+            index_from_dict({"format": "something-else"})
+
+    def test_bad_version_rejected(self, index):
+        payload = index_to_dict(index)
+        payload["version"] = 999
+        with pytest.raises(IndexStateError):
+            index_from_dict(payload)
+
+    def test_duplicate_vertices_rejected(self, index):
+        payload = index_to_dict(index)
+        payload["vertices"][1] = payload["vertices"][0]
+        with pytest.raises(IndexStateError):
+            index_from_dict(payload)
+
+    def test_unserializable_vertices_rejected(self):
+        idx = TOLIndex.build(DiGraph(vertices=[object()]))
+        with pytest.raises(IndexStateError):
+            index_to_dict(idx)
+
+    def test_tuple_vertices_round_trip(self):
+        g = DiGraph(edges=[((1, "a"), (2, "b"))])
+        idx = TOLIndex.build(g)
+        restored = index_from_dict(index_to_dict(idx))
+        assert restored.query((1, "a"), (2, "b"))
+
+
+class TestFileRoundTrip:
+    @pytest.mark.parametrize("name", ["idx.tolx", "idx.json"])
+    def test_round_trip(self, index, tmp_path, name):
+        path = tmp_path / name
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.labeling.snapshot() == index.labeling.snapshot()
+        assert restored.query("e", "c") and not restored.query("c", "e")
+
+    def test_binary_is_compact(self, tmp_path):
+        g = random_dag(200, 800, seed=1)
+        idx = TOLIndex.build(g)
+        bin_path = tmp_path / "i.tolx"
+        json_path = tmp_path / "i.json"
+        save_index(idx, bin_path)
+        save_index(idx, json_path)
+        assert bin_path.stat().st_size < json_path.stat().st_size / 3
+
+    def test_forced_format(self, index, tmp_path):
+        path = tmp_path / "weird.dat"
+        save_index(index, path, format="json")
+        assert path.read_bytes()[:1] == b"{"
+        assert load_index(path).query("e", "c")
+
+    def test_unknown_format_rejected(self, index, tmp_path):
+        with pytest.raises(IndexStateError):
+            save_index(index, tmp_path / "x", format="xml")
+
+    def test_corrupt_binary_detected(self, index, tmp_path):
+        path = tmp_path / "i.tolx"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(Exception):  # zlib error or checksum failure
+            load_index(path)
+
+    def test_garbage_file_detected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"\x00\x01\x02 not an index")
+        with pytest.raises(IndexStateError):
+            load_index(path)
+
+    def test_restored_index_supports_updates(self, index, tmp_path):
+        path = tmp_path / "i.tolx"
+        save_index(index, path)
+        restored = load_index(path)
+        restored.insert_vertex("z", in_neighbors=["c"])
+        assert restored.query("e", "z")
+        restored.delete_vertex("a")
+        assert not restored.query("e", "c")
+        assert find_violations(restored.graph_copy(), restored.labeling) == []
+
+
+@given(small_dags())
+def test_round_trip_property(graph):
+    idx = TOLIndex.build(graph, order="degree")
+    restored = index_from_dict(index_to_dict(idx))
+    assert restored.labeling.snapshot() == idx.labeling.snapshot()
+    assert list(restored.order) == list(idx.order)

@@ -1,0 +1,66 @@
+"""Tests for label statistics."""
+
+from repro.core.index import TOLIndex
+from repro.core.order import LevelOrder
+from repro.core.stats import labeling_stats, top_label_holders
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_dag, random_dag
+
+
+class TestStats:
+    def test_empty(self):
+        idx = TOLIndex.build(DiGraph())
+        stats = labeling_stats(idx.labeling)
+        assert stats.num_vertices == 0
+        assert stats.total_labels == 0
+        assert stats.mean == 0.0
+        assert stats.max == 0
+
+    def test_figure1(self):
+        idx = TOLIndex.build(figure1_dag(), order=LevelOrder(list("abcdefgh")))
+        stats = labeling_stats(idx.labeling)
+        assert stats.num_vertices == 8
+        assert stats.total_labels == 14
+        assert stats.in_labels == 9
+        assert stats.out_labels == 5
+        assert stats.mean == 14 / 8
+        # a carries no labels under l1; f carries the most (Lin={a,b,d},
+        # Lout={c}).
+        assert stats.empty_vertices == 1
+        assert stats.max == 4
+        assert stats.histogram == {0: 1, 1: 2, 2: 4, 4: 1}
+
+    def test_histogram_totals(self):
+        g = random_dag(30, 120, seed=0)
+        idx = TOLIndex.build(g)
+        stats = labeling_stats(idx.labeling)
+        assert sum(stats.histogram.values()) == 30
+        assert sum(k * v for k, v in stats.histogram.items()) == stats.total_labels
+
+    def test_percentiles_ordered(self):
+        g = random_dag(40, 200, seed=1)
+        stats = labeling_stats(TOLIndex.build(g).labeling)
+        assert stats.p50 <= stats.p90 <= stats.p99 <= stats.max
+
+    def test_render(self):
+        stats = labeling_stats(TOLIndex.build(figure1_dag()).labeling)
+        text = stats.render()
+        assert "|V|=8" in text and "|L|=" in text
+
+
+class TestTopHolders:
+    def test_sorted_descending(self):
+        g = random_dag(25, 100, seed=2)
+        idx = TOLIndex.build(g)
+        top = top_label_holders(idx.labeling, k=5)
+        assert len(top) == 5
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_k_larger_than_graph(self):
+        idx = TOLIndex.build(DiGraph(vertices=[1, 2]))
+        assert len(top_label_holders(idx.labeling, k=10)) == 2
+
+    def test_deterministic_tie_break(self):
+        idx = TOLIndex.build(DiGraph(vertices=[3, 1, 2]))
+        assert [v for v, _ in top_label_holders(idx.labeling)] == [1, 2, 3]

@@ -1,0 +1,204 @@
+"""Structural stress tests: named graph families that corner the algorithms.
+
+Random fuzzing explores typical shapes; these families hit the extremes —
+long chains (deep recursion/propagation), stars (huge fan-in/out), crowns
+(complete bipartite reachability: the |Sin|·|Sout| worst case that
+motivates the score function), diamonds (maximal path redundancy) and
+layered butterflies (cover chains through multiple levels).  Every family
+is run through construction, updates, reduction and freezing, each
+validated against the Definition-1 reference.
+"""
+
+import pytest
+
+from repro.core.butterfly import butterfly_build
+from repro.core.frozen import freeze
+from repro.core.index import TOLIndex
+from repro.core.orders import butterfly_upper_order, random_order_strategy
+from repro.core.reference import reference_tol
+from repro.core.validation import assert_queries_correct
+from repro.graph.digraph import DiGraph
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+
+
+def chain(n: int) -> DiGraph:
+    """0 -> 1 -> ... -> n-1."""
+    return DiGraph(edges=[(i, i + 1) for i in range(n - 1)], vertices=range(n))
+
+
+def out_star(n: int) -> DiGraph:
+    """hub -> leaf_i for every leaf."""
+    return DiGraph(edges=[("hub", i) for i in range(n)])
+
+
+def in_star(n: int) -> DiGraph:
+    """leaf_i -> hub."""
+    return DiGraph(edges=[(i, "hub") for i in range(n)])
+
+
+def crown(n: int) -> DiGraph:
+    """Complete bipartite a_i -> b_j: the |Sin|x|Sout| blow-up shape."""
+    return DiGraph(
+        edges=[(f"a{i}", f"b{j}") for i in range(n) for j in range(n)]
+    )
+
+
+def crown_with_cut(n: int) -> DiGraph:
+    """Every a_i -> m -> b_j, plus one direct chord: m is a near-cut vertex."""
+    g = DiGraph()
+    for i in range(n):
+        g.add_edge(f"a{i}", "m")
+        g.add_edge("m", f"b{i}")
+    g.add_edge("a0", "b0")
+    return g
+
+
+def diamond_stack(depth: int) -> DiGraph:
+    """Chained diamonds: s_i -> {x_i, y_i} -> s_{i+1}: 2^depth paths."""
+    g = DiGraph()
+    for i in range(depth):
+        g.add_edge(f"s{i}", f"x{i}")
+        g.add_edge(f"s{i}", f"y{i}")
+        g.add_edge(f"x{i}", f"s{i + 1}")
+        g.add_edge(f"y{i}", f"s{i + 1}")
+    return g
+
+
+def layered_butterfly(width: int, layers: int) -> DiGraph:
+    """Complete bipartite connections between consecutive layers."""
+    g = DiGraph()
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                g.add_edge((layer, i), (layer + 1, j))
+    return g
+
+
+FAMILIES = {
+    "chain": lambda: chain(60),
+    "out_star": lambda: out_star(50),
+    "in_star": lambda: in_star(50),
+    "crown": lambda: crown(8),
+    "crown_with_cut": lambda: crown_with_cut(10),
+    "diamond_stack": lambda: diamond_stack(12),
+    "layered_butterfly": lambda: layered_butterfly(4, 4),
+}
+
+
+@pytest.fixture(params=sorted(FAMILIES), ids=sorted(FAMILIES))
+def family(request):
+    return request.param, FAMILIES[request.param]()
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+class TestConstruction:
+    def test_bu_matches_reference(self, family):
+        name, graph = family
+        order = butterfly_upper_order(graph)
+        got = butterfly_build(graph, order)
+        from repro.core.order import LevelOrder
+
+        ref = reference_tol(graph, LevelOrder(list(order)))
+        assert got.snapshot() == ref.snapshot()
+
+    def test_adversarial_random_order_still_correct(self, family):
+        name, graph = family
+        lab = butterfly_build(graph, random_order_strategy(graph, seed=13))
+        assert_queries_correct(graph, lab)
+
+    def test_cut_vertex_gets_top_rank(self):
+        graph = crown_with_cut(10)
+        order = butterfly_upper_order(graph)
+        # m connects 10 sources to 10 sinks; every score function worth
+        # its salt must rank it first.
+        assert order.first() == "m"
+
+    def test_crown_size_depends_on_orientation(self):
+        # Crown under a bad order (all a's above all b's, no mediator)
+        # costs ~n^2 labels; BU cannot do better than n^2 either (there is
+        # no cut vertex), so sizes match the structural lower bound.
+        g = crown(8)
+        lab = butterfly_build(g, butterfly_upper_order(g))
+        assert lab.size() >= 8 * 8  # one witness per (a, b) pair minimum
+
+    def test_crown_with_cut_is_linear(self):
+        g = crown_with_cut(10)
+        lab = butterfly_build(g, butterfly_upper_order(g))
+        # m covers everything: ~2 labels per outer vertex, not n^2.
+        assert lab.size() <= 4 * 10 + 4
+
+
+# ----------------------------------------------------------------------
+# Updates
+# ----------------------------------------------------------------------
+
+
+class TestUpdates:
+    def test_delete_the_hub(self, family):
+        name, graph = family
+        idx = TOLIndex.build(graph, order="butterfly-u")
+        victim = idx.order.first()  # the structurally most-loaded vertex
+        idx.delete_vertex(victim)
+        live = graph.copy()
+        live.remove_vertex(victim)
+        ref = reference_tol(live, idx.order)
+        assert idx.labeling.snapshot() == ref.snapshot()
+
+    def test_reinsert_the_hub(self, family):
+        name, graph = family
+        idx = TOLIndex.build(graph, order="butterfly-u")
+        victim = idx.order.first()
+        ins = graph.in_neighbors(victim)
+        outs = graph.out_neighbors(victim)
+        size_before = idx.size()
+        idx.delete_vertex(victim)
+        idx.insert_vertex(victim, ins, outs)
+        assert idx.size() <= size_before  # optimal placement (Lemma 3)
+        ref = reference_tol(idx.graph_copy(), idx.order)
+        assert idx.labeling.snapshot() == ref.snapshot()
+
+    def test_chain_middle_deletion_splits(self):
+        idx = TOLIndex.build(chain(40))
+        idx.delete_vertex(20)
+        assert idx.query(0, 19)
+        assert not idx.query(0, 21)
+        assert idx.query(21, 39)
+
+
+# ----------------------------------------------------------------------
+# Reduction and freezing
+# ----------------------------------------------------------------------
+
+
+class TestReductionAndFreeze:
+    def test_reduction_is_sound_on_structures(self, family):
+        name, graph = family
+        idx = TOLIndex.build(graph, order="topological")
+        before = idx.size()
+        idx.reduce_labels()
+        assert idx.size() <= before
+        ref = reference_tol(idx.graph_copy(), idx.order)
+        assert idx.labeling.snapshot() == ref.snapshot()
+
+    def test_chain_reduction_beats_topological(self):
+        # A source-first chain under TF order is quadratic; reduction must
+        # collapse it to near-linear (binary-split shape).
+        idx = TOLIndex.build(chain(40), order="topological")
+        quadratic = idx.size()
+        idx.reduce_labels(max_rounds=3)
+        assert idx.size() < quadratic / 3
+
+    def test_freeze_on_structures(self, family):
+        name, graph = family
+        live = TOLIndex.build(graph, order="butterfly-u")
+        frozen = freeze(live)
+        for s in list(graph.vertices())[:12]:
+            for t in list(graph.vertices())[:12]:
+                assert frozen.query(s, t) == live.query(s, t)

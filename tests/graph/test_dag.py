@@ -1,0 +1,103 @@
+"""Unit tests for topological orders and DAG utilities."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotADagError
+from repro.graph.dag import (
+    ensure_dag,
+    is_dag,
+    longest_path_depths,
+    topological_levels,
+    topological_order,
+    topological_rank,
+)
+from repro.graph.digraph import DiGraph
+
+from ..conftest import small_dags
+
+
+class TestTopologicalOrder:
+    def test_chain(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        assert topological_order(g) == [1, 2, 3]
+
+    def test_empty_graph(self):
+        assert topological_order(DiGraph()) == []
+
+    def test_isolated_vertices_included(self):
+        g = DiGraph(vertices=["a", "b"])
+        assert sorted(topological_order(g)) == ["a", "b"]
+
+    def test_cycle_raises(self):
+        g = DiGraph(edges=[(1, 2), (2, 1)])
+        with pytest.raises(NotADagError):
+            topological_order(g)
+
+    def test_self_loop_raises(self):
+        g = DiGraph(edges=[(1, 1)])
+        with pytest.raises(NotADagError):
+            topological_order(g)
+
+    def test_rank_respects_edges(self):
+        g = DiGraph(edges=[(3, 1), (1, 4), (3, 4), (4, 5)])
+        rank = topological_rank(g)
+        for tail, head in g.edges():
+            assert rank[tail] < rank[head]
+
+    def test_deterministic(self):
+        g = DiGraph(edges=[(1, 2), (1, 3), (2, 4), (3, 4)])
+        assert topological_order(g) == topological_order(g.copy())
+
+
+class TestIsDag:
+    def test_dag(self):
+        assert is_dag(DiGraph(edges=[(1, 2)]))
+
+    def test_cyclic(self):
+        assert not is_dag(DiGraph(edges=[(1, 2), (2, 3), (3, 1)]))
+
+    def test_ensure_dag_raises_only_on_cycles(self):
+        ensure_dag(DiGraph(edges=[(1, 2)]))
+        with pytest.raises(NotADagError):
+            ensure_dag(DiGraph(edges=[(1, 2), (2, 1)]))
+
+
+class TestDepths:
+    def test_chain_depths(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        assert longest_path_depths(g) == {1: 0, 2: 1, 3: 2}
+
+    def test_longest_path_wins(self):
+        # 1 -> 3 directly, but also 1 -> 2 -> 3.
+        g = DiGraph(edges=[(1, 3), (1, 2), (2, 3)])
+        assert longest_path_depths(g)[3] == 2
+
+    def test_levels_partition_vertices(self):
+        g = DiGraph(edges=[(1, 2), (1, 3), (3, 4)])
+        levels = topological_levels(g)
+        flat = [v for level in levels for v in level]
+        assert sorted(flat) == sorted(g.vertices())
+        assert set(levels[0]) == {1}
+
+    def test_empty(self):
+        assert topological_levels(DiGraph()) == []
+
+
+@given(small_dags())
+def test_topological_order_property(graph):
+    order = topological_order(graph)
+    assert sorted(order) == sorted(graph.vertices())
+    pos = {v: i for i, v in enumerate(order)}
+    for tail, head in graph.edges():
+        assert pos[tail] < pos[head]
+
+
+@given(small_dags())
+def test_depths_property(graph):
+    depths = longest_path_depths(graph)
+    for tail, head in graph.edges():
+        assert depths[head] >= depths[tail] + 1
+    for v in graph.vertices():
+        if graph.in_degree(v) == 0:
+            assert depths[v] == 0

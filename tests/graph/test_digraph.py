@@ -1,0 +1,218 @@
+"""Unit tests for the DiGraph storage substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    EdgeExistsError,
+    EdgeNotFoundError,
+    VertexExistsError,
+    VertexNotFoundError,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = DiGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = DiGraph(edges=[("a", "b"), ("b", "c")])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_from_vertices(self):
+        g = DiGraph(vertices=[1, 2, 3])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_duplicate_init_edges_are_merged(self):
+        g = DiGraph(edges=[(1, 2), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_len_and_contains(self):
+        g = DiGraph(vertices=["x"])
+        assert len(g) == 1
+        assert "x" in g
+        assert "y" not in g
+
+
+class TestVertexMutation:
+    def test_add_vertex(self):
+        g = DiGraph()
+        g.add_vertex("v")
+        assert g.has_vertex("v")
+        assert g.in_degree("v") == 0 and g.out_degree("v") == 0
+
+    def test_add_existing_vertex_raises(self):
+        g = DiGraph(vertices=["v"])
+        with pytest.raises(VertexExistsError):
+            g.add_vertex("v")
+
+    def test_add_vertex_if_absent(self):
+        g = DiGraph()
+        assert g.add_vertex_if_absent("v") is True
+        assert g.add_vertex_if_absent("v") is False
+
+    def test_remove_vertex_strips_incident_edges(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (2, 4)])
+        g.remove_vertex(2)
+        assert g.num_vertices == 3
+        assert g.num_edges == 1  # only 3 -> 1 survives
+        assert not g.has_edge(1, 2)
+        g.check_invariants()
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(VertexNotFoundError):
+            DiGraph().remove_vertex("ghost")
+
+    def test_discard_vertex(self):
+        g = DiGraph(vertices=[1])
+        assert g.discard_vertex(1) is True
+        assert g.discard_vertex(1) is False
+
+    def test_remove_vertex_with_self_loop(self):
+        g = DiGraph(edges=[(1, 1), (1, 2)])
+        g.remove_vertex(1)
+        assert g.num_edges == 0
+        assert g.num_vertices == 1
+        g.check_invariants()
+
+
+class TestEdgeMutation:
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge("a", "b")
+        assert g.has_vertex("a") and g.has_vertex("b")
+
+    def test_add_duplicate_edge_raises(self):
+        g = DiGraph(edges=[(1, 2)])
+        with pytest.raises(EdgeExistsError):
+            g.add_edge(1, 2)
+
+    def test_add_edge_if_absent(self):
+        g = DiGraph()
+        assert g.add_edge_if_absent(1, 2) is True
+        assert g.add_edge_if_absent(1, 2) is False
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = DiGraph(edges=[(1, 2)])
+        g.remove_edge(1, 2)
+        assert g.num_edges == 0
+        assert g.has_vertex(1) and g.has_vertex(2)
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph(vertices=[1, 2])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 2)
+
+    def test_discard_edge(self):
+        g = DiGraph(edges=[(1, 2)])
+        assert g.discard_edge(1, 2) is True
+        assert g.discard_edge(1, 2) is False
+
+    def test_self_loop_counted_once(self):
+        g = DiGraph(edges=[(1, 1)])
+        assert g.num_edges == 1
+        assert 1 in g.out_neighbors(1)
+        assert 1 in g.in_neighbors(1)
+
+
+class TestNeighborhoods:
+    def test_degrees(self):
+        g = DiGraph(edges=[(1, 2), (3, 2), (2, 4)])
+        assert g.in_degree(2) == 2
+        assert g.out_degree(2) == 1
+        assert g.degree(2) == 3
+
+    def test_neighbor_snapshots_are_frozen(self):
+        g = DiGraph(edges=[(1, 2)])
+        snap = g.out_neighbors(1)
+        with pytest.raises(AttributeError):
+            snap.add(3)  # type: ignore[attr-defined]
+
+    def test_missing_vertex_neighbors_raise(self):
+        g = DiGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.out_neighbors("missing")
+        with pytest.raises(VertexNotFoundError):
+            g.in_neighbors("missing")
+
+    def test_average_degree(self):
+        assert DiGraph().average_degree() == 0.0
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        assert g.average_degree() == pytest.approx(2 / 3)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = DiGraph(edges=[(1, 2)])
+        c = g.copy()
+        c.add_edge(2, 3)
+        assert not g.has_vertex(3)
+        assert g != c
+
+    def test_reverse(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        r = g.reverse()
+        assert r.has_edge(2, 1) and r.has_edge(3, 2)
+        assert r.num_edges == g.num_edges
+        r.check_invariants()
+
+    def test_reverse_twice_is_identity(self):
+        g = DiGraph(edges=[(1, 2), (1, 3), (3, 2)])
+        assert g.reverse().reverse() == g
+
+    def test_subgraph(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (1, 3)])
+        s = g.subgraph([1, 3])
+        assert s.num_vertices == 2
+        assert s.has_edge(1, 3)
+        assert not s.has_vertex(2)
+
+    def test_subgraph_ignores_unknown_vertices(self):
+        g = DiGraph(vertices=[1])
+        s = g.subgraph([1, 99])
+        assert s.num_vertices == 1
+
+    def test_equality(self):
+        a = DiGraph(edges=[(1, 2)])
+        b = DiGraph(edges=[(1, 2)])
+        assert a == b
+        b.add_vertex(3)
+        assert a != b
+        assert a != "not a graph"
+
+    def test_repr(self):
+        assert "DiGraph" in repr(DiGraph())
+
+
+@given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=25))
+def test_invariants_after_random_edits(pairs):
+    """Adding then removing arbitrary edges keeps internals consistent."""
+    g = DiGraph()
+    for tail, head in pairs:
+        g.add_edge_if_absent(tail, head)
+    g.check_invariants()
+    for tail, head in pairs:
+        g.discard_edge(tail, head)
+    g.check_invariants()
+    assert g.num_edges == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=25))
+def test_vertex_removal_keeps_invariants(pairs):
+    g = DiGraph()
+    for tail, head in pairs:
+        g.add_edge_if_absent(tail, head)
+    for v in list(g.vertices()):
+        g.remove_vertex(v)
+        g.check_invariants()
+    assert g.num_vertices == 0

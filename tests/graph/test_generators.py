@@ -1,0 +1,140 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dag import is_dag, longest_path_depths
+from repro.graph.generators import (
+    figure1_dag,
+    power_law_dag,
+    random_dag,
+    random_layered_dag,
+    random_tree_dag,
+)
+
+
+class TestFigure1:
+    def test_shape(self):
+        g = figure1_dag()
+        assert g.num_vertices == 8
+        assert g.num_edges == 10
+        assert is_dag(g)
+
+    def test_known_reachability(self):
+        from repro.graph.traversal import forward_reachable
+
+        g = figure1_dag()
+        assert forward_reachable(g, "a") == {"b", "c", "d", "f", "g", "h"}
+        assert forward_reachable(g, "e") == {"a", "b", "c", "d", "f", "g", "h"}
+        assert forward_reachable(g, "c") == set()
+
+
+class TestLayered:
+    def test_size_and_degree(self):
+        g = random_layered_dag(500, 5.0, seed=1)
+        assert g.num_vertices == 500
+        assert g.num_edges == 2500
+        assert is_dag(g)
+
+    def test_respects_level_count(self):
+        g = random_layered_dag(400, 3.0, num_levels=8, seed=2)
+        depth = max(longest_path_depths(g).values())
+        assert depth <= 7  # at most 8 layers
+
+    def test_deterministic(self):
+        a = random_layered_dag(100, 4.0, seed=7)
+        b = random_layered_dag(100, 4.0, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_layered_dag(100, 4.0, seed=7)
+        b = random_layered_dag(100, 4.0, seed=8)
+        assert a != b
+
+    def test_impossible_density_raises(self):
+        with pytest.raises(GraphError):
+            random_layered_dag(10, 50.0, num_levels=2, seed=0)
+
+    def test_bad_parameters(self):
+        with pytest.raises(GraphError):
+            random_layered_dag(0, 1.0)
+        with pytest.raises(GraphError):
+            random_layered_dag(10, 1.0, num_levels=1)
+        with pytest.raises(GraphError):
+            random_layered_dag(10, -1.0)
+
+
+class TestTree:
+    def test_is_tree(self):
+        g = random_tree_dag(200, seed=3)
+        assert g.num_edges == 199
+        assert is_dag(g)
+        for v in g.vertices():
+            assert g.in_degree(v) <= 1
+
+    def test_single_root(self):
+        g = random_tree_dag(50, seed=4)
+        roots = [v for v in g.vertices() if g.in_degree(v) == 0]
+        assert roots == [0]
+
+    def test_singleton(self):
+        g = random_tree_dag(1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(GraphError):
+            random_tree_dag(0)
+
+    def test_deterministic(self):
+        assert random_tree_dag(64, seed=5) == random_tree_dag(64, seed=5)
+
+
+class TestPowerLaw:
+    def test_size_and_acyclicity(self):
+        g = power_law_dag(400, 2.0, seed=6)
+        assert g.num_vertices == 400
+        assert is_dag(g)
+
+    def test_degree_roughly_matches(self):
+        g = power_law_dag(600, 2.5, seed=7)
+        assert g.average_degree() == pytest.approx(2.5, rel=0.15)
+
+    def test_heavy_tail(self):
+        g = power_law_dag(800, 2.0, seed=8)
+        max_in = max(g.in_degree(v) for v in g.vertices())
+        avg_in = g.num_edges / g.num_vertices
+        assert max_in > 6 * avg_in  # hubs exist
+
+    def test_deterministic(self):
+        assert power_law_dag(100, 1.5, seed=9) == power_law_dag(100, 1.5, seed=9)
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            power_law_dag(0, 1.0)
+        with pytest.raises(GraphError):
+            power_law_dag(10, -2.0)
+
+
+class TestRandomDag:
+    def test_exact_edge_count(self):
+        g = random_dag(30, 100, seed=10)
+        assert g.num_edges == 100
+        assert is_dag(g)
+
+    def test_dense_regime(self):
+        n = 12
+        max_edges = n * (n - 1) // 2
+        g = random_dag(n, max_edges, seed=11)
+        assert g.num_edges == max_edges
+        assert is_dag(g)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError):
+            random_dag(4, 10)
+
+    def test_zero_edges(self):
+        g = random_dag(5, 0)
+        assert g.num_edges == 0
+
+    def test_deterministic(self):
+        assert random_dag(20, 40, seed=12) == random_dag(20, 40, seed=12)

@@ -1,0 +1,57 @@
+"""Tests for NetworkX interop."""
+
+import networkx as nx
+import pytest
+
+from repro.core.index import TOLIndex
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestFromNetworkx:
+    def test_basic(self):
+        g = nx.DiGraph([(1, 2), (2, 3)])
+        mine = from_networkx(g)
+        assert mine.has_edge(1, 2) and mine.has_edge(2, 3)
+        assert mine.num_vertices == 3
+
+    def test_isolated_nodes_kept(self):
+        g = nx.DiGraph()
+        g.add_node("lonely")
+        assert from_networkx(g).has_vertex("lonely")
+
+    def test_multigraph_collapses_parallel_edges(self):
+        g = nx.MultiDiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert from_networkx(g).num_edges == 1
+
+    def test_undirected_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.Graph([(1, 2)]))
+
+    def test_attributes_dropped_gracefully(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", weight=3.5)
+        mine = from_networkx(g)
+        assert mine.has_edge("a", "b")
+
+
+class TestToNetworkx:
+    def test_round_trip(self):
+        mine = random_dag(20, 50, seed=0)
+        assert from_networkx(to_networkx(mine)) == mine
+
+    def test_empty(self):
+        out = to_networkx(DiGraph())
+        assert out.number_of_nodes() == 0
+
+
+def test_networkx_pipeline_to_index():
+    """The advertised adoption path: nx graph -> TOLIndex -> queries."""
+    g = nx.gn_graph(60, seed=4)  # growing-network digraph (a DAG)
+    index = TOLIndex.build(from_networkx(g))
+    for s, t in [(5, 0), (0, 5), (30, 0)]:
+        assert index.query(s, t) == nx.has_path(g, s, t)

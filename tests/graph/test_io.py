@@ -1,0 +1,86 @@
+"""Unit tests for edge-list I/O."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import GraphError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.graph.io import (
+    format_edge_list,
+    parse_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+from ..conftest import small_dags
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edge_list("1 2\n2 3\n")
+        assert g.has_edge(1, 2) and g.has_edge(2, 3)
+
+    def test_comments_and_blanks(self):
+        g = parse_edge_list("# header\n\n1 2  # trailing\n")
+        assert g.num_edges == 1
+
+    def test_isolated_vertex_line(self):
+        g = parse_edge_list("42\n")
+        assert g.has_vertex(42)
+        assert g.num_edges == 0
+
+    def test_string_vertices(self):
+        g = parse_edge_list("alice bob\n")
+        assert g.has_edge("alice", "bob")
+
+    def test_mixed_tokens(self):
+        g = parse_edge_list("1 bob\n")
+        assert g.has_edge(1, "bob")
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            parse_edge_list("1 2\n1 2\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            parse_edge_list("1 2 3\n")
+
+    def test_empty_text(self):
+        g = parse_edge_list("")
+        assert g.num_vertices == 0
+
+
+class TestFormat:
+    def test_header_included(self):
+        text = format_edge_list(DiGraph(edges=[(1, 2)]), header="my graph")
+        assert text.startswith("# my graph\n")
+
+    def test_stats_comment(self):
+        text = format_edge_list(DiGraph(edges=[(1, 2)]))
+        assert "vertices=2 edges=1" in text
+
+    def test_isolated_vertices_preserved(self):
+        g = DiGraph(vertices=["lonely"])
+        assert parse_edge_list(format_edge_list(g)).has_vertex("lonely")
+
+
+class TestRoundTripFiles:
+    def test_plain_file(self, tmp_path):
+        g = random_dag(25, 60, seed=0)
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="test")
+        assert read_edge_list(path) == g
+
+    def test_gzip_file(self, tmp_path):
+        g = random_dag(25, 60, seed=1)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+        # The file is genuinely compressed (gzip magic bytes).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+
+@given(small_dags())
+def test_round_trip_property(graph):
+    assert parse_edge_list(format_edge_list(graph)) == graph

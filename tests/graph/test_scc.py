@@ -1,0 +1,132 @@
+"""Unit tests for Tarjan SCC and the condensation reduction."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.graph.dag import is_dag
+from repro.graph.digraph import DiGraph
+from repro.graph.scc import condense, strongly_connected_components
+from repro.graph.traversal import bidirectional_reachable
+
+
+def scc_partition(graph):
+    return {frozenset(c) for c in strongly_connected_components(graph)}
+
+
+class TestTarjan:
+    def test_empty(self):
+        assert strongly_connected_components(DiGraph()) == []
+
+    def test_singletons_in_dag(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        assert scc_partition(g) == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_simple_cycle(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1)])
+        assert scc_partition(g) == {frozenset({1, 2, 3})}
+
+    def test_two_cycles_bridged(self):
+        g = DiGraph(edges=[(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        assert scc_partition(g) == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_self_loop_is_its_own_scc(self):
+        g = DiGraph(edges=[(1, 1), (1, 2)])
+        assert scc_partition(g) == {frozenset({1}), frozenset({2})}
+
+    def test_emission_order_is_reverse_topological(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        comps = strongly_connected_components(g)
+        # A component is emitted before any component that reaches it.
+        pos = {frozenset(c): i for i, c in enumerate(comps)}
+        assert pos[frozenset({3})] < pos[frozenset({1})]
+
+    def test_deep_chain_no_recursion_limit(self):
+        n = 5000
+        g = DiGraph(edges=[(i, i + 1) for i in range(n)])
+        assert len(strongly_connected_components(g)) == n + 1
+
+    def test_deep_cycle(self):
+        n = 5000
+        edges = [(i, i + 1) for i in range(n)] + [(n, 0)]
+        g = DiGraph(edges=edges)
+        assert len(strongly_connected_components(g)) == 1
+
+
+class TestCondense:
+    def test_dag_condensation_is_trivial(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        cond = condense(g)
+        assert cond.is_trivial()
+        assert cond.num_components == 3
+
+    def test_cycle_contracts(self):
+        g = DiGraph(edges=[("a", "b"), ("b", "a"), ("b", "c")])
+        cond = condense(g)
+        assert cond.num_components == 2
+        assert cond.same_component("a", "b")
+        assert not cond.same_component("a", "c")
+
+    def test_condensed_graph_is_dag(self):
+        g = DiGraph(edges=[(1, 2), (2, 1), (2, 3), (3, 4), (4, 3), (4, 1)])
+        cond = condense(g)
+        assert is_dag(cond.dag) or cond.num_components == 1
+
+    def test_component_ids_topological(self):
+        g = DiGraph(edges=[(1, 2), (2, 3)])
+        cond = condense(g)
+        for tail, head in cond.dag.edges():
+            assert tail < head
+
+    def test_members_cover_all_vertices(self):
+        g = DiGraph(edges=[(1, 2), (2, 1), (3, 4)])
+        cond = condense(g)
+        all_members = sorted(v for m in cond.members.values() for v in m)
+        assert all_members == [1, 2, 3, 4]
+
+    def test_repr(self):
+        assert "Condensation" in repr(condense(DiGraph(vertices=[1])))
+
+
+def random_digraph(seed: int, n: int, p: float) -> DiGraph:
+    r = random.Random(seed)
+    g = DiGraph(vertices=range(n))
+    for i in range(n):
+        for j in range(n):
+            if i != j and r.random() < p:
+                g.add_edge_if_absent(i, j)
+    return g
+
+
+@given(st.integers(0, 200))
+def test_condensation_preserves_reachability(seed):
+    """s -> t in G ⟺ same component, or comp(s) -> comp(t) in G*."""
+    r = random.Random(seed)
+    g = random_digraph(seed, r.randint(1, 8), 0.25)
+    cond = condense(g)
+    assert is_dag(cond.dag)
+    for s in g.vertices():
+        for t in g.vertices():
+            truth = bidirectional_reachable(g, s, t)
+            cs, ct = cond.component_of[s], cond.component_of[t]
+            via_cond = cs == ct or bidirectional_reachable(cond.dag, cs, ct)
+            assert truth == via_cond
+
+
+@given(st.integers(0, 200))
+def test_components_are_maximal_and_strongly_connected(seed):
+    r = random.Random(1000 + seed)
+    g = random_digraph(1000 + seed, r.randint(1, 8), 0.3)
+    for comp in strongly_connected_components(g):
+        comp_set = set(comp)
+        for u in comp:
+            for v in comp:
+                assert bidirectional_reachable(g, u, v)
+        # Maximality: no outside vertex is mutually reachable with a member.
+        probe = comp[0]
+        for w in g.vertices():
+            if w not in comp_set:
+                assert not (
+                    bidirectional_reachable(g, probe, w)
+                    and bidirectional_reachable(g, w, probe)
+                )

@@ -1,0 +1,105 @@
+"""Unit tests for traversal primitives and the BFS query baseline."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import VertexNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.graph.traversal import (
+    backward_reachable,
+    bfs_order,
+    bidirectional_reachable,
+    dfs_preorder,
+    forward_reachable,
+    has_path_dfs,
+)
+
+from ..conftest import small_dags
+
+
+@pytest.fixture
+def diamond():
+    return DiGraph(edges=[(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)])
+
+
+class TestOrders:
+    def test_bfs_starts_at_source(self, diamond):
+        assert next(bfs_order(diamond, 1)) == 1
+
+    def test_bfs_visits_each_once(self, diamond):
+        seen = list(bfs_order(diamond, 1))
+        assert len(seen) == len(set(seen)) == 5
+
+    def test_bfs_reverse(self, diamond):
+        assert set(bfs_order(diamond, 4, reverse=True)) == {1, 2, 3, 4}
+
+    def test_dfs_visits_each_once(self, diamond):
+        seen = list(dfs_preorder(diamond, 1))
+        assert len(seen) == len(set(seen)) == 5
+
+    def test_dfs_reverse(self, diamond):
+        assert set(dfs_preorder(diamond, 5, reverse=True)) == {1, 2, 3, 4, 5}
+
+
+class TestReachableSets:
+    def test_forward(self, diamond):
+        assert forward_reachable(diamond, 2) == {4, 5}
+
+    def test_forward_includes_source_flag(self, diamond):
+        assert 2 in forward_reachable(diamond, 2, include_source=True)
+
+    def test_backward(self, diamond):
+        assert backward_reachable(diamond, 4) == {1, 2, 3}
+
+    def test_backward_include_target(self, diamond):
+        assert 4 in backward_reachable(diamond, 4, include_target=True)
+
+    def test_sink_and_source(self, diamond):
+        assert forward_reachable(diamond, 5) == set()
+        assert backward_reachable(diamond, 1) == set()
+
+
+class TestBidirectional:
+    def test_positive(self, diamond):
+        assert bidirectional_reachable(diamond, 1, 5)
+
+    def test_negative(self, diamond):
+        assert not bidirectional_reachable(diamond, 5, 1)
+
+    def test_reflexive(self, diamond):
+        assert bidirectional_reachable(diamond, 3, 3)
+
+    def test_missing_source_raises(self, diamond):
+        with pytest.raises(VertexNotFoundError):
+            bidirectional_reachable(diamond, "ghost", 1)
+
+    def test_missing_target_raises(self, diamond):
+        with pytest.raises(VertexNotFoundError):
+            bidirectional_reachable(diamond, 1, "ghost")
+
+    def test_works_on_cycles(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert bidirectional_reachable(g, 1, 4)
+        assert not bidirectional_reachable(g, 4, 2)
+
+    def test_disconnected(self):
+        g = DiGraph(vertices=[1, 2])
+        assert not bidirectional_reachable(g, 1, 2)
+
+
+@given(small_dags())
+def test_bidirectional_agrees_with_dfs(graph):
+    vertices = list(graph.vertices())
+    for s in vertices:
+        for t in vertices:
+            assert bidirectional_reachable(graph, s, t) == has_path_dfs(graph, s, t)
+
+
+@given(small_dags())
+def test_forward_backward_duality(graph):
+    """t in forward(s) ⟺ s in backward(t)."""
+    fwd = {v: forward_reachable(graph, v) for v in graph.vertices()}
+    for t in graph.vertices():
+        bwd = backward_reachable(graph, t)
+        for s in graph.vertices():
+            assert (t in fwd[s]) == (s in bwd)

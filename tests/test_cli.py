@@ -1,0 +1,127 @@
+"""Tests for the command-line interface (in-process, via cli.main)."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialize import load_index
+from repro.graph.io import read_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    assert main(["generate", "wiki", str(path), "--vertices", "200"]) == 0
+    return path
+
+
+@pytest.fixture
+def index_file(graph_file, tmp_path):
+    path = tmp_path / "g.tolx"
+    assert main(["build", str(graph_file), str(path), "--order", "bu"]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_edge_list(self, graph_file):
+        graph = read_edge_list(graph_file)
+        assert graph.num_vertices == 200
+
+    def test_unknown_dataset_rejected(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "x.txt")])
+
+    def test_deterministic_seed(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        main(["generate", "RG5", str(a), "--vertices", "150", "--seed", "3"])
+        main(["generate", "RG5", str(b), "--vertices", "150", "--seed", "3"])
+        assert read_edge_list(a) == read_edge_list(b)
+
+
+class TestBuild:
+    def test_creates_loadable_index(self, index_file):
+        index = load_index(index_file)
+        assert index.num_vertices == 200
+
+    def test_stats_printed(self, graph_file, tmp_path, capsys):
+        main(["build", str(graph_file), str(tmp_path / "i.tolx")])
+        out = capsys.readouterr().out
+        assert "|L|=" in out and "built" in out
+
+    def test_missing_graph_file(self, tmp_path, capsys):
+        code = main(["build", str(tmp_path / "missing.txt"), str(tmp_path / "i")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_order_choices(self, graph_file, tmp_path):
+        assert main([
+            "build", str(graph_file), str(tmp_path / "dl.tolx"), "--order", "dl",
+        ]) == 0
+
+
+class TestQuery:
+    def test_reachable_pair(self, index_file, capsys):
+        graph = load_index(index_file).graph_copy()
+        tail, head = next(iter(graph.edges()))
+        assert main(["query", str(index_file), str(tail), str(head)]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_witness_flag(self, index_file, capsys):
+        assert main(["query", str(index_file), "0", "0", "--witness"]) == 0
+        assert "witness" in capsys.readouterr().out
+
+    def test_odd_vertex_count_rejected(self, index_file, capsys):
+        assert main(["query", str(index_file), "1"]) == 2
+
+    def test_unknown_vertex_reports_error(self, index_file, capsys):
+        assert main(["query", str(index_file), "424242", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestUpdate:
+    def test_insert_then_query(self, index_file, capsys):
+        assert main([
+            "update", str(index_file), "--insert", "9999", "--in", "0",
+        ]) == 0
+        assert main(["query", str(index_file), "0", "9999"]) == 0
+        assert "reachable" in capsys.readouterr().out
+
+    def test_delete(self, index_file):
+        assert main(["update", str(index_file), "--delete", "0"]) == 0
+        index = load_index(index_file)
+        assert 0 not in index
+
+    def test_noop_rejected(self, index_file):
+        assert main(["update", str(index_file)]) == 2
+
+    def test_cycle_insert_fails_cleanly(self, index_file, capsys):
+        graph = load_index(index_file).graph_copy()
+        tail, head = next(iter(graph.edges()))
+        code = main([
+            "update", str(index_file),
+            "--insert", "777", "--in", str(head), "--out", str(tail),
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestStatsAndReduce:
+    def test_stats(self, index_file, capsys):
+        assert main(["stats", str(index_file), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "heaviest" in out and "|L|=" in out
+
+    def test_reduce_shrinks_or_keeps(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "tf.tolx"
+        main(["build", str(graph_file), str(path), "--order", "tf"])
+        before = load_index(path).size()
+        assert main(["reduce", str(path)]) == 0
+        assert load_index(path).size() <= before
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "--only", "table3", "--vertices", "100"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiments", "--only", "fig99"]) == 2

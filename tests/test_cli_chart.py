@@ -1,0 +1,19 @@
+"""CLI chart flag and experiments-vertices plumbing."""
+
+from repro.cli import main
+
+
+def test_experiments_chart_flag(capsys):
+    assert main([
+        "experiments", "--only", "fig5", "--vertices", "120", "--chart",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+    assert "scale]" in out  # chart header
+    assert "■" in out
+
+
+def test_experiments_vertices_override(capsys):
+    assert main(["experiments", "--only", "table3", "--vertices", "150"]) == 0
+    out = capsys.readouterr().out
+    assert " 150 " in out

@@ -1,0 +1,80 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    REAL_STANDINS,
+    SYNTHETIC_RG,
+    dataset_names,
+    load,
+)
+from repro.errors import DatasetError
+from repro.graph.dag import is_dag, longest_path_depths
+
+
+class TestRegistry:
+    def test_fifteen_datasets(self):
+        assert len(DATASET_NAMES) == 15
+        assert len(SYNTHETIC_RG) == 4
+        assert len(REAL_STANDINS) == 11
+
+    def test_table3_order(self):
+        assert DATASET_NAMES[:4] == ("RG5", "RG10", "RG20", "RG40")
+        assert "patent" in DATASET_NAMES
+        assert dataset_names() == DATASET_NAMES
+
+    def test_paper_stats_recorded(self):
+        spec = DATASETS["twitter"]
+        assert spec.paper_vertices == 16_600_000
+        assert spec.paper_edges == 18_400_000
+        assert spec.avg_degree == pytest.approx(1.10)
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load("nope")
+
+    def test_invalid_size(self):
+        with pytest.raises(DatasetError):
+            load("wiki", num_vertices=0)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_dataset_loads_small(self, name):
+        g = load(name, num_vertices=300)
+        assert g.num_vertices == 300
+        assert is_dag(g)
+
+    def test_case_insensitive(self):
+        assert load("WIKI", num_vertices=100) == load("wiki", num_vertices=100)
+
+    def test_deterministic(self):
+        assert load("RG5", num_vertices=200) == load("RG5", num_vertices=200)
+
+    def test_seed_changes_graph(self):
+        assert load("RG5", num_vertices=200, seed=1) != load(
+            "RG5", num_vertices=200, seed=2
+        )
+
+    def test_rg_family_levels(self):
+        g = load("RG10", num_vertices=400)
+        assert max(longest_path_depths(g).values()) <= 7
+
+    def test_rg_family_degree(self):
+        g = load("RG5", num_vertices=500)
+        assert g.average_degree() == pytest.approx(5.0, rel=0.01)
+
+    def test_tree_family_shape(self):
+        g = load("uniprot22m", num_vertices=400)
+        assert g.num_edges == 399
+        assert all(g.in_degree(v) <= 1 for v in g.vertices())
+
+    def test_power_law_family_degree(self):
+        g = load("go-uniprot", num_vertices=800)
+        assert g.average_degree() == pytest.approx(4.99, rel=0.2)
+
+    def test_default_sizes_are_laptop_scale(self):
+        for spec in DATASETS.values():
+            assert 500 <= spec.default_vertices <= 10_000

@@ -1,0 +1,34 @@
+"""Run the executable examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.baselines.dagger
+import repro.baselines.search
+import repro.baselines.transitive_closure
+import repro.core.frozen
+import repro.core.order
+import repro.core.serialize
+import repro.graph.condensation
+import repro.graph.digraph
+
+MODULES = [
+    repro.graph.digraph,
+    repro.graph.condensation,
+    repro.core.order,
+    repro.core.frozen,
+    repro.core.serialize,
+    repro.baselines.dagger,
+    repro.baselines.search,
+    repro.baselines.transitive_closure,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert tests > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,74 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_graph_errors(self):
+        for cls in (
+            errors.VertexNotFoundError,
+            errors.VertexExistsError,
+            errors.EdgeNotFoundError,
+            errors.EdgeExistsError,
+            errors.NotADagError,
+        ):
+            assert issubclass(cls, errors.GraphError)
+
+    def test_lookup_errors_are_keyerrors(self):
+        # Missing-thing errors double as KeyError so dict-style call sites
+        # can catch them uniformly.
+        assert issubclass(errors.VertexNotFoundError, KeyError)
+        assert issubclass(errors.EdgeNotFoundError, KeyError)
+
+    def test_vertex_not_found_message(self):
+        err = errors.VertexNotFoundError("ghost")
+        assert "ghost" in str(err)
+        assert err.vertex == "ghost"
+
+    def test_edge_errors_carry_endpoints(self):
+        err = errors.EdgeNotFoundError(1, 2)
+        assert err.tail == 1 and err.head == 2
+        assert "1" in str(err) and "2" in str(err)
+        err2 = errors.EdgeExistsError("a", "b")
+        assert err2.tail == "a" and err2.head == "b"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DatasetError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.OrderError("x")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_string(self):
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+    def test_subpackage_exports_resolve(self):
+        import repro.baselines
+        import repro.bench
+        import repro.core
+        import repro.graph
+
+        for pkg in (repro.core, repro.graph, repro.baselines, repro.bench):
+            for name in pkg.__all__:
+                assert getattr(pkg, name) is not None, (pkg.__name__, name)
+
+    def test_headline_workflow_via_top_level_names_only(self):
+        g = repro.DiGraph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        index = repro.ReachabilityIndex(g)
+        assert index.query(1, 4)
+        stats = repro.labeling_stats(index.tol.labeling)
+        assert stats.num_vertices == index.condensation.dag.num_vertices

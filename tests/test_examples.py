@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 4
+
+
+def test_quickstart():
+    proc = run("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "e -> c?  True" in proc.stdout
+    assert "Label reduction" in proc.stdout or "label" in proc.stdout.lower()
+
+
+def test_social_network():
+    proc = run("social_network.py", "--users", "120", "--events", "15")
+    assert proc.returncode == 0, proc.stderr
+    assert "all methods agreed" in proc.stdout
+    assert "TOL/BU" in proc.stdout
+
+
+def test_citation_analysis():
+    proc = run("citation_analysis.py", "--papers", "250", "--queries", "300")
+    assert proc.returncode == 0, proc.stderr
+    assert "GRAIL" in proc.stdout
+    assert "label reduction" in proc.stdout.lower()
+
+
+def test_trace_replay():
+    proc = run("trace_replay.py", "--vertices", "150", "--ops", "60")
+    assert proc.returncode == 0, proc.stderr
+    assert "all agree" in proc.stdout
+    assert "round-tripped" in proc.stdout
+
+
+@pytest.mark.parametrize("only", ["table3", "fig5"])
+def test_reproduce_paper_subset(only):
+    proc = run("reproduce_paper.py", "--profile", "quick", "--only", only)
+    assert proc.returncode == 0, proc.stderr
+    marker = "Table 3" if only == "table3" else "Figure 5"
+    assert marker in proc.stdout
