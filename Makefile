@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples lint-docs clean
+.PHONY: install test bench reproduce examples serve-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -27,6 +27,16 @@ examples:
 	$(PYTHON) examples/citation_analysis.py --papers 800
 	$(PYTHON) examples/trace_replay.py --vertices 400 --ops 200
 
+# Replay a mixed query/update trace through the concurrent serving layer
+# (see docs/service.md) and print the metrics snapshot.
+serve-demo:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro trace-generate .demo/graph.txt .demo/ops.trace \
+		--ops 600 --query-fraction 0.6
+	$(PYTHON) -m repro serve-replay .demo/graph.txt .demo/ops.trace \
+		--readers 8 --rounds 2 --flush-threshold 8
+
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results .benchmarks
+	rm -rf .pytest_cache .hypothesis benchmarks/results .benchmarks .demo
 	find . -name __pycache__ -type d -exec rm -rf {} +

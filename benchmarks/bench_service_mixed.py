@@ -1,0 +1,132 @@
+"""Serving-layer benchmark — mixed read/write throughput vs threads/cache.
+
+The paper's evaluation times queries and updates separately; a serving
+deployment runs them together.  This bench drives the concurrent
+:class:`~repro.service.server.ReachabilityService` with a Zipf-skewed
+query stream (the regime caches are built for) and measures:
+
+* query throughput as reader threads scale (GIL-bound: expect roughly
+  flat totals, not linear speedup — the point is that correctness and
+  latency hold under contention, and that the lock does not collapse);
+* the effect of cache size (off / small / large) on the same stream;
+* mixed throughput with one writer thread batching updates through the
+  coalescing queue while readers hammer queries.
+"""
+
+import threading
+
+import pytest
+
+from repro import datasets as ds
+from repro.bench.trace import generate_trace
+from repro.bench.workloads import generate_zipfian_queries
+from repro.service.server import ReachabilityService
+from repro.service.updates import UpdateOp
+
+from _config import cached
+
+DATASET = "citeseerx"
+NUM_VERTICES = 600
+NUM_QUERIES = 2000
+ZIPF_SKEW = 1.1
+
+
+def _graph():
+    return ds.load(DATASET, num_vertices=NUM_VERTICES)
+
+
+def _queries():
+    return cached(
+        ("service-queries", DATASET, NUM_VERTICES, NUM_QUERIES),
+        lambda: generate_zipfian_queries(
+            _graph(), NUM_QUERIES, skew=ZIPF_SKEW, seed=13
+        ),
+    )
+
+
+def _run_readers(service, pairs, num_threads):
+    """Partition *pairs* across *num_threads* batch-querying readers."""
+    chunk = (len(pairs) + num_threads - 1) // num_threads
+    threads = [
+        threading.Thread(
+            target=lambda lo=i * chunk: service.query_batch(
+                pairs[lo:lo + chunk]
+            )
+        )
+        for i in range(num_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+@pytest.mark.parametrize("num_threads", [1, 2, 4, 8])
+def test_read_throughput_vs_threads(benchmark, num_threads):
+    service = cached(
+        ("service", DATASET, NUM_VERTICES),
+        lambda: ReachabilityService(_graph(), cache_size=8192),
+    )
+    pairs = list(_queries().pairs)
+    benchmark.pedantic(
+        lambda: _run_readers(service, pairs, num_threads),
+        rounds=3, iterations=1,
+    )
+    benchmark.extra_info["queries"] = NUM_QUERIES
+    benchmark.extra_info["threads"] = num_threads
+
+
+@pytest.mark.parametrize("cache_size", [0, 256, 8192])
+def test_read_throughput_vs_cache_size(benchmark, cache_size):
+    service = ReachabilityService(_graph(), cache_size=cache_size)
+    pairs = list(_queries().pairs)
+    benchmark.pedantic(
+        lambda: _run_readers(service, pairs, 4),
+        rounds=3, iterations=1,
+    )
+    stats = service.cache.stats()
+    benchmark.extra_info["cache_size"] = cache_size
+    benchmark.extra_info["hit_rate"] = stats["hit_rate"]
+    if cache_size:
+        # The Zipf head must actually produce repeat hits.
+        assert stats["hit_rate"] and stats["hit_rate"] > 0
+
+
+@pytest.mark.parametrize("flush_threshold", [1, 16])
+def test_mixed_readers_plus_writer(benchmark, flush_threshold):
+    graph = _graph()
+    trace = generate_trace(graph, 60, seed=14, query_fraction=0.0)
+    mutations = [UpdateOp.from_trace_op(op) for op in trace]
+    pairs = list(_queries().pairs)
+
+    def run():
+        service = ReachabilityService(
+            graph, cache_size=8192, flush_threshold=flush_threshold
+        )
+
+        def writer():
+            for op in mutations:
+                service.submit_update(op)
+            service.flush()
+
+        threads = [
+            threading.Thread(
+                target=lambda lo=i * 500: service.query_batch(
+                    pairs[lo:lo + 500]
+                )
+            )
+            for i in range(4)
+        ]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return service
+
+    service = benchmark.pedantic(run, rounds=2, iterations=1)
+    snap = service.snapshot()
+    benchmark.extra_info["flush_threshold"] = flush_threshold
+    benchmark.extra_info["batches"] = snap["queue"]["drained_batches"]
+    benchmark.extra_info["coalesced"] = snap["queue"]["coalesced"]
+    assert snap["epoch"] > 0

@@ -27,6 +27,8 @@ Package map
 * :mod:`repro.datasets` — scaled-down stand-ins for the paper's Table 3.
 * :mod:`repro.bench` — workloads and experiment drivers for every table
   and figure of the paper's Section 8.
+* :mod:`repro.service` — concurrent serving layer: reader-writer locked
+  index, epoch-invalidated query cache, coalescing update queue, metrics.
 """
 
 from .core.frozen import FrozenTOLIndex, freeze
@@ -45,9 +47,11 @@ from .errors import (
     NotADagError,
     OrderError,
     ReproError,
+    UnknownVertexError,
     WorkloadError,
 )
 from .graph.digraph import DiGraph
+from .service.server import ReachabilityService
 
 __version__ = "1.0.0"
 
@@ -55,6 +59,7 @@ __all__ = [
     "DiGraph",
     "TOLIndex",
     "ReachabilityIndex",
+    "ReachabilityService",
     "FrozenTOLIndex",
     "freeze",
     "TOLLabeling",
@@ -72,6 +77,7 @@ __all__ = [
     "GraphError",
     "NotADagError",
     "IndexStateError",
+    "UnknownVertexError",
     "OrderError",
     "DatasetError",
     "WorkloadError",

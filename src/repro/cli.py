@@ -10,6 +10,7 @@ Usage examples::
     python -m repro reduce index.tolx --rounds 2
     python -m repro trace-generate graph.txt ops.trace --ops 500
     python -m repro trace-replay graph.txt ops.trace --methods BU Dagger BFS
+    python -m repro serve-replay graph.txt ops.trace --readers 8
     python -m repro experiments --only fig7 table4 --chart
 
 Vertex tokens that parse as integers are treated as integers (matching the
@@ -203,6 +204,123 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0 if agree else 1
 
 
+def _format_metric(value, *, latency: bool = False) -> str:
+    """Format one snapshot value; latencies get µs/ms units."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if latency:
+            if value < 1e-3:
+                return f"{value * 1e6:.1f}µs"
+            if value < 1.0:
+                return f"{value * 1e3:.2f}ms"
+            return f"{value:.2f}s"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Render a :meth:`ReachabilityService.snapshot` dict as aligned text."""
+    lines = []
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        latency = "latency" in key
+        if isinstance(value, dict):
+            inner = "  ".join(
+                f"{k}={_format_metric(v, latency=latency and k != 'count')}"
+                for k, v in value.items()
+            )
+            lines.append(f"  {key:20s} {inner}")
+        else:
+            lines.append(f"  {key:20s} {_format_metric(value)}")
+    return "\n".join(lines)
+
+
+def cmd_serve_replay(args: argparse.Namespace) -> int:
+    """`repro serve-replay`: drive a trace through the concurrent service.
+
+    The trace's mutations go through one writer thread (batched and
+    coalesced by the service's update queue); its queries are replayed by
+    ``--readers`` concurrent reader threads, each starting from a
+    different offset so the cache sees a mixed stream.
+    """
+    import threading
+
+    from .bench.trace import read_trace
+    from .service.server import ReachabilityService
+    from .service.updates import UpdateOp
+
+    if args.readers < 1:
+        print(f"error: --readers must be >= 1, got {args.readers}",
+              file=sys.stderr)
+        return 2
+    if args.rounds < 1:
+        print(f"error: --rounds must be >= 1, got {args.rounds}",
+              file=sys.stderr)
+        return 2
+    if args.flush_threshold < 1:
+        print(f"error: --flush-threshold must be >= 1, "
+              f"got {args.flush_threshold}", file=sys.stderr)
+        return 2
+
+    graph = read_edge_list(args.graph)
+    trace = read_trace(args.trace)
+    mutations = [op for op in trace if op.kind != "query"]
+    queries = [(op.tail, op.head) for op in trace if op.kind == "query"]
+    if not queries:
+        print("error: trace contains no query ops; generate one with a "
+              "nonzero --query-fraction", file=sys.stderr)
+        return 2
+
+    service = ReachabilityService(
+        graph,
+        cache_size=args.cache_size,
+        flush_threshold=args.flush_threshold,
+    )
+    unknown = [0] * args.readers
+
+    def reader(idx: int) -> None:
+        offset = (idx * 7919) % len(queries)  # decorrelate reader streams
+        for _ in range(args.rounds):
+            for i in range(len(queries)):
+                s, t = queries[(offset + i) % len(queries)]
+                try:
+                    service.query(s, t)
+                except (ReproError, KeyError):
+                    # The writer raced us and removed an endpoint.
+                    unknown[idx] += 1
+
+    def writer() -> None:
+        for op in mutations:
+            service.submit_update(UpdateOp.from_trace_op(op))
+        service.flush()
+
+    threads = [
+        threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+        for i in range(args.readers)
+    ]
+    threads.append(threading.Thread(target=writer, name="writer"))
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+
+    total_queries = args.readers * args.rounds * len(queries)
+    print(
+        f"served {total_queries} queries ({args.readers} readers x "
+        f"{args.rounds} rounds x {len(queries)}) and {len(mutations)} "
+        f"mutations in {elapsed:.2f}s "
+        f"({total_queries / elapsed:,.0f} queries/s)"
+    )
+    if sum(unknown):
+        print(f"  {sum(unknown)} queries hit a concurrently-removed vertex")
+    print("metrics snapshot:")
+    print(render_snapshot(service.snapshot()))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """`repro experiments`: print the paper's tables and figures."""
     wanted = args.only or sorted(ALL_EXPERIMENTS)
@@ -297,6 +415,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="trace file to replay")
     p.add_argument("--methods", nargs="+", default=["BU", "Dagger"])
     p.set_defaults(func=cmd_trace_replay)
+
+    p = sub.add_parser(
+        "serve-replay",
+        help="replay a trace through the concurrent serving layer",
+    )
+    p.add_argument("graph", help="edge-list file of the starting graph")
+    p.add_argument("trace", help="trace file providing queries and mutations")
+    p.add_argument("--readers", type=int, default=4,
+                   help="number of concurrent reader threads")
+    p.add_argument("--rounds", type=int, default=1,
+                   help="times each reader replays the query stream")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="query-result LRU capacity (0 disables)")
+    p.add_argument("--flush-threshold", type=int, default=8,
+                   help="apply queued updates once this many are pending")
+    p.set_defaults(func=cmd_serve_replay)
 
     p = sub.add_parser("experiments", help="print the paper's tables/figures")
     p.add_argument("--only", nargs="*", default=None,

@@ -31,7 +31,7 @@ from bisect import bisect_left
 from collections.abc import Hashable, Iterable
 from typing import Optional
 
-from ..errors import IndexStateError
+from ..errors import UnknownVertexError
 from ..graph.digraph import DiGraph
 from .index import TOLIndex
 from .labeling import TOLLabeling
@@ -136,9 +136,7 @@ class FrozenTOLIndex:
             sid = self._id_of[s]
             tid = self._id_of[t]
         except KeyError as missing:
-            raise IndexStateError(
-                f"vertex {missing.args[0]!r} is not indexed"
-            ) from None
+            raise UnknownVertexError(missing.args[0]) from None
         if sid == tid:
             return True
         out_lo, out_hi = self._out_offsets[sid], self._out_offsets[sid + 1]

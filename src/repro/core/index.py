@@ -110,7 +110,14 @@ class TOLIndex:
     # ------------------------------------------------------------------
 
     def query(self, s: Vertex, t: Vertex) -> bool:
-        """Return ``True`` iff ``s`` can reach ``t``."""
+        """Return ``True`` iff ``s`` can reach ``t``.
+
+        Raises
+        ------
+        UnknownVertexError
+            If either endpoint has never been inserted (a
+            :class:`KeyError` subclass, so mapping-style call sites work).
+        """
         return self._labeling.query(s, t)
 
     def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
@@ -360,7 +367,14 @@ class ReachabilityIndex:
     # ------------------------------------------------------------------
 
     def query(self, s: Vertex, t: Vertex) -> bool:
-        """Return ``True`` iff ``s`` can reach ``t`` in the original graph."""
+        """Return ``True`` iff ``s`` can reach ``t`` in the original graph.
+
+        Raises
+        ------
+        VertexNotFoundError
+            If either endpoint is not in the graph (a :class:`KeyError`
+            subclass, so mapping-style call sites work).
+        """
         cs = self._condensation.component(s)
         ct = self._condensation.component(t)
         if cs == ct:

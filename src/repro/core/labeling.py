@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable
 from typing import Optional
 
-from ..errors import IndexStateError
+from ..errors import IndexStateError, UnknownVertexError
 from .order import LevelOrder
 
 __all__ = ["TOLLabeling"]
@@ -165,15 +165,13 @@ class TOLLabeling:
         """Answer the reachability query ``s -> t`` (Equation 1 / Lemma 1)."""
         if s == t:
             if s not in self.label_in:
-                raise IndexStateError(f"vertex {s!r} is not indexed")
+                raise UnknownVertexError(s)
             return True
         try:
             out_s = self.label_out[s]
             in_t = self.label_in[t]
         except KeyError as missing:
-            raise IndexStateError(
-                f"vertex {missing.args[0]!r} is not indexed"
-            ) from None
+            raise UnknownVertexError(missing.args[0]) from None
         if t in out_s or s in in_t:
             return True
         if len(out_s) > len(in_t):
@@ -183,9 +181,14 @@ class TOLLabeling:
     def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
         """Return one element of ``W(s, t)``, or ``None`` if unreachable."""
         if s == t:
+            if s not in self.label_in:
+                raise UnknownVertexError(s)
             return s
-        out_s = self.label_out[s]
-        in_t = self.label_in[t]
+        try:
+            out_s = self.label_out[s]
+            in_t = self.label_in[t]
+        except KeyError as missing:
+            raise UnknownVertexError(missing.args[0]) from None
         if t in out_s:
             return t
         if s in in_t:

@@ -16,6 +16,7 @@ __all__ = [
     "EdgeExistsError",
     "NotADagError",
     "IndexStateError",
+    "UnknownVertexError",
     "OrderError",
     "DatasetError",
     "WorkloadError",
@@ -81,6 +82,24 @@ class IndexStateError(ReproError):
     cover, or when updating an index whose underlying graph has been mutated
     behind its back.
     """
+
+
+class UnknownVertexError(IndexStateError, KeyError):
+    """A reachability query named a vertex the index has never seen.
+
+    Doubles as :class:`KeyError` so dict-style call sites can treat the
+    index like a mapping, and as :class:`IndexStateError` for callers that
+    catch index-misuse broadly.
+    """
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # KeyError repr-quotes its arg; keep it readable.
+        return (
+            f"vertex {self.vertex!r} is not indexed; insert it before querying"
+        )
 
 
 class OrderError(ReproError):

@@ -1,0 +1,43 @@
+"""Concurrent query-serving layer over the dynamic reachability indices.
+
+The core package (:mod:`repro.core`) is deliberately single-threaded: the
+paper's algorithms mutate shared label sets and an order-maintenance
+structure in place, so unsynchronized concurrent access would corrupt the
+index.  This subpackage adds the serving shell a production deployment
+needs for the paper's mixed read/write regime (Section 8, "Experiments on
+Dynamic Graphs"):
+
+* :mod:`repro.service.concurrency` — a writer-preferring reader-writer
+  lock and a monotonic epoch counter bumped on every successful update;
+* :mod:`repro.service.cache` — a bounded LRU query cache whose entries
+  are stamped with the epoch they were computed at, so one integer bump
+  lazily invalidates the whole cache without scanning it;
+* :mod:`repro.service.updates` — a coalescing update queue that merges
+  redundant insert/delete operations before they reach the index;
+* :mod:`repro.service.metrics` — lock-cheap counters and latency
+  histograms behind a single ``snapshot()`` dict;
+* :mod:`repro.service.server` — :class:`ReachabilityService`, the facade
+  tying the four together around a
+  :class:`~repro.core.index.ReachabilityIndex`.
+
+See ``docs/service.md`` for the lock discipline and invalidation rules,
+``python -m repro serve-replay`` for a runnable multi-threaded driver,
+and ``benchmarks/bench_service_mixed.py`` for throughput measurements.
+"""
+
+from .cache import EpochLRUCache
+from .concurrency import EpochCounter, RWLock
+from .metrics import LatencyHistogram, ServiceMetrics
+from .server import ReachabilityService
+from .updates import CoalescingUpdateQueue, UpdateOp
+
+__all__ = [
+    "ReachabilityService",
+    "RWLock",
+    "EpochCounter",
+    "EpochLRUCache",
+    "CoalescingUpdateQueue",
+    "UpdateOp",
+    "ServiceMetrics",
+    "LatencyHistogram",
+]

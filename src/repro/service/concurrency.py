@@ -1,0 +1,153 @@
+"""Synchronization primitives for the serving layer.
+
+Two small pieces, both deliberately boring:
+
+* :class:`RWLock` — a writer-preferring readers-writer lock.  Queries on a
+  TOL index are pure reads over the label dictionaries, so any number may
+  proceed in parallel; the update algorithms (Section 5) mutate labels,
+  inverted lists and the order structure together and therefore need full
+  exclusion.  Writer preference keeps a steady query stream from starving
+  the update queue — the paper's dynamic experiments interleave both.
+
+* :class:`EpochCounter` — a monotonic version number for the index.  Every
+  successful insert/delete/reduction bumps it exactly once; readers stamp
+  derived results (cached answers) with the epoch they were computed at.
+  Anything stamped with an older epoch is stale by definition, which is
+  what lets the query cache invalidate lazily in O(1) per write
+  (:mod:`repro.service.cache`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock", "EpochCounter"]
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock.
+
+    Any number of readers may hold the lock together; writers get full
+    exclusion.  A waiting writer blocks *new* readers from entering, so
+    writes cannot starve under a continuous query stream.
+
+    The lock is not reentrant: a thread must not acquire it (in either
+    mode) while already holding it — upgrading a read hold to a write
+    hold deadlocks by design, as it would for any correct RW lock.
+
+    Examples
+    --------
+    >>> lock = RWLock()
+    >>> with lock.read_locked():
+    ...     pass
+    >>> with lock.write_locked():
+    ...     pass
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave the read side; wake writers when the last reader exits."""
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers < 0:
+                self._active_readers = 0
+                raise RuntimeError("release_read() without acquire_read()")
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """``with``-statement form of acquire_read/release_read."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until the lock is free of readers and writers, then own it."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        """Give up write ownership and wake every waiter."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write() without acquire_write()")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        """``with``-statement form of acquire_write/release_write."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            return (
+                f"{type(self).__name__}(readers={self._active_readers}, "
+                f"writer={self._writer_active}, "
+                f"writers_waiting={self._writers_waiting})"
+            )
+
+
+class EpochCounter:
+    """A thread-safe monotonic version counter.
+
+    ``value`` reads the current epoch; :meth:`bump` advances it by one and
+    returns the new epoch.  The serving layer bumps once per successful
+    index mutation while holding the write lock, so within any read-locked
+    section the epoch is constant.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, start: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = start
+
+    @property
+    def value(self) -> int:
+        """The current epoch."""
+        with self._lock:
+            return self._value
+
+    def bump(self) -> int:
+        """Advance the epoch by one; return the new value."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.value})"

@@ -1,0 +1,316 @@
+"""`ReachabilityService` — concurrent serving facade over the index.
+
+Lock discipline
+---------------
+
+One writer-preferring :class:`~repro.service.concurrency.RWLock` guards
+the index:
+
+* **Queries** take the read lock, read the epoch, consult the cache and
+  (on a miss) the index, all inside one read-locked section — so the
+  answer, the epoch stamp and the cache entry are mutually consistent.
+  :meth:`ReachabilityService.query_batch` answers a whole deduplicated
+  batch under a single acquisition.
+* **Updates** never touch the index directly: they are submitted to a
+  :class:`~repro.service.updates.CoalescingUpdateQueue` and applied by
+  whichever thread triggers a flush — the whole drained batch inside one
+  write-locked critical section, with the epoch bumped once per
+  *successful* mutation.  A ``flush_threshold`` of 1 (the default) makes
+  every update apply immediately; larger thresholds trade staleness for
+  update throughput (fewer lock round-trips, more coalescing).
+* A separate writer mutex serializes flushers, so two threads calling
+  :meth:`flush` concurrently cannot interleave their batches.
+
+Because cached answers are epoch-stamped and every write bumps the epoch,
+a query can never return an answer computed against a different graph
+version than the one it reports — the invariant the stress test
+(``tests/service/test_concurrency.py``) checks against a BFS oracle.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Hashable, Iterable
+from typing import Optional, Union
+
+from ..core.index import ReachabilityIndex
+from ..errors import ReproError
+from ..graph.digraph import DiGraph
+from .cache import MISS, EpochLRUCache
+from .concurrency import EpochCounter, RWLock
+from .metrics import ServiceMetrics
+from .updates import CoalescingUpdateQueue, UpdateOp
+
+__all__ = ["ReachabilityService"]
+
+Vertex = Hashable
+Pair = tuple[Vertex, Vertex]
+
+
+class ReachabilityService:
+    """Thread-safe reachability serving over a dynamic graph.
+
+    Parameters
+    ----------
+    graph:
+        Starting graph (cycles allowed); an internal
+        :class:`~repro.core.index.ReachabilityIndex` is built over a copy.
+        Pass ``index=`` instead to adopt a prebuilt one.
+    index:
+        A ready :class:`ReachabilityIndex` to serve.  The service becomes
+        its owner: mutating it from outside afterwards breaks the epoch
+        bookkeeping.
+    cache_size:
+        Capacity of the query-result LRU (0 disables caching).
+    flush_threshold:
+        Apply queued updates as soon as this many are pending.  1 =
+        write-through; larger values batch and coalesce.
+    record_applied:
+        Keep an in-order log of ``(epoch, op)`` for every successfully
+        applied mutation, readable via :attr:`applied_ops`.  Used by the
+        oracle tests to reconstruct the graph at any epoch; off by
+        default (it grows without bound).
+
+    Examples
+    --------
+    >>> g = DiGraph(edges=[("a", "b"), ("b", "c")])
+    >>> service = ReachabilityService(g)
+    >>> service.query("a", "c")
+    True
+    >>> service.submit_update(UpdateOp.delete_vertex("b"))
+    >>> service.query("a", "c")
+    False
+    >>> service.epoch
+    1
+    """
+
+    def __init__(
+        self,
+        graph: Optional[DiGraph] = None,
+        *,
+        index: Optional[ReachabilityIndex] = None,
+        cache_size: int = 4096,
+        flush_threshold: int = 1,
+        order: Union[str, object] = "butterfly-u",
+        record_applied: bool = False,
+    ) -> None:
+        if index is not None and graph is not None:
+            raise ValueError("pass either graph or index, not both")
+        if flush_threshold < 1:
+            raise ValueError(
+                f"flush_threshold must be >= 1, got {flush_threshold}"
+            )
+        self._index = (
+            index
+            if index is not None
+            else ReachabilityIndex(graph, order=order)
+        )
+        self._rwlock = RWLock()
+        self._epoch = EpochCounter()
+        self._cache = EpochLRUCache(cache_size)
+        self._queue = CoalescingUpdateQueue()
+        self._flush_threshold = flush_threshold
+        self._flush_mutex = threading.Lock()
+        self._metrics = ServiceMetrics()
+        self._applied: Optional[list[tuple[int, UpdateOp]]] = (
+            [] if record_applied else None
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+
+    def query(self, s: Vertex, t: Vertex) -> bool:
+        """Answer ``s -> t`` against the current index version."""
+        return self.query_with_epoch(s, t)[0]
+
+    def query_with_epoch(self, s: Vertex, t: Vertex) -> tuple[bool, int]:
+        """Answer ``s -> t`` and report the epoch the answer is valid at.
+
+        The epoch is read under the same read-lock hold that computes (or
+        fetches) the answer, so the pair is consistent even while a writer
+        is waiting.
+        """
+        start = time.perf_counter()
+        with self._rwlock.read_locked():
+            epoch = self._epoch.value
+            answer = self._answer_locked(s, t, epoch)
+        self._metrics.query_latency.record(time.perf_counter() - start)
+        self._metrics.incr("queries")
+        return answer, epoch
+
+    def query_batch(self, pairs: Iterable[Pair]) -> list[bool]:
+        """Answer many queries under one read-lock acquisition.
+
+        Duplicate pairs are answered once; results come back in input
+        order.  This is the high-throughput entry point: one lock
+        round-trip and one epoch read for the whole batch.
+        """
+        pairs = list(pairs)
+        unique: dict[Pair, bool] = dict.fromkeys(pairs)  # insertion-ordered
+        start = time.perf_counter()
+        with self._rwlock.read_locked():
+            epoch = self._epoch.value
+            for pair in unique:
+                unique[pair] = self._answer_locked(pair[0], pair[1], epoch)
+        self._metrics.query_latency.record(time.perf_counter() - start)
+        self._metrics.incr("queries", len(pairs))
+        self._metrics.incr("batch_calls")
+        self._metrics.incr("batch_dedup_saved", len(pairs) - len(unique))
+        return [unique[pair] for pair in pairs]
+
+    def _answer_locked(self, s: Vertex, t: Vertex, epoch: int) -> bool:
+        """Cache-through lookup; caller must hold the read lock."""
+        key = (s, t)
+        cached = self._cache.get(key, epoch)
+        if cached is not MISS:
+            return cached  # type: ignore[return-value]
+        answer = self._index.query(s, t)
+        self._cache.put(key, epoch, answer)
+        return answer
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def submit_update(self, op: UpdateOp) -> None:
+        """Queue one mutation; flush if the threshold is reached."""
+        self._queue.submit(op)
+        if len(self._queue) >= self._flush_threshold:
+            self.flush()
+
+    def insert_vertex(
+        self,
+        v: Vertex,
+        in_neighbors: Iterable[Vertex] = (),
+        out_neighbors: Iterable[Vertex] = (),
+    ) -> None:
+        """Queue a vertex insertion (convenience for :meth:`submit_update`)."""
+        self.submit_update(UpdateOp.insert_vertex(v, in_neighbors, out_neighbors))
+
+    def delete_vertex(self, v: Vertex) -> None:
+        """Queue a vertex deletion."""
+        self.submit_update(UpdateOp.delete_vertex(v))
+
+    def insert_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Queue an edge insertion."""
+        self.submit_update(UpdateOp.insert_edge(tail, head))
+
+    def delete_edge(self, tail: Vertex, head: Vertex) -> None:
+        """Queue an edge deletion."""
+        self.submit_update(UpdateOp.delete_edge(tail, head))
+
+    def flush(self) -> int:
+        """Drain the queue and apply the batch; return ops applied.
+
+        Invalid operations (e.g. deleting a vertex that never existed)
+        are rejected individually — counted in the ``updates_rejected``
+        metric, without bumping the epoch or aborting the rest of the
+        batch.
+        """
+        with self._flush_mutex:
+            batch = self._queue.drain()
+            if not batch:
+                return 0
+            applied = 0
+            start = time.perf_counter()
+            with self._rwlock.write_locked():
+                for op in batch:
+                    try:
+                        op.apply(self._index)
+                    except ReproError:
+                        self._metrics.incr("updates_rejected")
+                        continue
+                    epoch = self._epoch.bump()
+                    if self._applied is not None:
+                        self._applied.append((epoch, op))
+                    applied += 1
+            elapsed = time.perf_counter() - start
+        self._metrics.batch_apply_latency.record(elapsed)
+        self._metrics.batch_size.record(len(batch))
+        self._metrics.incr("updates_applied", applied)
+        return applied
+
+    def reduce_labels(self, *, max_rounds: int = 1):
+        """Flush pending updates, then run Section-6 label reduction.
+
+        The reduction rewrites labels in place, so it runs under the
+        write lock and bumps the epoch like any other mutation.
+        """
+        self.flush()
+        with self._flush_mutex, self._rwlock.write_locked():
+            report = self._index.reduce_labels(max_rounds=max_rounds)
+            self._epoch.bump()
+            self._metrics.incr("reductions")
+        return report
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current index version (number of successful mutations)."""
+        return self._epoch.value
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """The live metrics recorder."""
+        return self._metrics
+
+    @property
+    def cache(self) -> EpochLRUCache:
+        """The query-result cache (shared; treat as read-only)."""
+        return self._cache
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of updates waiting to be applied."""
+        return len(self._queue)
+
+    @property
+    def applied_ops(self) -> list[tuple[int, UpdateOp]]:
+        """The ``(epoch, op)`` log (requires ``record_applied=True``)."""
+        if self._applied is None:
+            raise ValueError(
+                "construct the service with record_applied=True to keep "
+                "the applied-op log"
+            )
+        return list(self._applied)
+
+    def num_vertices(self) -> int:
+        """Vertex count of the served graph (consistent read)."""
+        with self._rwlock.read_locked():
+            return self._index.num_vertices
+
+    def num_edges(self) -> int:
+        """Edge count of the served graph (consistent read)."""
+        with self._rwlock.read_locked():
+            return self._index.num_edges
+
+    def snapshot(self) -> dict:
+        """All serving metrics as one nested dict (cheap; lock-light)."""
+        return {
+            "epoch": self.epoch,
+            "queue": self._queue.stats(),
+            "cache": self._cache.stats(),
+            **self._metrics.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Context manager: flush on exit
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ReachabilityService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.flush()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(epoch={self.epoch}, "
+            f"queue_depth={self.queue_depth}, "
+            f"cache={self._cache!r})"
+        )

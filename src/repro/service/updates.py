@@ -1,0 +1,248 @@
+"""A coalescing queue of index updates.
+
+The paper prices each update individually (Figures 2 and 4), but a serving
+system sees updates as a *stream*, and real streams are redundant: a
+short-lived vertex is inserted and deleted before anyone queries it, an
+edge flaps on and off.  Feeding such pairs through Algorithms 1–4 does
+real work twice for a net effect of nothing.  The queue here buffers
+pending :class:`UpdateOp` values and cancels redundant pairs before the
+writer drains it:
+
+* ``insert_vertex(v)`` followed by ``delete_vertex(v)`` — both are
+  dropped, together with any queued edge updates incident to ``v``
+  (those edges only exist because ``v`` was going to).
+* ``insert_edge(u, w)`` followed by ``delete_edge(u, w)`` — both dropped.
+
+Cancellation is conservative: a pair is only cancelled when no pending
+operation *between* the two depends on the first one's effect (for
+example a queued ``insert_vertex(w, in_neighbors=[v])`` pins ``v``'s
+insertion in place).  Coalescing preserves the final index state for any
+stream that would have applied cleanly one-by-one; streams containing
+invalid operations get those operations rejected at apply time either
+way.
+
+Draining is all-or-nothing under the writer lock
+(:meth:`CoalescingUpdateQueue.drain`), which is what turns k queued
+updates into one write-lock critical section in
+:class:`~repro.service.server.ReachabilityService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+__all__ = ["UpdateOp", "CoalescingUpdateQueue"]
+
+Vertex = Hashable
+
+#: Update kinds, mirroring the trace grammar of :mod:`repro.bench.trace`
+#: minus ``query`` (queries never enter the write path).
+_KINDS = ("addv", "delv", "adde", "dele")
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One pending index mutation.
+
+    ``kind`` is one of ``addv`` (vertex, ins, outs), ``delv`` (vertex),
+    ``adde`` / ``dele`` (tail, head).  Use the classmethod constructors;
+    they normalize arguments and keep the unused fields ``None``.
+    """
+
+    kind: str
+    vertex: Vertex = None
+    ins: tuple[Vertex, ...] = ()
+    outs: tuple[Vertex, ...] = ()
+    tail: Vertex = None
+    head: Vertex = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise WorkloadError(f"unknown update kind {self.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def insert_vertex(
+        cls,
+        v: Vertex,
+        in_neighbors: Iterable[Vertex] = (),
+        out_neighbors: Iterable[Vertex] = (),
+    ) -> "UpdateOp":
+        """A pending ``insert_vertex(v, ins, outs)``."""
+        return cls(
+            "addv", vertex=v, ins=tuple(in_neighbors), outs=tuple(out_neighbors)
+        )
+
+    @classmethod
+    def delete_vertex(cls, v: Vertex) -> "UpdateOp":
+        """A pending ``delete_vertex(v)``."""
+        return cls("delv", vertex=v)
+
+    @classmethod
+    def insert_edge(cls, tail: Vertex, head: Vertex) -> "UpdateOp":
+        """A pending ``insert_edge(tail, head)``."""
+        return cls("adde", tail=tail, head=head)
+
+    @classmethod
+    def delete_edge(cls, tail: Vertex, head: Vertex) -> "UpdateOp":
+        """A pending ``delete_edge(tail, head)``."""
+        return cls("dele", tail=tail, head=head)
+
+    @classmethod
+    def from_trace_op(cls, op) -> "UpdateOp":
+        """Adapt a mutation :class:`~repro.bench.trace.TraceOp`."""
+        if op.kind == "addv":
+            return cls.insert_vertex(op.vertex, op.ins, op.outs)
+        if op.kind == "delv":
+            return cls.delete_vertex(op.vertex)
+        if op.kind == "adde":
+            return cls.insert_edge(op.tail, op.head)
+        if op.kind == "dele":
+            return cls.delete_edge(op.tail, op.head)
+        raise WorkloadError(f"trace op {op.kind!r} is not an update")
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def apply(self, index) -> None:
+        """Execute this op against any index with the vertex/edge API."""
+        if self.kind == "addv":
+            index.insert_vertex(self.vertex, self.ins, self.outs)
+        elif self.kind == "delv":
+            index.delete_vertex(self.vertex)
+        elif self.kind == "adde":
+            index.insert_edge(self.tail, self.head)
+        else:
+            index.delete_edge(self.tail, self.head)
+
+    def __str__(self) -> str:
+        if self.kind == "addv":
+            return (
+                f"addv {self.vertex} in={list(self.ins)} out={list(self.outs)}"
+            )
+        if self.kind == "delv":
+            return f"delv {self.vertex}"
+        return f"{self.kind} {self.tail} {self.head}"
+
+
+class CoalescingUpdateQueue:
+    """Thread-safe FIFO of :class:`UpdateOp` with redundant-pair cancelling.
+
+    :meth:`submit` enqueues one op, first attempting the cancellations
+    described in the module docstring; :meth:`drain` atomically takes the
+    whole pending batch in submission order.  All methods are safe to call
+    from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: list[UpdateOp] = []
+        self._submitted = 0
+        self._coalesced = 0
+        self._drained_batches = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Enqueue with coalescing
+    # ------------------------------------------------------------------
+
+    def submit(self, op: UpdateOp) -> int:
+        """Enqueue *op*; return how many ops were cancelled (0 = enqueued).
+
+        A nonzero return counts both sides of a cancelled pair plus any
+        dependent edge ops dropped with them — i.e. the number of index
+        mutations that will now never run.
+        """
+        with self._lock:
+            self._submitted += 1
+            cancelled = 0
+            if op.kind == "delv":
+                cancelled = self._cancel_vertex(op.vertex)
+            elif op.kind == "dele":
+                cancelled = self._cancel_edge(op.tail, op.head)
+            if cancelled:
+                self._coalesced += cancelled + 1
+                return cancelled + 1
+            self._pending.append(op)
+            return 0
+
+    def _cancel_vertex(self, v: Vertex) -> int:
+        """Cancel a pending ``addv v`` (plus its dependent edge ops).
+
+        Scans newest-to-oldest.  Edge ops incident to *v* seen on the way
+        are dependents of the pending insertion and get dropped with it; a
+        pending ``addv w`` that names *v* as a neighbor depends on *v*
+        staying inserted, so the scan aborts.  Returns the number of
+        pending ops removed (0 if no cancellation happened).
+        """
+        pending = self._pending
+        dependents: list[int] = []
+        for i in range(len(pending) - 1, -1, -1):
+            o = pending[i]
+            if o.kind == "addv":
+                if o.vertex == v:
+                    for j in sorted(dependents + [i], reverse=True):
+                        del pending[j]
+                    return 1 + len(dependents)
+                if v in o.ins or v in o.outs:
+                    return 0
+            elif o.kind == "delv":
+                if o.vertex == v:
+                    return 0
+            elif v in (o.tail, o.head):
+                dependents.append(i)
+        return 0
+
+    def _cancel_edge(self, tail: Vertex, head: Vertex) -> int:
+        """Cancel a pending ``adde (tail, head)``; 0 if not possible."""
+        pending = self._pending
+        for i in range(len(pending) - 1, -1, -1):
+            o = pending[i]
+            if o.kind == "adde" and o.tail == tail and o.head == head:
+                del pending[i]
+                return 1
+            if o.kind == "dele" and o.tail == tail and o.head == head:
+                return 0
+            if o.kind in ("addv", "delv") and o.vertex in (tail, head):
+                return 0
+        return 0
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list[UpdateOp]:
+        """Atomically take (and clear) the pending batch, oldest first."""
+        with self._lock:
+            batch, self._pending = self._pending, []
+            if batch:
+                self._drained_batches += 1
+            return batch
+
+    def stats(self) -> dict:
+        """Counters for :meth:`ReachabilityService.snapshot`."""
+        with self._lock:
+            return {
+                "depth": len(self._pending),
+                "submitted": self._submitted,
+                "coalesced": self._coalesced,
+                "drained_batches": self._drained_batches,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"{type(self).__name__}(depth={s['depth']}, "
+            f"submitted={s['submitted']}, coalesced={s['coalesced']})"
+        )

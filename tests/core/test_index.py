@@ -8,7 +8,7 @@ from repro.core.index import TOLIndex
 from repro.core.order import LevelOrder
 from repro.core.reference import reference_tol
 from repro.core.validation import find_violations
-from repro.errors import IndexStateError, NotADagError
+from repro.errors import IndexStateError, NotADagError, UnknownVertexError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import figure1_dag, random_dag
 
@@ -83,6 +83,19 @@ class TestUpdates:
         # The index still works and can absorb a legal insert.
         idx.insert_vertex(3, in_neighbors=[2])
         assert idx.query(1, 3)
+
+    def test_query_never_inserted_vertex(self):
+        # Regression: unknown query endpoints must raise the dedicated
+        # KeyError-derived exception, not whatever the label lookup does.
+        idx = TOLIndex.build(figure1_dag())
+        with pytest.raises(UnknownVertexError) as excinfo:
+            idx.query("e", "ghost")
+        assert excinfo.value.vertex == "ghost"
+        assert "ghost" in str(excinfo.value)
+        with pytest.raises(KeyError):
+            idx.query("ghost", "e")
+        with pytest.raises(IndexStateError):  # the historical contract
+            idx.query("ghost", "ghost")
 
     def test_insert_duplicate_rejected(self):
         idx = TOLIndex.build(DiGraph(vertices=[1]))

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.core.index import ReachabilityIndex
+from repro.errors import VertexNotFoundError
 from repro.graph.digraph import DiGraph
 from repro.graph.traversal import bidirectional_reachable
 
@@ -32,6 +33,16 @@ class TestStatic:
     def test_empty(self):
         idx = ReachabilityIndex()
         assert idx.num_vertices == 0
+
+    def test_query_never_inserted_vertex(self):
+        # Regression: unknown endpoints raise the KeyError-derived
+        # graph-lookup error rather than an opaque internal failure.
+        idx = ReachabilityIndex(DiGraph(edges=[(1, 2)]))
+        with pytest.raises(VertexNotFoundError) as excinfo:
+            idx.query(1, "ghost")
+        assert excinfo.value.vertex == "ghost"
+        with pytest.raises(KeyError):
+            idx.query("ghost", 1)
 
     def test_counts_reflect_original_graph(self):
         g = DiGraph(edges=[(1, 2), (2, 1), (2, 3)])

@@ -1,0 +1,93 @@
+"""Tests for the epoch-invalidated LRU query cache."""
+
+import pytest
+
+from repro.service.cache import MISS, EpochLRUCache
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = EpochLRUCache(capacity=4)
+        assert cache.get(("a", "b"), 0) is MISS
+        cache.put(("a", "b"), 0, True)
+        assert cache.get(("a", "b"), 0) is True
+
+    def test_false_is_a_real_value(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put(("a", "b"), 0, False)
+        assert cache.get(("a", "b"), 0) is False  # not MISS
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EpochLRUCache(capacity=-1)
+
+    def test_zero_capacity_disables(self):
+        cache = EpochLRUCache(capacity=0)
+        cache.put(("a", "b"), 0, True)
+        assert cache.get(("a", "b"), 0) is MISS
+        assert len(cache) == 0
+
+
+class TestEpochInvalidation:
+    def test_stale_entry_misses_and_is_dropped(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put(("a", "b"), 0, True)
+        assert cache.get(("a", "b"), 1) is MISS  # a write bumped the epoch
+        assert len(cache) == 0
+        assert cache.stats()["stale_drops"] == 1
+
+    def test_fresh_entry_after_restamp(self):
+        cache = EpochLRUCache(capacity=4)
+        cache.put(("a", "b"), 0, True)
+        cache.put(("a", "b"), 3, False)  # recomputed after writes
+        assert cache.get(("a", "b"), 3) is False
+
+    def test_epoch_bump_invalidates_everything_lazily(self):
+        cache = EpochLRUCache(capacity=8)
+        for i in range(5):
+            cache.put(("s", i), 0, True)
+        # Nothing was scanned or evicted at "write time" ...
+        assert len(cache) == 5
+        # ... but at the new epoch every entry misses.
+        assert all(cache.get(("s", i), 1) is MISS for i in range(5))
+        assert len(cache) == 0
+
+
+class TestLRU:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = EpochLRUCache(capacity=2)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.get("a", 0) == 1  # refresh "a"
+        cache.put("c", 0, 3)  # evicts "b"
+        assert cache.get("b", 0) is MISS
+        assert cache.get("a", 0) == 1
+        assert cache.get("c", 0) == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_overwrite_does_not_grow(self):
+        cache = EpochLRUCache(capacity=2)
+        for _ in range(5):
+            cache.put("a", 0, True)
+        assert len(cache) == 1
+
+    def test_clear_preserves_stats(self):
+        cache = EpochLRUCache(capacity=2)
+        cache.put("a", 0, 1)
+        cache.get("a", 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = EpochLRUCache(capacity=4)
+        assert cache.hit_rate is None
+        cache.put("a", 0, 1)
+        cache.get("a", 0)
+        cache.get("missing", 0)
+        assert cache.hit_rate == 0.5
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["capacity"] == 4 and stats["entries"] == 1

@@ -1,0 +1,94 @@
+"""Tests for serving metrics: histograms, running stats, snapshots."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, RunningStats, ServiceMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.mean is None
+        assert hist.quantile(0.5) is None
+        snap = hist.snapshot()
+        assert snap["count"] == 0 and snap["p99"] is None
+
+    def test_mean_and_max(self):
+        hist = LatencyHistogram()
+        for v in (1e-6, 2e-6, 3e-6):
+            hist.record(v)
+        assert hist.count == 3
+        assert hist.mean == pytest.approx(2e-6)
+        assert hist.snapshot()["max"] == pytest.approx(3e-6)
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        hist = LatencyHistogram()
+        for _ in range(99):
+            hist.record(1.5e-6)  # bucket (1µs, 2µs]
+        hist.record(0.9)  # one slow outlier
+        assert hist.quantile(0.5) <= 2e-6
+        assert hist.quantile(0.99) <= 2e-6
+        assert hist.quantile(1.0) >= 0.9 / 2  # within one power of two
+
+    def test_quantile_never_exceeds_max(self):
+        hist = LatencyHistogram()
+        hist.record(1.2e-6)
+        assert hist.quantile(0.5) == pytest.approx(1.2e-6)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(0.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_concurrent_recording(self):
+        hist = LatencyHistogram()
+
+        def record_many():
+            for _ in range(1000):
+                hist.record(1e-5)
+
+        threads = [threading.Thread(target=record_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert hist.count == 4000
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats().snapshot()
+        assert stats == {"count": 0, "mean": None, "min": None, "max": None}
+
+    def test_accumulates(self):
+        stats = RunningStats()
+        for v in (4, 2, 6):
+            stats.record(v)
+        snap = stats.snapshot()
+        assert snap["count"] == 3
+        assert snap["mean"] == pytest.approx(4.0)
+        assert (snap["min"], snap["max"]) == (2, 6)
+
+
+class TestServiceMetrics:
+    def test_counters(self):
+        metrics = ServiceMetrics()
+        assert metrics.counter("queries") == 0
+        metrics.incr("queries")
+        metrics.incr("queries", 5)
+        assert metrics.counter("queries") == 6
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.incr("updates_applied", 2)
+        metrics.query_latency.record(1e-5)
+        metrics.batch_size.record(3)
+        snap = metrics.snapshot()
+        assert snap["updates_applied"] == 2
+        assert snap["query_latency"]["count"] == 1
+        assert snap["batch_size"]["max"] == 3
+        assert "batch_apply_latency" in snap

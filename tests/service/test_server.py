@@ -1,0 +1,218 @@
+"""Single-threaded behavior tests for ReachabilityService.
+
+Concurrency is exercised separately in ``test_concurrency.py``; here we
+pin down the facade's sequential semantics: cache-through queries, batch
+deduplication, queue flushing, epoch accounting and the metrics snapshot.
+"""
+
+import pytest
+
+from repro.bench.trace import generate_trace
+from repro.bench.workloads import generate_zipfian_queries
+from repro.core.index import ReachabilityIndex
+from repro.errors import VertexNotFoundError, WorkloadError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import random_dag
+from repro.service.server import ReachabilityService
+from repro.service.updates import UpdateOp
+
+
+def diamond() -> DiGraph:
+    return DiGraph(edges=[("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestConstruction:
+    def test_from_graph(self):
+        service = ReachabilityService(diamond())
+        assert service.query("a", "d")
+        assert service.epoch == 0
+
+    def test_from_prebuilt_index(self):
+        index = ReachabilityIndex(diamond())
+        service = ReachabilityService(index=index)
+        assert service.query("a", "d")
+
+    def test_graph_and_index_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            ReachabilityService(diamond(), index=ReachabilityIndex(diamond()))
+
+    def test_bad_flush_threshold(self):
+        with pytest.raises(ValueError):
+            ReachabilityService(diamond(), flush_threshold=0)
+
+    def test_unknown_vertex_propagates(self):
+        service = ReachabilityService(diamond())
+        with pytest.raises(VertexNotFoundError):
+            service.query("a", "ghost")
+
+
+class TestQueryCache:
+    def test_second_query_hits(self):
+        service = ReachabilityService(diamond(), cache_size=16)
+        service.query("a", "d")
+        service.query("a", "d")
+        stats = service.cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_write_invalidates(self):
+        service = ReachabilityService(diamond(), cache_size=16)
+        assert service.query("a", "d") is True
+        service.delete_vertex("b")
+        service.delete_vertex("c")
+        assert service.query("a", "d") is False  # not the cached True
+        assert service.cache.stats()["stale_drops"] >= 1
+
+    def test_cache_disabled(self):
+        service = ReachabilityService(diamond(), cache_size=0)
+        service.query("a", "d")
+        service.query("a", "d")
+        assert service.cache.stats()["hits"] == 0
+
+    def test_zipfian_workload_has_nonzero_hit_rate(self):
+        # Acceptance criterion: a skewed read stream must actually cache.
+        graph = random_dag(60, 150, seed=7)
+        service = ReachabilityService(graph, cache_size=1024)
+        workload = generate_zipfian_queries(graph, 500, skew=1.1, seed=3)
+        for s, t in workload:
+            service.query(s, t)
+        snapshot = service.snapshot()
+        assert snapshot["cache"]["hit_rate"] > 0
+        assert snapshot["queries"] == 500
+
+
+class TestQueryBatch:
+    def test_matches_plain_index(self):
+        graph = random_dag(40, 100, seed=2)
+        service = ReachabilityService(graph)
+        plain = ReachabilityIndex(graph)
+        pairs = [(s, t) for s in list(graph.vertices())[:10]
+                 for t in list(graph.vertices())[:10]]
+        assert service.query_batch(pairs) == [plain.query(s, t)
+                                              for s, t in pairs]
+
+    def test_duplicates_answered_once_in_input_order(self):
+        service = ReachabilityService(diamond(), cache_size=16)
+        pairs = [("a", "d"), ("d", "a"), ("a", "d"), ("a", "d")]
+        assert service.query_batch(pairs) == [True, False, True, True]
+        snap = service.snapshot()
+        assert snap["batch_dedup_saved"] == 2
+        assert snap["queries"] == 4
+        # Only the two unique pairs ever reached cache/index.
+        assert service.cache.stats()["misses"] == 2
+
+    def test_empty_batch(self):
+        service = ReachabilityService(diamond())
+        assert service.query_batch([]) == []
+
+
+class TestUpdatesAndEpochs:
+    def test_write_through_by_default(self):
+        service = ReachabilityService(diamond())
+        service.insert_vertex("e", in_neighbors=["d"])
+        assert service.queue_depth == 0  # flushed immediately
+        assert service.query("a", "e")
+        assert service.epoch == 1
+
+    def test_batching_defers_application(self):
+        service = ReachabilityService(diamond(), flush_threshold=10)
+        service.insert_edge("b", "c")
+        assert service.queue_depth == 1
+        assert service.query("b", "c") is False  # not applied yet
+        assert service.flush() == 1
+        assert service.query("b", "c") is True
+        assert service.epoch == 1
+
+    def test_coalesced_pair_never_applies(self):
+        service = ReachabilityService(diamond(), flush_threshold=10,
+                                      record_applied=True)
+        service.insert_vertex("e", in_neighbors=["d"])
+        service.delete_vertex("e")
+        assert service.queue_depth == 0
+        service.flush()
+        assert service.applied_ops == []
+        assert service.epoch == 0
+
+    def test_epoch_counts_each_successful_op(self):
+        service = ReachabilityService(diamond(), flush_threshold=10)
+        service.insert_edge("b", "c")
+        service.delete_edge("b", "c")  # cancels in the queue
+        service.insert_vertex("e")
+        service.flush()
+        assert service.epoch == 1
+
+    def test_invalid_op_rejected_without_epoch_bump(self):
+        service = ReachabilityService(diamond())
+        service.delete_vertex("ghost")
+        snap = service.snapshot()
+        assert snap["updates_rejected"] == 1
+        assert service.epoch == 0
+        # Service still healthy.
+        assert service.query("a", "d")
+
+    def test_flush_threshold_triggers(self):
+        service = ReachabilityService(diamond(), flush_threshold=2)
+        service.insert_vertex("e")
+        assert service.queue_depth == 1
+        service.insert_vertex("f")
+        assert service.queue_depth == 0
+        assert service.epoch == 2
+
+    def test_applied_ops_requires_flag(self):
+        service = ReachabilityService(diamond())
+        with pytest.raises(ValueError):
+            service.applied_ops
+
+    def test_context_manager_flushes(self):
+        with ReachabilityService(diamond(), flush_threshold=100) as service:
+            service.insert_vertex("e", in_neighbors=["d"])
+            assert service.queue_depth == 1
+        assert service.queue_depth == 0
+        assert service.epoch == 1
+
+    def test_reduce_labels_bumps_epoch(self):
+        service = ReachabilityService(random_dag(30, 80, seed=4))
+        before = service.epoch
+        report = service.reduce_labels()
+        assert service.epoch == before + 1
+        assert report.final_size <= report.initial_size
+        assert service.snapshot()["reductions"] == 1
+
+
+class TestTraceEquivalence:
+    def test_trace_through_service_matches_plain_index(self):
+        # The service (with batching + coalescing disabled-by-flush at
+        # each query) must agree with a plain index replaying the same
+        # trace sequentially.
+        graph = random_dag(30, 70, seed=5)
+        trace = generate_trace(graph, 150, seed=6, query_fraction=0.5)
+
+        plain = ReachabilityIndex(graph)
+        service = ReachabilityService(graph, flush_threshold=1000)
+        for op in trace:
+            if op.kind == "query":
+                service.flush()  # force same visibility as the plain run
+                assert service.query(op.tail, op.head) == plain.query(
+                    op.tail, op.head
+                ), op
+            else:
+                UpdateOp.from_trace_op(op).apply(plain)
+                service.submit_update(UpdateOp.from_trace_op(op))
+
+
+class TestIntrospection:
+    def test_counts_and_repr(self):
+        service = ReachabilityService(diamond())
+        assert service.num_vertices() == 4
+        assert service.num_edges() == 4
+        assert "ReachabilityService" in repr(service)
+
+    def test_snapshot_shape(self):
+        service = ReachabilityService(diamond())
+        service.query("a", "d")
+        service.insert_vertex("e")
+        snap = service.snapshot()
+        assert snap["epoch"] == 1
+        assert snap["queue"]["submitted"] == 1
+        assert snap["cache"]["misses"] == 1
+        assert snap["query_latency"]["count"] == 1
+        assert snap["batch_size"]["count"] == 1

@@ -1,0 +1,147 @@
+"""Tests for the coalescing update queue and UpdateOp."""
+
+import pytest
+
+from repro.bench.trace import TraceOp
+from repro.core.index import ReachabilityIndex
+from repro.errors import WorkloadError
+from repro.graph.digraph import DiGraph
+from repro.service.updates import CoalescingUpdateQueue, UpdateOp
+
+
+class TestUpdateOp:
+    def test_constructors(self):
+        op = UpdateOp.insert_vertex("v", ["a"], ["b"])
+        assert (op.kind, op.vertex, op.ins, op.outs) == (
+            "addv", "v", ("a",), ("b",)
+        )
+        assert UpdateOp.delete_vertex("v").kind == "delv"
+        assert UpdateOp.insert_edge(1, 2).tail == 1
+        assert UpdateOp.delete_edge(1, 2).head == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            UpdateOp("query", tail=1, head=2)
+
+    def test_from_trace_op(self):
+        op = UpdateOp.from_trace_op(TraceOp("addv", vertex="x", ins=(1,)))
+        assert op.kind == "addv" and op.ins == (1,)
+        with pytest.raises(WorkloadError):
+            UpdateOp.from_trace_op(TraceOp("query", tail=1, head=2))
+
+    def test_apply_runs_the_right_method(self):
+        idx = ReachabilityIndex(DiGraph(vertices=[1, 2]))
+        UpdateOp.insert_edge(1, 2).apply(idx)
+        assert idx.query(1, 2)
+        UpdateOp.delete_edge(1, 2).apply(idx)
+        assert not idx.query(1, 2)
+        UpdateOp.insert_vertex(3, in_neighbors=[2]).apply(idx)
+        assert idx.query(2, 3)
+        UpdateOp.delete_vertex(3).apply(idx)
+        assert 3 not in idx
+
+
+class TestCoalescing:
+    def test_plain_fifo_when_nothing_cancels(self):
+        queue = CoalescingUpdateQueue()
+        ops = [
+            UpdateOp.insert_vertex("a"),
+            UpdateOp.insert_edge(1, 2),
+            UpdateOp.delete_vertex("z"),
+        ]
+        for op in ops:
+            assert queue.submit(op) == 0
+        assert queue.drain() == ops
+        assert queue.drain() == []
+
+    def test_insert_then_delete_vertex_cancels(self):
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.insert_vertex("v", ["a"]))
+        assert queue.submit(UpdateOp.delete_vertex("v")) == 2
+        assert len(queue) == 0
+        assert queue.stats()["coalesced"] == 2
+
+    def test_dependent_edge_ops_dropped_with_the_vertex(self):
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.insert_vertex("v"))
+        queue.submit(UpdateOp.insert_edge("a", "v"))
+        queue.submit(UpdateOp.insert_edge("v", "b"))
+        queue.submit(UpdateOp.insert_edge("a", "b"))  # unrelated, survives
+        assert queue.submit(UpdateOp.delete_vertex("v")) == 4
+        assert queue.drain() == [UpdateOp.insert_edge("a", "b")]
+
+    def test_pending_neighbor_reference_pins_the_insertion(self):
+        # addv w depends on v existing: the pair must NOT cancel.
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.insert_vertex("v"))
+        queue.submit(UpdateOp.insert_vertex("w", in_neighbors=["v"]))
+        assert queue.submit(UpdateOp.delete_vertex("v")) == 0
+        assert [op.kind for op in queue.drain()] == ["addv", "addv", "delv"]
+
+    def test_earlier_pending_delete_blocks_cancellation(self):
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.delete_vertex("v"))
+        assert queue.submit(UpdateOp.delete_vertex("v")) == 0
+        assert len(queue) == 2
+
+    def test_delete_then_insert_vertex_not_coalesced(self):
+        # delv then addv is NOT a no-op (the new vertex has no edges).
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.delete_vertex("v"))
+        assert queue.submit(UpdateOp.insert_vertex("v")) == 0
+        assert len(queue) == 2
+
+    def test_insert_then_delete_edge_cancels(self):
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.insert_edge(1, 2))
+        assert queue.submit(UpdateOp.delete_edge(1, 2)) == 2
+        assert len(queue) == 0
+
+    def test_edge_cancel_blocked_by_endpoint_vertex_op(self):
+        # delv 2 between adde and dele already removed the edge; the
+        # stream is only valid if left alone, so no cancellation.
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.insert_edge(1, 2))
+        queue.submit(UpdateOp.delete_vertex(2))
+        assert queue.submit(UpdateOp.delete_edge(1, 2)) == 0
+        assert len(queue) == 3
+
+    def test_edge_cancel_skips_unrelated_ops(self):
+        queue = CoalescingUpdateQueue()
+        queue.submit(UpdateOp.insert_edge(1, 2))
+        queue.submit(UpdateOp.insert_edge(3, 4))
+        assert queue.submit(UpdateOp.delete_edge(1, 2)) == 2
+        assert queue.drain() == [UpdateOp.insert_edge(3, 4)]
+
+
+class TestCoalescingPreservesSemantics:
+    def test_drained_batch_reaches_same_state_as_sequential(self):
+        # Apply a redundant stream both ways; final graphs must agree.
+        stream = [
+            UpdateOp.insert_vertex("x", in_neighbors=[1]),
+            UpdateOp.insert_edge(1, 2),
+            UpdateOp.insert_edge("x", 2),
+            UpdateOp.delete_vertex("x"),
+            UpdateOp.insert_edge(2, 3),
+            UpdateOp.delete_edge(2, 3),
+            UpdateOp.insert_vertex("y", out_neighbors=[3]),
+        ]
+        base = DiGraph(vertices=[1, 2, 3])
+
+        sequential = ReachabilityIndex(base)
+        for op in stream:
+            op.apply(sequential)
+
+        queue = CoalescingUpdateQueue()
+        for op in stream:
+            queue.submit(op)
+        batch = queue.drain()
+        assert len(batch) < len(stream)  # something actually coalesced
+        coalesced = ReachabilityIndex(base)
+        for op in batch:
+            op.apply(coalesced)
+
+        vertices = [1, 2, 3, "y"]
+        for s in vertices:
+            for t in vertices:
+                assert sequential.query(s, t) == coalesced.query(s, t), (s, t)

@@ -12,6 +12,9 @@ import repro.core.order
 import repro.core.serialize
 import repro.graph.condensation
 import repro.graph.digraph
+import repro.service.cache
+import repro.service.concurrency
+import repro.service.server
 
 MODULES = [
     repro.graph.digraph,
@@ -22,6 +25,9 @@ MODULES = [
     repro.baselines.dagger,
     repro.baselines.search,
     repro.baselines.transitive_closure,
+    repro.service.cache,
+    repro.service.concurrency,
+    repro.service.server,
 ]
 
 

@@ -27,6 +27,15 @@ class TestHierarchy:
         # can catch them uniformly.
         assert issubclass(errors.VertexNotFoundError, KeyError)
         assert issubclass(errors.EdgeNotFoundError, KeyError)
+        assert issubclass(errors.UnknownVertexError, KeyError)
+
+    def test_unknown_vertex_error(self):
+        # Also an IndexStateError, so pre-existing broad handlers keep
+        # catching it.
+        assert issubclass(errors.UnknownVertexError, errors.IndexStateError)
+        err = errors.UnknownVertexError("ghost")
+        assert err.vertex == "ghost"
+        assert "ghost" in str(err)
 
     def test_vertex_not_found_message(self):
         err = errors.VertexNotFoundError("ghost")
@@ -61,8 +70,10 @@ class TestPublicApi:
         import repro.bench
         import repro.core
         import repro.graph
+        import repro.service
 
-        for pkg in (repro.core, repro.graph, repro.baselines, repro.bench):
+        for pkg in (repro.core, repro.graph, repro.baselines, repro.bench,
+                    repro.service):
             for name in pkg.__all__:
                 assert getattr(pkg, name) is not None, (pkg.__name__, name)
 
