@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples serve-demo lint-docs clean
+.PHONY: install test bench bench-smoke ruff reproduce examples serve-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,6 +12,14 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Smoke-test scale: every benchmark family builds and measures on tiny
+# graphs (numbers are meaningless; the point is nothing is broken).
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/ --quick -q
+
+ruff:
+	ruff check src tests benchmarks examples
 
 # The two artifacts the reproduction protocol asks for.
 outputs:
@@ -38,5 +46,5 @@ serve-demo:
 		--readers 8 --rounds 2 --flush-threshold 8
 
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/results .benchmarks .demo
+	rm -rf .pytest_cache .hypothesis benchmarks/results benchmarks/results-smoke .benchmarks .demo
 	find . -name __pycache__ -type d -exec rm -rf {} +

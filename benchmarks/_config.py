@@ -34,6 +34,39 @@ REDUCTION_DATASETS = [d for d in ALL_DATASETS if d not in ("RG20", "RG40")]
 #: (one per dataset family plus the dense RG row).
 CELL_DATASETS = ["RG5", "RG20", "uniprot100m", "wiki", "go-uniprot"]
 
+#: Whether the profile has been shrunk to smoke scale (``--quick``).
+QUICK = False
+
+
+def enable_quick() -> None:
+    """Shrink the whole profile to smoke-test scale.
+
+    Activated by ``pytest benchmarks/ --quick`` (the CI ``bench-smoke``
+    step): tiny graphs, one representative dataset per sweep, a handful
+    of queries/updates.  Numbers produced at this scale mean nothing —
+    the point is that every benchmark file still imports, builds and
+    measures, in seconds instead of minutes.
+
+    Must run before the benchmark modules are imported (they bind these
+    constants with ``from _config import ...`` at collection time), which
+    is why ``conftest.pytest_configure`` calls it.
+    """
+    global QUICK, RESULTS_DIR, UPDATE_VERTICES, STATIC_VERTICES
+    global REDUCTION_VERTICES, NUM_QUERIES, NUM_UPDATES
+    global ALL_DATASETS, REDUCTION_DATASETS, CELL_DATASETS
+    QUICK = True
+    # Keep smoke-scale tables away from the committed full-scale ones.
+    RESULTS_DIR = Path(__file__).parent / "results-smoke"
+    UPDATE_VERTICES = 120
+    STATIC_VERTICES = 150
+    REDUCTION_VERTICES = 80
+    NUM_QUERIES = 60
+    NUM_UPDATES = 4
+    ALL_DATASETS = ["RG5", "uniprot22m", "wiki"]
+    REDUCTION_DATASETS = list(ALL_DATASETS)
+    CELL_DATASETS = ["RG5"]
+
+
 _memo: dict = {}
 
 

@@ -15,12 +15,12 @@ from repro.bench.harness import build_method, measure_queries
 from repro.bench.tables import format_millis, format_table
 from repro.bench.workloads import generate_queries
 
-from _config import RESULTS_DIR, cached
+from _config import QUICK, RESULTS_DIR, cached
 
-ABLATION_DATASETS = ["RG5", "citeseerx"]
+ABLATION_DATASETS = ["RG5"] if QUICK else ["RG5", "citeseerx"]
 METHODS = ["BU", "DL", "Dagger", "BFS"]
-NUM_VERTICES = 500
-NUM_QUERIES = 800
+NUM_VERTICES = 120 if QUICK else 500
+NUM_QUERIES = 80 if QUICK else 800
 
 
 def _times(dataset: str) -> dict[str, dict[str, float]]:
@@ -59,12 +59,14 @@ def test_render_query_mode_ablation(benchmark):
         # Footnote-1 claim, asserted at the granularity our scale supports:
         # the slowest method is the same under both workloads, and the
         # label methods stay well ahead of it either way.  (BU vs DL at
-        # sub-millisecond batch times is measurement noise.)
-        slowest_topo = max(METHODS, key=lambda m: times[m]["topo-aware"])
-        slowest_uniform = max(METHODS, key=lambda m: times[m]["uniform"])
-        assert slowest_topo == slowest_uniform
-        for mode in ("topo-aware", "uniform"):
-            assert times["BU"][mode] < times[slowest_topo][mode]
+        # sub-millisecond batch times is measurement noise; at smoke
+        # scale everything is noise, so the check is skipped there.)
+        if not QUICK:
+            slowest_topo = max(METHODS, key=lambda m: times[m]["topo-aware"])
+            slowest_uniform = max(METHODS, key=lambda m: times[m]["uniform"])
+            assert slowest_topo == slowest_uniform
+            for mode in ("topo-aware", "uniform"):
+                assert times["BU"][mode] < times[slowest_topo][mode]
     table = format_table(
         "Ablation: query workload generation (paper's footnote 1)",
         ["dataset/method", "topo-aware", "uniform"],

@@ -9,6 +9,10 @@ its ``test_render_*`` target and written to ``benchmarks/results/``.
 The experiment drivers are memoized per session: Figures 2 and 4 share one
 update sweep, Figures 5–7 share one static sweep, so nothing is measured
 twice.
+
+Pass ``--quick`` to shrink the profile to smoke-test scale (the CI
+``bench-smoke`` step): every file still builds and measures, but on tiny
+graphs with one dataset per sweep.
 """
 
 from __future__ import annotations
@@ -20,7 +24,24 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
+import _config  # noqa: E402
 from _config import RESULTS_DIR  # noqa: E402
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink the benchmark profile to smoke-test scale",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick"):
+        # Before collection, so the bench modules import the shrunk
+        # constants (they bind them with `from _config import ...`).
+        _config.enable_quick()
 
 
 @pytest.fixture(scope="session", autouse=True)

@@ -24,9 +24,8 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 
-from ..core.butterfly import butterfly_build
 from ..core.index import TOLIndex
-from ..core.labeling import TOLLabeling
+from ..core.labeling import TOLLabeling, ids_intersect
 from ..core.order import LevelOrder
 from ..graph.dag import ensure_dag
 from ..graph.digraph import DiGraph
@@ -89,16 +88,18 @@ def _pruned_bfs(
     *,
     forward: bool,
 ) -> None:
+    ids = labeling.interner.ids
+    vid = ids[v]
     if forward:
         neighbors = graph.iter_out
-        my_labels = labeling.label_out[v]
-        their_labels = labeling.label_in
-        add_label = labeling.add_in_label
+        my_labels = labeling.out_ids[vid]
+        their_labels = labeling.in_ids
+        add_label = labeling.add_in_id
     else:
         neighbors = graph.iter_in
-        my_labels = labeling.label_in[v]
-        their_labels = labeling.label_out
-        add_label = labeling.add_out_label
+        my_labels = labeling.in_ids[vid]
+        their_labels = labeling.out_ids
+        add_label = labeling.add_out_id
 
     rank_v = rank[v]
     seen = {v}
@@ -109,6 +110,7 @@ def _pruned_bfs(
             if u in seen:
                 continue
             seen.add(u)
+            uid = ids[u]
             # PLL's prune test: do the labels built so far already witness
             # the v <-> u connection?  (A higher-level u always witnesses
             # itself: it entered v's labels — or was covered — during its
@@ -116,15 +118,10 @@ def _pruned_bfs(
             # into v's lower-level region.)
             if (
                 rank[u] < rank_v
-                or u in my_labels
-                or v in their_labels[u]
-                or _intersects(my_labels, their_labels[u])
+                or uid in my_labels
+                or vid in their_labels[uid]
+                or ids_intersect(my_labels, their_labels[uid])
             ):
                 continue
-            add_label(u, v)
+            add_label(uid, vid)
             queue.append(u)
-
-
-def _intersects(a: set, b: set) -> bool:
-    # set.isdisjoint runs in C and short-circuits on the first witness.
-    return not a.isdisjoint(b)

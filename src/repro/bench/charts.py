@@ -19,7 +19,7 @@ import math
 from typing import Optional
 
 from .experiments import ExperimentResult
-from .tables import format_bytes, format_millis, format_seconds
+from .tables import format_seconds
 
 __all__ = ["render_bar_chart"]
 

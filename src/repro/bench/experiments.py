@@ -33,8 +33,6 @@ from typing import Optional
 
 from .. import datasets as ds
 from ..core.index import TOLIndex
-from ..core.reduction import reduce_labels
-from ..graph.digraph import DiGraph
 from .harness import (
     DYNAMIC_METHODS,
     STATIC_METHODS,

@@ -19,7 +19,6 @@ import time
 from contextlib import contextmanager
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..baselines.dagger import DaggerIndex
 from ..baselines.grail import GrailIndex

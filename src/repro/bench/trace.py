@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 import time
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union

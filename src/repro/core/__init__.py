@@ -5,8 +5,10 @@ from .deletion import delete_vertex
 from .frozen import FrozenTOLIndex, freeze
 from .index import ReachabilityIndex, TOLIndex
 from .insertion import LevelChoice, Placement, choose_level, insert_vertex
+from .intern import VertexInterner
 from .labeling import TOLLabeling
 from .order import LevelOrder
+from .protocols import ReachabilityQuerier
 from .orders import (
     ORDER_STRATEGIES,
     butterfly_lower_order,
@@ -40,6 +42,8 @@ __all__ = [
     "FrozenTOLIndex",
     "freeze",
     "TOLLabeling",
+    "VertexInterner",
+    "ReachabilityQuerier",
     "LevelOrder",
     "butterfly_build",
     "insert_vertex",

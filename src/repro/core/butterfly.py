@@ -22,6 +22,11 @@ Two faithful variants are provided:
   orders this prunes the vast majority of the traversal and is what makes
   construction practical; the equivalence is property-tested against both
   the verbatim variant and the Definition-1 reference.
+
+The sweeps run entirely on interned ids: the cover check is a sorted-array
+intersection (:func:`~repro.core.labeling.ids_intersect`) over the flat
+``array('i')`` label buffers, and labels are added through the id-level
+mutation API.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from collections.abc import Hashable
 
 from ..graph.dag import ensure_dag
 from ..graph.digraph import DiGraph
-from .labeling import TOLLabeling
+from .labeling import TOLLabeling, ids_intersect
 from .order import LevelOrder
 
 __all__ = ["butterfly_build"]
@@ -86,16 +91,18 @@ def _sweep(
     prune: bool,
 ) -> None:
     """One direction of iteration k: label B+(v) (forward) or B-(v)."""
+    ids = labeling.interner.ids
+    vid = ids[v]
     if forward:
         neighbors = graph.iter_out
-        my_labels = labeling.label_out[v]  # Lout(v), complete at this point
-        their_labels = labeling.label_in  # Lin(u) for the check
-        add_label = labeling.add_in_label  # v joins Lin(u)
+        my_labels = labeling.out_ids[vid]  # Lout(v), complete at this point
+        their_labels = labeling.in_ids  # Lin(u) for the check
+        add_label = labeling.add_in_id  # v joins Lin(u)
     else:
         neighbors = graph.iter_in
-        my_labels = labeling.label_in[v]  # Lin(v), complete at this point
-        their_labels = labeling.label_out
-        add_label = labeling.add_out_label
+        my_labels = labeling.in_ids[vid]  # Lin(v), complete at this point
+        their_labels = labeling.out_ids
+        add_label = labeling.add_out_id
 
     seen: set[Vertex] = {v}
     queue: deque[Vertex] = deque([v])
@@ -105,14 +112,10 @@ def _sweep(
             if u in seen or u in removed:
                 continue
             seen.add(u)
-            covered = _intersects(my_labels, their_labels[u])
+            uid = ids[u]
+            covered = ids_intersect(my_labels, their_labels[uid])
             if not covered:
-                add_label(u, v)
+                add_label(uid, vid)
             if covered and prune:
                 continue
             queue.append(u)
-
-
-def _intersects(a: set, b: set) -> bool:
-    # set.isdisjoint runs in C and short-circuits on the first witness.
-    return not a.isdisjoint(b)

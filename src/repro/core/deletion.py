@@ -18,6 +18,11 @@ The topological orders needed in steps 2–3 are computed locally on the
 affected sets (a Kahn pass over each induced subgraph), so small deletions
 stay cheap.
 
+The rebuilds run on interned ids: candidate sets, cover checks and pruning
+all operate on the sorted ``array('i')`` label buffers and ``set[int]``
+inverted lists, and the released id of ``v`` goes back to the interner's
+free list for reuse by the next insertion.
+
 Stale-witness correction
 ------------------------
 Algorithm 4 as printed has a subtle soundness gap: while rebuilding
@@ -81,10 +86,16 @@ def delete_vertex(graph: DiGraph, labeling: TOLLabeling, v: Vertex) -> None:
     labeling.drop_vertex(v)  # lines 1–4: purge v from all label sets
     labeling.order.remove(v)
 
+    # Survivors keep their ids; translate the affected sets once.
+    ids = labeling.interner.ids
+    suspect_holder_ids = {ids[u] for u in affected_bwd}
+    suspect_witness_ids = {ids[u] for u in affected_fwd}
+
     for u in _local_topological(graph, affected_fwd, forward=True):
         _rebuild_labels(
             graph, labeling, u, incoming=True,
-            suspect_holders=affected_bwd, suspect_witnesses=affected_fwd,
+            suspect_holders=suspect_holder_ids,
+            suspect_witnesses=suspect_witness_ids,
         )
     for u in _local_topological(graph, affected_bwd, forward=False):
         _rebuild_labels(
@@ -131,8 +142,8 @@ def _rebuild_labels(
     u: Vertex,
     *,
     incoming: bool,
-    suspect_holders: set[Vertex] | None,
-    suspect_witnesses: set[Vertex] | None,
+    suspect_holders: set[int] | None,
+    suspect_witnesses: set[int] | None,
 ) -> None:
     """Rebuild ``Lin(u)`` (incoming) or ``Lout(u)`` from neighbor labels.
 
@@ -149,69 +160,77 @@ def _rebuild_labels(
     ``w ∈ suspect_holders`` and ``x ∈ suspect_witnesses`` is confirmed with
     a bidirectional search before being trusted.
     """
-    order = labeling.order
+    ids = labeling.interner.ids
+    uid = ids[u]
+    ukey = labeling.order.key(u)
     if incoming:
         neighbors = graph.iter_in(u)
-        their_labels = labeling.label_in
-        cover_labels = labeling.label_out
-        inv_other = labeling.inv_out
-        add = labeling.add_in_label
-        clear = labeling.clear_in_labels
-        remove_mirror = labeling.remove_out_label
+        their_labels = labeling.in_ids
+        cover_labels = labeling.out_ids
+        inv_other = labeling.out_holders
+        add = labeling.add_in_id
+        clear = labeling.clear_in_ids
+        remove_mirror = labeling.remove_out_id
     else:
         neighbors = graph.iter_out(u)
-        their_labels = labeling.label_out
-        cover_labels = labeling.label_in
-        inv_other = labeling.inv_in
-        add = labeling.add_out_label
-        clear = labeling.clear_out_labels
-        remove_mirror = labeling.remove_in_label
+        their_labels = labeling.out_ids
+        cover_labels = labeling.in_ids
+        inv_other = labeling.in_holders
+        add = labeling.add_out_id
+        clear = labeling.clear_out_ids
+        remove_mirror = labeling.remove_in_id
 
-    candidates: set[Vertex] = set()
+    candidates: set[int] = set()
     for z in neighbors:
-        candidates.add(z)
-        candidates |= their_labels[z]
-    clear(u)
-    own = their_labels[u]
-    for w in sorted(candidates, key=order.key):
-        if not order.higher(w, u):
+        zid = ids[z]
+        candidates.add(zid)
+        candidates.update(their_labels[zid])
+    clear(uid)
+    own = their_labels[uid]  # live: grows as candidates are admitted
+    for w in sorted(candidates, key=labeling.level_key):
+        if not labeling.level_key(w) < ukey:
             continue  # Level Constraint
         if _covered(
-            graph, cover_labels[w], own, w,
+            graph, labeling, cover_labels[w], own, w,
             incoming=incoming,
             suspect=suspect_holders is not None and w in suspect_holders,
             suspect_witnesses=suspect_witnesses,
         ):
             continue  # Path Constraint: covered by a higher label
-        add(u, w)
+        add(uid, w)
         # Prune: any s holding w on the opposite side connects to u
         # through w, so u may no longer label s.  The affected s are
         # exactly inv_other[w] ∩ inv_other[u]; iterate the smaller side.
         holders_w = inv_other[w]
-        holders_u = inv_other[u]
+        holders_u = inv_other[uid]
         if holders_u and holders_w:
             if len(holders_u) <= len(holders_w):
                 doomed = [s for s in holders_u if s in holders_w]
             else:
                 doomed = [s for s in holders_w if s in holders_u]
             for s in doomed:
-                remove_mirror(s, u)
+                remove_mirror(s, uid)
 
 
 def _covered(
     graph: DiGraph,
-    cover: set[Vertex],
-    own: set[Vertex],
-    w: Vertex,
+    labeling: TOLLabeling,
+    cover,
+    own,
+    w: int,
     *,
     incoming: bool,
     suspect: bool,
-    suspect_witnesses: set[Vertex] | None,
+    suspect_witnesses: set[int] | None,
 ) -> bool:
     """Does some already-admitted label witness coverage of candidate *w*?"""
     small, large = (cover, own) if len(cover) <= len(own) else (own, cover)
     if not suspect:
-        return any(x in large for x in small)
+        for x in small:  # both sides are small sorted arrays; C scans
+            if x in large:
+                return True
+        return False
+    table = labeling.interner.table
     for x in small:
         if x not in large:
             continue
@@ -219,7 +238,7 @@ def _covered(
             # w's label set may predate the deletion; confirm the w -> x
             # (resp. x -> w) leg still exists before trusting the witness.
             src, dst = (w, x) if incoming else (x, w)
-            if not bidirectional_reachable(graph, src, dst):
+            if not bidirectional_reachable(graph, table[src], table[dst]):
                 continue
         return True
     return False

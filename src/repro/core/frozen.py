@@ -1,10 +1,10 @@
 """FrozenTOLIndex: an immutable, query-optimized snapshot of a TOL index.
 
-The live :class:`~repro.core.index.TOLIndex` keeps label sets as Python
-``set`` objects plus inverted lists — the right shape for the update
-algorithms, but heavy for read-only serving: every set is a hash table and
-every element a boxed int.  Freezing re-packs the whole index into four
-flat ``array('l')`` buffers in CSR layout:
+The live :class:`~repro.core.index.TOLIndex` already stores labels as
+per-vertex sorted ``array('i')`` id buffers (plus the inverted lists the
+update algorithms need).  Freezing re-packs those buffers into two flat
+``array('i')`` label buffers plus two ``array('l')`` offset buffers in
+CSR layout:
 
 * vertices are renumbered ``0..n-1`` by level (highest level = 0), so a
   label's rank *is* its id and level comparisons are integer compares;
@@ -13,15 +13,23 @@ flat ``array('l')`` buffers in CSR layout:
 * a query intersects two sorted slices with a linear merge (or a galloping
   probe when one side is much shorter).
 
-This is the shape a C implementation of the paper would use for serving
-(the buffers could be mmapped directly), and it shrinks resident memory
-several-fold versus hash-set containers (measured in
-``benchmarks/bench_frozen.py``).  Query *speed* in pure CPython is on par
-with the live index — the set-based probe runs in C, the merge runs in
-bytecode, and they roughly cancel out — so freeze for memory and
-immutability, not for throughput.  Freezing is O(|L| log |L|) and updates
-are intentionally unsupported — thaw back into a :class:`TOLIndex` via
+Because the live index is id-based, freezing is a near-zero-cost repack:
+one rank-translation table plus a small per-vertex sort of each translated
+buffer — no hashing of vertex objects.  This is the shape a C
+implementation of the paper would use for serving (the buffers could be
+mmapped directly).  Freezing drops the inverted lists and the per-vertex
+array objects, so it still shrinks resident memory versus the live index
+(measured in ``benchmarks/bench_frozen.py``); updates are intentionally
+unsupported — thaw back into a :class:`TOLIndex` via
 :meth:`FrozenTOLIndex.thaw` to mutate.
+
+Size accounting: :meth:`FrozenTOLIndex.size_bytes` reports label payload
+bytes (``size() * itemsize``), the same formula — and, since the label
+arrays share the live ``'i'`` typecode, the same number — as
+:meth:`TOLLabeling.size_bytes <repro.core.labeling.TOLLabeling.size_bytes>`,
+so live and frozen sizes are directly comparable;
+:meth:`FrozenTOLIndex.buffer_bytes` additionally counts the CSR offset
+arrays (the number an mmap of the packed buffers would occupy).
 """
 
 from __future__ import annotations
@@ -84,23 +92,33 @@ class FrozenTOLIndex:
 
     @classmethod
     def from_index(cls, index: TOLIndex) -> "FrozenTOLIndex":
-        """Snapshot a live :class:`TOLIndex` (which stays usable)."""
+        """Snapshot a live :class:`TOLIndex` (which stays usable).
+
+        A rank-translation repack: interned ids are mapped to level ranks
+        through one flat table, and each vertex's already-sorted id buffer
+        becomes a sorted rank slice after a small per-vertex sort.
+        """
         labeling = index.labeling
         vertex_of = list(labeling.order)  # highest level first -> id 0
         id_of = {v: i for i, v in enumerate(vertex_of)}
+        # intern id -> level rank, one slot per id (holes stay 0; unused).
+        intern_ids = labeling.interner.ids
+        rank_of = [0] * labeling.interner.capacity
+        for rank, v in enumerate(vertex_of):
+            rank_of[intern_ids[v]] = rank
 
-        def pack(label_sets) -> tuple[array, array]:
-            """CSR-pack one side's label sets into (offsets, labels)."""
+        def pack(buffers) -> tuple[array, array]:
+            """CSR-pack one side's id buffers into (offsets, labels)."""
             offsets = array("l", [0])
-            labels = array("l")
+            labels = array("i")
             for v in vertex_of:
-                ids = sorted(id_of[u] for u in label_sets[v])
-                labels.extend(ids)
+                ranks = sorted(rank_of[u] for u in buffers[intern_ids[v]])
+                labels.extend(ranks)
                 offsets.append(len(labels))
             return offsets, labels
 
-        in_offsets, in_labels = pack(labeling.label_in)
-        out_offsets, out_labels = pack(labeling.label_out)
+        in_offsets, in_labels = pack(labeling.in_ids)
+        out_offsets, out_labels = pack(labeling.out_ids)
         graph = index.graph_copy()
         edges = tuple(
             sorted((id_of[t], id_of[h]) for t, h in graph.edges())
@@ -149,35 +167,59 @@ class FrozenTOLIndex:
         pos = bisect_left(in_labels, sid, in_lo, in_hi)
         if pos < in_hi and in_labels[pos] == sid:
             return True
-        return self._intersect(out_lo, out_hi, in_lo, in_hi)
+        return self._intersect(out_lo, out_hi, in_lo, in_hi) >= 0
 
-    def _intersect(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> bool:
-        """Sorted-slice intersection: linear merge, galloping when skewed."""
+    def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
+        """Return one element of ``W(s, t)``, or ``None`` if unreachable."""
+        try:
+            sid = self._id_of[s]
+            tid = self._id_of[t]
+        except KeyError as missing:
+            raise UnknownVertexError(missing.args[0]) from None
+        if sid == tid:
+            return s
+        out_lo, out_hi = self._out_offsets[sid], self._out_offsets[sid + 1]
+        in_lo, in_hi = self._in_offsets[tid], self._in_offsets[tid + 1]
+        out_labels, in_labels = self._out_labels, self._in_labels
+        pos = bisect_left(out_labels, tid, out_lo, out_hi)
+        if pos < out_hi and out_labels[pos] == tid:
+            return t
+        pos = bisect_left(in_labels, sid, in_lo, in_hi)
+        if pos < in_hi and in_labels[pos] == sid:
+            return s
+        w = self._intersect(out_lo, out_hi, in_lo, in_hi)
+        return None if w < 0 else self._vertex_of[w]
+
+    def _intersect(self, a_lo: int, a_hi: int, b_lo: int, b_hi: int) -> int:
+        """Sorted-slice intersection: return a common id, or -1.
+
+        Linear merge, galloping when one side is much shorter.
+        """
         a, b = self._out_labels, self._in_labels
         len_a, len_b = a_hi - a_lo, b_hi - b_lo
         if len_a == 0 or len_b == 0:
-            return False
+            return -1
         if len_a * 16 < len_b:
             for i in range(a_lo, a_hi):
                 pos = bisect_left(b, a[i], b_lo, b_hi)
                 if pos < b_hi and b[pos] == a[i]:
-                    return True
-            return False
+                    return a[i]
+            return -1
         if len_b * 16 < len_a:
             for j in range(b_lo, b_hi):
                 pos = bisect_left(a, b[j], a_lo, a_hi)
                 if pos < a_hi and a[pos] == b[j]:
-                    return True
-            return False
+                    return b[j]
+            return -1
         i, j = a_lo, b_lo
         while i < a_hi and j < b_hi:
             if a[i] == b[j]:
-                return True
+                return a[i]
             if a[i] < b[j]:
                 i += 1
             else:
                 j += 1
-        return False
+        return -1
 
     def query_many(self, pairs: Iterable[tuple[Vertex, Vertex]]) -> list[bool]:
         """Answer a batch of queries (convenience for serving loops)."""
@@ -201,7 +243,20 @@ class FrozenTOLIndex:
         return len(self._in_labels) + len(self._out_labels)
 
     def size_bytes(self) -> int:
-        """Actual buffer bytes of the packed label arrays."""
+        """Label payload bytes: ``size() * itemsize``.
+
+        Same formula as :meth:`TOLLabeling.size_bytes
+        <repro.core.labeling.TOLLabeling.size_bytes>` so live and frozen
+        indices are directly comparable; see :meth:`buffer_bytes` for the
+        full packed footprint including the CSR offset arrays.
+        """
+        return (
+            self._in_labels.itemsize * len(self._in_labels)
+            + self._out_labels.itemsize * len(self._out_labels)
+        )
+
+    def buffer_bytes(self) -> int:
+        """Total bytes of all four packed buffers (labels + offsets)."""
         return (
             self._in_labels.itemsize * len(self._in_labels)
             + self._out_labels.itemsize * len(self._out_labels)

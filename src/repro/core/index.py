@@ -120,6 +120,12 @@ class TOLIndex:
         """
         return self._labeling.query(s, t)
 
+    def query_many(
+        self, pairs: Iterable[tuple[Vertex, Vertex]]
+    ) -> list[bool]:
+        """Answer a batch of queries, in input order."""
+        return self._labeling.query_many(pairs)
+
     def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
         """Return one witness vertex for ``s -> t``, or ``None``."""
         return self._labeling.witness(s, t)
@@ -356,10 +362,12 @@ class ReachabilityIndex:
         self._condensation = DynamicCondensation(
             graph.copy() if graph is not None else DiGraph()
         )
-        self._order_strategy = order
+        # Resolve eagerly so a bad name/type fails here with the helpful
+        # error, exactly as TOLIndex.build does (uniform across facades).
+        self._order_strategy = resolve_order_strategy(order)
         self._prune = prune
         self._tol = TOLIndex.build(
-            self._condensation.dag, order=order, prune=prune
+            self._condensation.dag, order=self._order_strategy, prune=prune
         )
 
     # ------------------------------------------------------------------
@@ -380,6 +388,13 @@ class ReachabilityIndex:
         if cs == ct:
             return True
         return self._tol.query(cs, ct)
+
+    def query_many(
+        self, pairs: Iterable[tuple[Vertex, Vertex]]
+    ) -> list[bool]:
+        """Answer a batch of queries, in input order."""
+        query = self.query
+        return [query(s, t) for s, t in pairs]
 
     def __contains__(self, v: Vertex) -> bool:
         return v in self._condensation.component_of

@@ -44,6 +44,11 @@ is validated the same way (``tests/core/test_insertion.py``):
    trip.  The sweep's θ is exact and the relocated index matches the
    from-scratch construction: the property tests check both against
    brute-force reconstruction at every candidate position.
+
+All label reads and writes go through the interned-id representation: the
+sweep's Δk accounting, the cover checks, and the crossings operate on
+sorted ``array('i')`` buffers and ``set[int]`` inverted lists, mapping back
+to user vertex objects only at the :class:`Placement` boundary.
 """
 
 from __future__ import annotations
@@ -55,7 +60,7 @@ from typing import Optional, Union
 
 from ..errors import IndexStateError
 from ..graph.digraph import DiGraph
-from .labeling import TOLLabeling
+from .labeling import TOLLabeling, ids_intersect
 
 __all__ = ["Placement", "LevelChoice", "choose_level", "insert_vertex"]
 
@@ -159,47 +164,45 @@ def choose_level(labeling: TOLLabeling, v: Vertex) -> LevelChoice:
 
     Ties prefer the lowest position (least disruption, cheapest to apply).
     """
-    order = labeling.order
-    sim_in = set(labeling.label_in[v])
-    sim_out = set(labeling.label_out[v])
+    vid = labeling.interner.ids[v]
+    in_ids = labeling.in_ids
+    out_ids = labeling.out_ids
+    sim_in = set(in_ids[vid])
+    sim_out = set(out_ids[vid])
     # Who holds v as the sweep progresses; starts from v's live state.
-    inv_in = set(labeling.inv_in[v])
-    inv_out = set(labeling.inv_out[v])
+    inv_in = set(labeling.in_holders[vid])
+    inv_out = set(labeling.out_holders[vid])
 
     best_placement: Placement = "bottom"
     best_theta = 0
     theta = 0
-    candidates = sorted(sim_in | sim_out, key=order.key, reverse=True)
+    candidates = sorted(sim_in | sim_out, key=labeling.level_key, reverse=True)
     for u in candidates:
         delta = 0
         if u in sim_in:
             sim_in.remove(u)
             inv_out.add(u)
             for w in inv_in:
-                if u in labeling.label_in[w]:
+                if u in in_ids[w]:
                     delta -= 1
-            for w in labeling.inv_out[u]:
-                if w not in inv_out and not _intersects(
-                    labeling.label_out[w], sim_in
-                ):
+            for w in labeling.out_holders[u]:
+                if w not in inv_out and not _arr_meets_set(out_ids[w], sim_in):
                     delta += 1
                     inv_out.add(w)
         else:
             sim_out.remove(u)
             inv_in.add(u)
             for w in inv_out:
-                if u in labeling.label_out[w]:
+                if u in out_ids[w]:
                     delta -= 1
-            for w in labeling.inv_in[u]:
-                if w not in inv_in and not _intersects(
-                    labeling.label_in[w], sim_out
-                ):
+            for w in labeling.in_holders[u]:
+                if w not in inv_in and not _arr_meets_set(in_ids[w], sim_out):
                     delta += 1
                     inv_in.add(w)
         theta += delta
         if theta < best_theta:
             best_theta = theta
-            best_placement = ("above", u)
+            best_placement = ("above", labeling.interner.table[u])
     return LevelChoice(best_placement, best_theta, len(candidates))
 
 
@@ -219,34 +222,44 @@ def _relocate_upward(labeling: TOLLabeling, v: Vertex, anchor: Vertex) -> None:
     sweep's prefix.
     """
     order = labeling.order
-    own_in = labeling.label_in[v]
-    own_out = labeling.label_out[v]
-    candidates = sorted(own_in | own_out, key=order.key, reverse=True)
+    vid = labeling.interner.ids[v]
+    anchor_id = labeling.interner.ids[anchor]
+    in_ids = labeling.in_ids
+    out_ids = labeling.out_ids
+    own_in = in_ids[vid]  # live: shrinks as candidates are crossed
+    own_out = out_ids[vid]
+    candidates = sorted(
+        set(own_in) | set(own_out), key=labeling.level_key, reverse=True
+    )
     crossed_anchor = False
     for u in candidates:
         if u in own_in:
-            labeling.remove_in_label(v, u)
-            labeling.add_out_label(u, v)
-            for w in tuple(labeling.inv_in[v]):
-                if u in labeling.label_in[w]:
-                    labeling.remove_in_label(w, u)
-            for w in tuple(labeling.inv_out[u]):
-                if w is not v and v not in labeling.label_out[w] and labeling.label_out[
-                    w
-                ].isdisjoint(own_in):
-                    labeling.add_out_label(w, v)
+            labeling.remove_in_id(vid, u)
+            labeling.add_out_id(u, vid)
+            for w in tuple(labeling.in_holders[vid]):
+                if u in in_ids[w]:
+                    labeling.remove_in_id(w, u)
+            for w in tuple(labeling.out_holders[u]):
+                if (
+                    w != vid
+                    and vid not in out_ids[w]
+                    and not ids_intersect(out_ids[w], own_in)
+                ):
+                    labeling.add_out_id(w, vid)
         else:
-            labeling.remove_out_label(v, u)
-            labeling.add_in_label(u, v)
-            for w in tuple(labeling.inv_out[v]):
-                if u in labeling.label_out[w]:
-                    labeling.remove_out_label(w, u)
-            for w in tuple(labeling.inv_in[u]):
-                if w is not v and v not in labeling.label_in[w] and labeling.label_in[
-                    w
-                ].isdisjoint(own_out):
-                    labeling.add_in_label(w, v)
-        if u == anchor:
+            labeling.remove_out_id(vid, u)
+            labeling.add_in_id(u, vid)
+            for w in tuple(labeling.out_holders[vid]):
+                if u in out_ids[w]:
+                    labeling.remove_out_id(w, u)
+            for w in tuple(labeling.in_holders[u]):
+                if (
+                    w != vid
+                    and vid not in in_ids[w]
+                    and not ids_intersect(in_ids[w], own_out)
+                ):
+                    labeling.add_in_id(w, vid)
+        if u == anchor_id:
             crossed_anchor = True
             break
     if not crossed_anchor:
@@ -278,7 +291,7 @@ def _materialize(
     _build_own_labels(graph, labeling, v)
     _spread_new_labels(graph, labeling, v, forward=True)
     _spread_new_labels(graph, labeling, v, forward=False)
-    _prune_through(labeling, v)
+    _prune_through(labeling, labeling.interner.ids[v])
     _repair_other_labels(labeling, v)
 
 
@@ -293,25 +306,28 @@ def _build_own_labels(
     than ``v`` and no already-kept label covers it.  Mirrored for
     ``Cout(v)``.
     """
-    order = labeling.order
+    ids = labeling.interner.ids
+    vid = ids[v]
+    vkey = labeling.order.key(v)
     for incoming in (True, False):
         neighbors = graph.iter_in(v) if incoming else graph.iter_out(v)
-        neighbor_labels = labeling.label_in if incoming else labeling.label_out
-        covering = labeling.label_out if incoming else labeling.label_in
-        own = labeling.label_in[v] if incoming else labeling.label_out[v]
-        candidates: set[Vertex] = set()
+        neighbor_labels = labeling.in_ids if incoming else labeling.out_ids
+        covering = labeling.out_ids if incoming else labeling.in_ids
+        own = neighbor_labels[vid]  # live: grows as labels are admitted
+        candidates: set[int] = set()
         for u in neighbors:
-            candidates.add(u)
-            candidates |= neighbor_labels[u]
-        for u in sorted(candidates, key=order.key):
-            if not order.higher(u, v):
+            uid = ids[u]
+            candidates.add(uid)
+            candidates.update(neighbor_labels[uid])
+        for u in sorted(candidates, key=labeling.level_key):
+            if not labeling.level_key(u) < vkey:
                 continue  # lower-level vertices are handled by the spread
-            if _intersects(covering[u], own):
+            if ids_intersect(covering[u], own):
                 continue
             if incoming:
-                labeling.add_in_label(v, u)
+                labeling.add_in_id(vid, u)
             else:
-                labeling.add_out_label(v, u)
+                labeling.add_out_id(vid, u)
 
 
 def _spread_new_labels(
@@ -327,16 +343,18 @@ def _spread_new_labels(
     the same witness).
     """
     order = labeling.order
+    ids = labeling.interner.ids
+    vid = ids[v]
     if forward:
         neighbors = graph.iter_out
-        my_labels = labeling.label_out[v]
-        their_labels = labeling.label_in
-        add_label = labeling.add_in_label
+        my_labels = labeling.out_ids[vid]
+        their_labels = labeling.in_ids
+        add_label = labeling.add_in_id
     else:
         neighbors = graph.iter_in
-        my_labels = labeling.label_in[v]
-        their_labels = labeling.label_out
-        add_label = labeling.add_out_label
+        my_labels = labeling.in_ids[vid]
+        their_labels = labeling.out_ids
+        add_label = labeling.add_out_id
 
     seen: set[Vertex] = {v}
     queue: deque[Vertex] = deque([v])
@@ -346,9 +364,10 @@ def _spread_new_labels(
             if u in seen or order.higher(u, v):
                 continue
             seen.add(u)
-            if _intersects(my_labels, their_labels[u]):
+            uid = ids[u]
+            if ids_intersect(my_labels, their_labels[uid]):
                 continue  # covered: prune this branch
-            add_label(u, v)
+            add_label(uid, vid)
             queue.append(u)
 
 
@@ -358,18 +377,18 @@ def _spread_new_labels(
 
 def _repair_other_labels(labeling: TOLLabeling, v: Vertex) -> None:
     """Propagate the new ``u -> v -> w`` connectivity and prune redundancy."""
-    order = labeling.order
-    own_in = sorted(labeling.label_in[v], key=order.key)
-    own_out = sorted(labeling.label_out[v], key=order.key)
-    _repair_direction(labeling, v, own_in, own_out, incoming=True)
-    _repair_direction(labeling, v, own_out, own_in, incoming=False)
+    vid = labeling.interner.ids[v]
+    own_in = sorted(labeling.in_ids[vid], key=labeling.level_key)
+    own_out = sorted(labeling.out_ids[vid], key=labeling.level_key)
+    _repair_direction(labeling, vid, own_in, own_out, incoming=True)
+    _repair_direction(labeling, vid, own_out, own_in, incoming=False)
 
 
 def _repair_direction(
     labeling: TOLLabeling,
-    v: Vertex,
-    sources: list[Vertex],
-    sinks: list[Vertex],
+    vid: int,
+    sources: list[int],
+    sinks: list[int],
     *,
     incoming: bool,
 ) -> None:
@@ -381,35 +400,38 @@ def _repair_direction(
     ``w`` as an in-label, which includes everything holding ``v`` itself
     via the ``w = v`` case).  ``incoming=False`` is the mirrored pass.
     """
-    order = labeling.order
+    level_key = labeling.level_key
     if incoming:
-        their_labels = labeling.label_in
-        cover_labels = labeling.label_out
-        inv = labeling.inv_in
-        add = labeling.add_in_label
+        their_labels = labeling.in_ids
+        cover_labels = labeling.out_ids
+        inv = labeling.in_holders
+        add = labeling.add_in_id
     else:
-        their_labels = labeling.label_out
-        cover_labels = labeling.label_in
-        inv = labeling.inv_out
-        add = labeling.add_out_label
+        their_labels = labeling.out_ids
+        cover_labels = labeling.in_ids
+        inv = labeling.out_holders
+        add = labeling.add_out_id
 
     for u in sources:  # ascending level value == highest level first
         u_cover = cover_labels[u]
-        for w in sinks + [v]:
-            if w is not v and order.higher(w, u):
+        u_key = level_key(u)
+        for w in sinks + [vid]:
+            if w != vid and level_key(w) < u_key:
                 continue  # Level Constraint: only lower-level sinks
-            if u not in their_labels[w] and not _intersects(u_cover, their_labels[w]):
+            if u not in their_labels[w] and not ids_intersect(
+                u_cover, their_labels[w]
+            ):
                 add(w, u)
             for x in tuple(inv[w]):
-                if u not in their_labels[x] and not _intersects(
+                if u not in their_labels[x] and not ids_intersect(
                     u_cover, their_labels[x]
                 ):
                     add(x, u)
         _prune_through(labeling, u)
 
 
-def _prune_through(labeling: TOLLabeling, u: Vertex) -> None:
-    """Remove labels made redundant by pairs now connected through *u*.
+def _prune_through(labeling: TOLLabeling, uid: int) -> None:
+    """Remove labels made redundant by pairs now connected through *uid*.
 
     For every ``a`` holding ``u`` as an out-label (``a -> u``) and every
     ``b`` holding ``u`` as an in-label (``u -> b``) the path ``a -> u -> b``
@@ -417,31 +439,34 @@ def _prune_through(labeling: TOLLabeling, u: Vertex) -> None:
     the other (Path Constraint): drop ``b`` from ``Lout(a)`` and ``a`` from
     ``Lin(b)`` (Algorithm 2, lines 8–13).
     """
-    holders_out = labeling.inv_out[u]  # a with u ∈ Lout(a)
-    holders_in = labeling.inv_in[u]  # b with u ∈ Lin(b)
+    holders_out = labeling.out_holders[uid]  # a with u ∈ Lout(a)
+    holders_in = labeling.in_holders[uid]  # b with u ∈ Lin(b)
     if not holders_out or not holders_in:
         return
     for a in tuple(holders_out):
-        a_out = labeling.label_out[a]
+        a_out = labeling.out_ids[a]
         # Iterate the smaller side of the cross product.
         if len(holders_in) <= len(a_out):
             doomed = [b for b in holders_in if b in a_out]
         else:
             doomed = [b for b in a_out if b in holders_in]
         for b in doomed:
-            labeling.remove_out_label(a, b)
-            labeling.discard_in_label(b, a)
+            labeling.remove_out_id(a, b)
+            labeling.discard_in_id(b, a)
     for b in tuple(holders_in):
-        b_in = labeling.label_in[b]
+        b_in = labeling.in_ids[b]
         if len(holders_out) <= len(b_in):
             doomed = [a for a in holders_out if a in b_in]
         else:
             doomed = [a for a in b_in if a in holders_out]
         for a in doomed:
-            labeling.remove_in_label(b, a)
-            labeling.discard_out_label(a, b)
+            labeling.remove_in_id(b, a)
+            labeling.discard_out_id(a, b)
 
 
-def _intersects(a: set, b: set) -> bool:
-    # set.isdisjoint runs in C and short-circuits on the first witness.
-    return not a.isdisjoint(b)
+def _arr_meets_set(arr, ids: set) -> bool:
+    """``True`` iff the sorted id array shares an element with the id set."""
+    for x in arr:
+        if x in ids:
+            return True
+    return False

@@ -1,0 +1,171 @@
+"""Vertex interning: stable ``Hashable -> int`` ids with free-list reuse.
+
+The dynamic core stores labels as flat ``array('i')`` buffers of integer
+ids (see :mod:`repro.core.labeling`), but the public API speaks arbitrary
+hashable vertex objects.  :class:`VertexInterner` is the boundary between
+the two worlds:
+
+* :meth:`intern` assigns the next free id to a new vertex — ids are dense
+  (``0..capacity-1``) so parallel ``list``-indexed side tables stay small;
+* :meth:`release` returns an id to a free list when its vertex is deleted,
+  and the next :meth:`intern` reuses it (LIFO), so long update streams of
+  balanced insert/delete churn never grow the id space;
+* an id is **stable** for the lifetime of its vertex: nothing ever
+  renumbers a live vertex, which is what lets label buffers, inverted
+  lists and snapshots hold raw ids without invalidation protocols.
+
+The interner deliberately knows nothing about orders or labels; it is a
+bijection ``live vertex <-> id`` plus an id allocator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from typing import Optional
+
+from ..errors import UnknownVertexError
+
+__all__ = ["VertexInterner"]
+
+Vertex = Hashable
+
+#: Sentinel marking a hole in the id table (``None`` is a valid vertex).
+_EMPTY = object()
+
+
+class VertexInterner:
+    """A bijection between live vertex objects and dense integer ids.
+
+    Examples
+    --------
+    >>> interner = VertexInterner()
+    >>> interner.intern("a"), interner.intern("b"), interner.intern("a")
+    (0, 1, 0)
+    >>> interner.release("a")
+    0
+    >>> interner.intern("c")          # reuses the freed id
+    0
+    >>> interner.vertex_of(1)
+    'b'
+    """
+
+    __slots__ = ("_ids", "_table", "_free")
+
+    def __init__(self) -> None:
+        self._ids: dict[Vertex, int] = {}
+        self._table: list = []
+        self._free: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def intern(self, v: Vertex) -> int:
+        """Return the id of *v*, assigning a fresh (or recycled) one."""
+        i = self._ids.get(v)
+        if i is not None:
+            return i
+        if self._free:
+            i = self._free.pop()
+            self._table[i] = v
+        else:
+            i = len(self._table)
+            self._table.append(v)
+        self._ids[v] = i
+        return i
+
+    def release(self, v: Vertex) -> int:
+        """Forget *v*, returning its id to the free list (and the caller)."""
+        try:
+            i = self._ids.pop(v)
+        except KeyError:
+            raise UnknownVertexError(v) from None
+        self._table[i] = _EMPTY
+        self._free.append(i)
+        return i
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def id_of(self, v: Vertex) -> int:
+        """Return the id of *v*; raise :class:`UnknownVertexError` if absent."""
+        try:
+            return self._ids[v]
+        except KeyError:
+            raise UnknownVertexError(v) from None
+
+    def get(self, v: Vertex) -> Optional[int]:
+        """Return the id of *v*, or ``None`` if it is not interned."""
+        return self._ids.get(v)
+
+    def vertex_of(self, i: int) -> Vertex:
+        """Return the vertex owning id *i*; raise if the id is free."""
+        try:
+            v = self._table[i]
+        except IndexError:
+            raise UnknownVertexError(i) from None
+        if v is _EMPTY:
+            raise UnknownVertexError(i)
+        return v
+
+    # ------------------------------------------------------------------
+    # Raw views (hot paths index these directly; treat as read-only)
+    # ------------------------------------------------------------------
+
+    @property
+    def ids(self) -> dict[Vertex, int]:
+        """The live ``vertex -> id`` dict (do not mutate)."""
+        return self._ids
+
+    @property
+    def table(self) -> list:
+        """The live ``id -> vertex`` list, holes included (do not mutate)."""
+        return self._table
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._ids
+
+    def __iter__(self) -> Iterator[Vertex]:
+        """Iterate live vertices in interning order."""
+        return iter(self._ids)
+
+    def items(self) -> Iterator[tuple[Vertex, int]]:
+        """Iterate ``(vertex, id)`` pairs for live vertices."""
+        return iter(self._ids.items())
+
+    @property
+    def capacity(self) -> int:
+        """Size of the id space (live ids + free-listed holes)."""
+        return len(self._table)
+
+    @property
+    def free_count(self) -> int:
+        """Number of ids currently on the free list."""
+        return len(self._free)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(live={len(self._ids)}, "
+            f"capacity={self.capacity})"
+        )
+
+    def check_invariants(self) -> None:
+        """Validate the bijection and free-list bookkeeping (for tests)."""
+        assert len(self._ids) + len(self._free) == len(self._table)
+        for v, i in self._ids.items():
+            assert self._table[i] == v or self._table[i] is v, (v, i)
+        free = set(self._free)
+        assert len(free) == len(self._free), "duplicate ids on the free list"
+        for i, slot in enumerate(self._table):
+            if slot is _EMPTY:
+                assert i in free, f"hole {i} missing from the free list"
+            else:
+                assert i not in free, f"live id {i} on the free list"

@@ -1,4 +1,4 @@
-"""The Total Order Labeling state: label sets, inverted indices, queries.
+"""The Total Order Labeling state: label buffers, inverted indices, queries.
 
 :class:`TOLLabeling` holds, for every vertex ``v`` of a DAG:
 
@@ -9,6 +9,35 @@
   all label sets affected by a vertex in time proportional to their number,
 
 plus the :class:`~repro.core.order.LevelOrder` that parameterizes the index.
+
+Storage layout
+--------------
+Vertices are interned to dense integer ids by a
+:class:`~repro.core.intern.VertexInterner` (ids are stable for a vertex's
+lifetime and recycled on deletion).  Each label set is a sorted
+``array('i')`` of ids, indexed by the owner's id in the parallel lists
+:attr:`in_ids` / :attr:`out_ids`; inverted lists are ``set[int]`` in
+:attr:`in_holders` / :attr:`out_holders`.  The algorithms of Section 5
+intersect and mutate the flat int buffers directly — the same shape the
+paper's C++ implementation and :class:`~repro.core.frozen.FrozenTOLIndex`
+use, but kept **live under updates**: insertion into a small sorted array
+is a C ``memmove``, and the update algorithms mutate the buffers in place
+through the id-level API (:meth:`add_in_id` et al.), so aliases held
+across mutations stay valid.
+
+Single-pair queries additionally consult a *lazy frozenset mirror*
+(:attr:`in_sets` / :attr:`out_sets`): the first query touching a vertex
+materializes ``frozenset(buffer)`` once, every mutation of that vertex's
+buffer invalidates its slot, and the query itself is then three C set
+operations over small ints (two endpoint probes and one ``isdisjoint``) —
+in CPython this beats any bytecode-level merge, while :meth:`witness`
+still runs the ordered two-pointer merge over the arrays to return the
+lowest-id witness deterministically.
+
+The public API still speaks user vertex objects at the boundary
+(:meth:`add_in_label`, :meth:`query`, ...); the dict-like views
+:attr:`label_in` / :attr:`label_out` / :attr:`inv_in` / :attr:`inv_out`
+materialize plain ``set`` snapshots for tests and diagnostics.
 
 Queries are answered with the witness set of Equation 1:
 
@@ -24,24 +53,145 @@ deletion (:mod:`repro.core.deletion`) and reduction
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from array import array
+from bisect import bisect_left
+from collections.abc import Hashable, Iterable, Iterator
 from typing import Optional
 
 from ..errors import IndexStateError, UnknownVertexError
+from .intern import VertexInterner
 from .order import LevelOrder
 
-__all__ = ["TOLLabeling"]
+__all__ = ["TOLLabeling", "ids_intersect", "first_common_id"]
 
 Vertex = Hashable
 
-#: Bytes one label entry occupies in the paper's C++ implementation
-#: (a 32-bit vertex id); used to report index sizes in bytes as Figure 5
-#: does.
-BYTES_PER_LABEL = 4
+#: Bytes one label entry occupies: the itemsize of the ``array('i')``
+#: buffers (a 32-bit vertex id), matching the paper's C++ implementation;
+#: used to report index sizes in bytes as Figure 5 does.
+BYTES_PER_LABEL = array("i").itemsize
+
+#: Size ratio beyond which an intersection galloping-probes the larger
+#: side with binary search instead of scanning it linearly.
+_GALLOP_SKEW = 16
+
+
+def ids_intersect(a, b) -> bool:
+    """``True`` iff the two sorted int sequences share an element.
+
+    The workhorse of every cover check: tiered into an emptiness bail-out,
+    a range-disjointness bail-out, a C membership scan for small sides, a
+    galloping binary-search probe for skewed sizes, and a two-pointer merge
+    otherwise.
+    """
+    la = len(a)
+    lb = len(b)
+    if not la or not lb:
+        return False
+    if la > lb:
+        a, b = b, a
+        la, lb = lb, la
+    if a[-1] < b[0] or b[-1] < a[0]:
+        return False
+    if lb <= 32:
+        for x in a:  # array.__contains__ is a C scan over the raw buffer
+            if x in b:
+                return True
+        return False
+    if la * _GALLOP_SKEW <= lb:
+        for x in a:
+            j = bisect_left(b, x)
+            if j < lb and b[j] == x:
+                return True
+        return False
+    i = j = 0
+    x = a[0]
+    y = b[0]
+    while True:
+        if x < y:
+            i += 1
+            if i == la:
+                return False
+            x = a[i]
+        elif x > y:
+            j += 1
+            if j == lb:
+                return False
+            y = b[j]
+        else:
+            return True
+
+
+def first_common_id(a, b) -> int:
+    """Smallest id shared by two sorted int sequences, or ``-1``."""
+    la = len(a)
+    lb = len(b)
+    if not la or not lb or a[-1] < b[0] or b[-1] < a[0]:
+        return -1
+    i = j = 0
+    x = a[0]
+    y = b[0]
+    while True:
+        if x < y:
+            i += 1
+            if i == la:
+                return -1
+            x = a[i]
+        elif x > y:
+            j += 1
+            if j == lb:
+                return -1
+            y = b[j]
+        else:
+            return x
+
+
+class _SideView:
+    """Read-only dict-like view of one label/inverted side.
+
+    Keys are user vertex objects; values are freshly-built ``set`` objects
+    of user vertices.  Mutating a returned set does **not** write through —
+    use the labeling's mutation API.
+    """
+
+    __slots__ = ("_labeling", "_buffers")
+
+    def __init__(self, labeling: "TOLLabeling", buffers: list) -> None:
+        self._labeling = labeling
+        self._buffers = buffers
+
+    def __getitem__(self, v: Vertex) -> set:
+        lab = self._labeling
+        table = lab.interner.table
+        return {table[i] for i in self._buffers[lab.interner.ids[v]]}
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._labeling.interner.ids
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._labeling.interner.ids)
+
+    def __len__(self) -> int:
+        return len(self._labeling.interner.ids)
+
+    def keys(self) -> Iterator[Vertex]:
+        return iter(self._labeling.interner.ids)
+
+    def values(self):
+        lab = self._labeling
+        table = lab.interner.table
+        for i in lab.interner.ids.values():
+            yield {table[u] for u in self._buffers[i]}
+
+    def items(self):
+        lab = self._labeling
+        table = lab.interner.table
+        for v, i in lab.interner.ids.items():
+            yield v, {table[u] for u in self._buffers[i]}
 
 
 class TOLLabeling:
-    """Label sets and inverted indices of a TOL index over a DAG.
+    """Label buffers and inverted indices of a TOL index over a DAG.
 
     Parameters
     ----------
@@ -50,14 +200,45 @@ class TOLLabeling:
         present in the order (and vice versa for labels to make sense).
     """
 
-    __slots__ = ("order", "label_in", "label_out", "inv_in", "inv_out")
+    __slots__ = (
+        "order",
+        "interner",
+        "_vids",
+        "in_ids",
+        "out_ids",
+        "in_holders",
+        "out_holders",
+        "in_sets",
+        "out_sets",
+        "label_in",
+        "label_out",
+        "inv_in",
+        "inv_out",
+    )
 
     def __init__(self, order: LevelOrder) -> None:
         self.order = order
-        self.label_in: dict[Vertex, set[Vertex]] = {}
-        self.label_out: dict[Vertex, set[Vertex]] = {}
-        self.inv_in: dict[Vertex, set[Vertex]] = {}
-        self.inv_out: dict[Vertex, set[Vertex]] = {}
+        self.interner = VertexInterner()
+        # Direct reference to the interner's vertex -> id dict (the dict
+        # object is stable), skipping a property call on the query path.
+        self._vids = self.interner.ids
+        #: ``in_ids[i]`` is ``Lin(vertex i)`` as a sorted ``array('i')``.
+        self.in_ids: list[Optional[array]] = []
+        self.out_ids: list[Optional[array]] = []
+        #: ``in_holders[i]`` is ``Iin(i) = {w : i in Lin(w)}`` as id sets.
+        self.in_holders: list[Optional[set[int]]] = []
+        self.out_holders: list[Optional[set[int]]] = []
+        #: Lazily-derived ``frozenset`` mirror of each buffer, used by the
+        #: query fast path (C-speed membership/intersection); ``None``
+        #: marks a stale slot, re-materialized on next query.  Mutators
+        #: invalidate; algorithms never read these (they intersect the
+        #: live arrays, whose aliases they hold across mutations).
+        self.in_sets: list[Optional[frozenset]] = []
+        self.out_sets: list[Optional[frozenset]] = []
+        self.label_in = _SideView(self, self.in_ids)
+        self.label_out = _SideView(self, self.out_ids)
+        self.inv_in = _SideView(self, self.in_holders)
+        self.inv_out = _SideView(self, self.out_holders)
         for v in order:
             self._register(v)
 
@@ -65,15 +246,27 @@ class TOLLabeling:
     # Vertex registry
     # ------------------------------------------------------------------
 
-    def _register(self, v: Vertex) -> None:
-        self.label_in[v] = set()
-        self.label_out[v] = set()
-        self.inv_in[v] = set()
-        self.inv_out[v] = set()
+    def _register(self, v: Vertex) -> int:
+        i = self.interner.intern(v)
+        if i == len(self.in_ids):
+            self.in_ids.append(array("i"))
+            self.out_ids.append(array("i"))
+            self.in_holders.append(set())
+            self.out_holders.append(set())
+            self.in_sets.append(None)
+            self.out_sets.append(None)
+        else:  # recycled id: the parallel slots already exist
+            self.in_ids[i] = array("i")
+            self.out_ids[i] = array("i")
+            self.in_holders[i] = set()
+            self.out_holders[i] = set()
+            self.in_sets[i] = None
+            self.out_sets[i] = None
+        return i
 
     def add_vertex(self, v: Vertex) -> None:
         """Register *v* with empty label sets (order must already hold it)."""
-        if v in self.label_in:
+        if v in self.interner:
             raise IndexStateError(f"vertex {v!r} already registered")
         if v not in self.order:
             raise IndexStateError(f"vertex {v!r} missing from the level order")
@@ -82,122 +275,227 @@ class TOLLabeling:
     def drop_vertex(self, v: Vertex) -> None:
         """Unregister *v*: strip it from every label set, then forget it.
 
-        The caller removes *v* from the level order separately.
+        The caller removes *v* from the level order separately.  The id is
+        released to the interner's free list for reuse.
         """
-        for w in tuple(self.inv_in[v]):
-            self.remove_in_label(w, v)
-        for w in tuple(self.inv_out[v]):
-            self.remove_out_label(w, v)
-        for u in tuple(self.label_in[v]):
-            self.remove_in_label(v, u)
-        for u in tuple(self.label_out[v]):
-            self.remove_out_label(v, u)
-        del self.label_in[v]
-        del self.label_out[v]
-        del self.inv_in[v]
-        del self.inv_out[v]
+        i = self.interner.id_of(v)
+        for w in tuple(self.in_holders[i]):
+            self.remove_in_id(w, i)
+        for w in tuple(self.out_holders[i]):
+            self.remove_out_id(w, i)
+        for u in tuple(self.in_ids[i]):
+            self.remove_in_id(i, u)
+        for u in tuple(self.out_ids[i]):
+            self.remove_out_id(i, u)
+        self.in_ids[i] = None
+        self.out_ids[i] = None
+        self.in_holders[i] = None
+        self.out_holders[i] = None
+        self.in_sets[i] = None
+        self.out_sets[i] = None
+        self.interner.release(v)
 
     def __contains__(self, v: Vertex) -> bool:
-        return v in self.label_in
+        return v in self.interner.ids
 
     def vertices(self) -> Iterable[Vertex]:
         """Iterate over all registered vertices."""
-        return self.label_in.keys()
+        return self.interner.ids.keys()
 
     @property
     def num_vertices(self) -> int:
         """Number of registered vertices."""
-        return len(self.label_in)
+        return len(self.interner.ids)
+
+    def id_of(self, v: Vertex) -> int:
+        """Interned id of *v* (raises :class:`UnknownVertexError`)."""
+        return self.interner.id_of(v)
+
+    def vertex_of(self, i: int) -> Vertex:
+        """Vertex owning interned id *i*."""
+        return self.interner.vertex_of(i)
+
+    def level_key(self, i: int) -> int:
+        """Order sort key of the vertex with id *i* (smaller == higher)."""
+        return self.order.key(self.interner.table[i])
 
     # ------------------------------------------------------------------
-    # Label mutation (inverted lists stay in sync)
+    # Label mutation — id level (inverted lists stay in sync)
+    # ------------------------------------------------------------------
+
+    def add_in_id(self, vid: int, uid: int) -> None:
+        """Insert id *uid* into ``Lin(vid)`` (idempotent, like ``set.add``)."""
+        a = self.in_ids[vid]
+        pos = bisect_left(a, uid)
+        if pos == len(a) or a[pos] != uid:
+            a.insert(pos, uid)
+            self.in_holders[uid].add(vid)
+            self.in_sets[vid] = None
+
+    def add_out_id(self, vid: int, uid: int) -> None:
+        """Insert id *uid* into ``Lout(vid)``."""
+        a = self.out_ids[vid]
+        pos = bisect_left(a, uid)
+        if pos == len(a) or a[pos] != uid:
+            a.insert(pos, uid)
+            self.out_holders[uid].add(vid)
+            self.out_sets[vid] = None
+
+    def remove_in_id(self, vid: int, uid: int) -> None:
+        """Remove id *uid* from ``Lin(vid)`` (KeyError if absent)."""
+        a = self.in_ids[vid]
+        pos = bisect_left(a, uid)
+        if pos == len(a) or a[pos] != uid:
+            raise KeyError(uid)
+        del a[pos]
+        self.in_holders[uid].remove(vid)
+        self.in_sets[vid] = None
+
+    def remove_out_id(self, vid: int, uid: int) -> None:
+        """Remove id *uid* from ``Lout(vid)``."""
+        a = self.out_ids[vid]
+        pos = bisect_left(a, uid)
+        if pos == len(a) or a[pos] != uid:
+            raise KeyError(uid)
+        del a[pos]
+        self.out_holders[uid].remove(vid)
+        self.out_sets[vid] = None
+
+    def discard_in_id(self, vid: int, uid: int) -> bool:
+        """Remove *uid* from ``Lin(vid)`` if present; report whether it was."""
+        a = self.in_ids[vid]
+        pos = bisect_left(a, uid)
+        if pos == len(a) or a[pos] != uid:
+            return False
+        del a[pos]
+        self.in_holders[uid].remove(vid)
+        self.in_sets[vid] = None
+        return True
+
+    def discard_out_id(self, vid: int, uid: int) -> bool:
+        """Remove *uid* from ``Lout(vid)`` if present; report whether it was."""
+        a = self.out_ids[vid]
+        pos = bisect_left(a, uid)
+        if pos == len(a) or a[pos] != uid:
+            return False
+        del a[pos]
+        self.out_holders[uid].remove(vid)
+        self.out_sets[vid] = None
+        return True
+
+    def clear_in_ids(self, vid: int) -> None:
+        """Empty ``Lin(vid)`` in place (aliases stay valid)."""
+        a = self.in_ids[vid]
+        for uid in a:
+            self.in_holders[uid].remove(vid)
+        del a[:]
+        self.in_sets[vid] = None
+
+    def clear_out_ids(self, vid: int) -> None:
+        """Empty ``Lout(vid)`` in place."""
+        a = self.out_ids[vid]
+        for uid in a:
+            self.out_holders[uid].remove(vid)
+        del a[:]
+        self.out_sets[vid] = None
+
+    # ------------------------------------------------------------------
+    # Label mutation — user-vertex boundary
     # ------------------------------------------------------------------
 
     def add_in_label(self, v: Vertex, u: Vertex) -> None:
         """Insert *u* into ``Lin(v)``."""
-        self.label_in[v].add(u)
-        self.inv_in[u].add(v)
+        ids = self.interner.ids
+        self.add_in_id(ids[v], ids[u])
 
     def add_out_label(self, v: Vertex, u: Vertex) -> None:
         """Insert *u* into ``Lout(v)``."""
-        self.label_out[v].add(u)
-        self.inv_out[u].add(v)
+        ids = self.interner.ids
+        self.add_out_id(ids[v], ids[u])
 
     def remove_in_label(self, v: Vertex, u: Vertex) -> None:
         """Remove *u* from ``Lin(v)``."""
-        self.label_in[v].remove(u)
-        self.inv_in[u].remove(v)
+        ids = self.interner.ids
+        self.remove_in_id(ids[v], ids[u])
 
     def remove_out_label(self, v: Vertex, u: Vertex) -> None:
         """Remove *u* from ``Lout(v)``."""
-        self.label_out[v].remove(u)
-        self.inv_out[u].remove(v)
+        ids = self.interner.ids
+        self.remove_out_id(ids[v], ids[u])
 
     def discard_in_label(self, v: Vertex, u: Vertex) -> bool:
         """Remove *u* from ``Lin(v)`` if present; report whether it was."""
-        if u in self.label_in[v]:
-            self.remove_in_label(v, u)
-            return True
-        return False
+        ids = self.interner.ids
+        return self.discard_in_id(ids[v], ids[u])
 
     def discard_out_label(self, v: Vertex, u: Vertex) -> bool:
         """Remove *u* from ``Lout(v)`` if present; report whether it was."""
-        if u in self.label_out[v]:
-            self.remove_out_label(v, u)
-            return True
-        return False
+        ids = self.interner.ids
+        return self.discard_out_id(ids[v], ids[u])
 
     def clear_in_labels(self, v: Vertex) -> None:
         """Empty ``Lin(v)`` (inverted lists updated)."""
-        for u in tuple(self.label_in[v]):
-            self.remove_in_label(v, u)
+        self.clear_in_ids(self.interner.ids[v])
 
     def clear_out_labels(self, v: Vertex) -> None:
         """Empty ``Lout(v)`` (inverted lists updated)."""
-        for u in tuple(self.label_out[v]):
-            self.remove_out_label(v, u)
+        self.clear_out_ids(self.interner.ids[v])
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def query(self, s: Vertex, t: Vertex) -> bool:
-        """Answer the reachability query ``s -> t`` (Equation 1 / Lemma 1)."""
-        if s == t:
-            if s not in self.label_in:
-                raise UnknownVertexError(s)
-            return True
+        """Answer the reachability query ``s -> t`` (Equation 1 / Lemma 1).
+
+        The fast path is three C set operations over interned ids: the two
+        endpoint-witness probes (``t ∈ Lout(s)``, ``s ∈ Lin(t)``) and one
+        ``frozenset.isdisjoint`` for ``Lout(s) ∩ Lin(t)``, using the lazy
+        frozenset mirror of the label buffers.
+        """
+        ids = self._vids
         try:
-            out_s = self.label_out[s]
-            in_t = self.label_in[t]
+            sid = ids[s]
+            tid = ids[t]
         except KeyError as missing:
             raise UnknownVertexError(missing.args[0]) from None
-        if t in out_s or s in in_t:
+        if sid == tid:
             return True
-        if len(out_s) > len(in_t):
-            out_s, in_t = in_t, out_s
-        return any(w in in_t for w in out_s)
+        out_sets = self.out_sets
+        fa = out_sets[sid]
+        if fa is None:
+            fa = out_sets[sid] = frozenset(self.out_ids[sid])
+        in_sets = self.in_sets
+        fb = in_sets[tid]
+        if fb is None:
+            fb = in_sets[tid] = frozenset(self.in_ids[tid])
+        return tid in fa or sid in fb or not fa.isdisjoint(fb)
+
+    def query_many(
+        self, pairs: Iterable[tuple[Vertex, Vertex]]
+    ) -> list[bool]:
+        """Answer a batch of queries, in input order."""
+        query = self.query
+        return [query(s, t) for s, t in pairs]
 
     def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
         """Return one element of ``W(s, t)``, or ``None`` if unreachable."""
-        if s == t:
-            if s not in self.label_in:
-                raise UnknownVertexError(s)
-            return s
+        ids = self.interner.ids
         try:
-            out_s = self.label_out[s]
-            in_t = self.label_in[t]
+            sid = ids[s]
+            tid = ids[t]
         except KeyError as missing:
             raise UnknownVertexError(missing.args[0]) from None
-        if t in out_s:
-            return t
-        if s in in_t:
+        if sid == tid:
             return s
-        small, large = (out_s, in_t) if len(out_s) <= len(in_t) else (in_t, out_s)
-        for w in small:
-            if w in large:
-                return w
-        return None
+        out_s = self.out_ids[sid]
+        in_t = self.in_ids[tid]
+        if tid in out_s:
+            return t
+        if sid in in_t:
+            return s
+        w = first_common_id(out_s, in_t)
+        return None if w < 0 else self.interner.table[w]
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -205,17 +503,31 @@ class TOLLabeling:
 
     def size(self) -> int:
         """Total number of labels, ``|L| = Σ_v |Lin(v)| + |Lout(v)|``."""
-        return sum(len(s) for s in self.label_in.values()) + sum(
-            len(s) for s in self.label_out.values()
-        )
+        total = 0
+        for i in self.interner.ids.values():
+            total += len(self.in_ids[i]) + len(self.out_ids[i])
+        return total
 
     def size_bytes(self, bytes_per_label: int = BYTES_PER_LABEL) -> int:
-        """Index size in bytes, as reported by the paper's Figure 5."""
+        """Label payload bytes: ``size() * bytes_per_label``.
+
+        The default ``bytes_per_label`` is the itemsize of the live
+        ``array('i')`` buffers (4 bytes — a 32-bit vertex id), so with no
+        argument this is the *exact* number of label-payload bytes held by
+        the index, and matches
+        :meth:`repro.core.frozen.FrozenTOLIndex.size_bytes` for a frozen
+        copy of the same index (Figure 5's accounting).  Container
+        overhead (offsets, inverted lists, the interner, the lazy query
+        mirror) is excluded on both sides;
+        :meth:`FrozenTOLIndex.buffer_bytes` reports the frozen total
+        including offsets.
+        """
         return self.size() * bytes_per_label
 
     def label_count(self, v: Vertex) -> int:
         """``|Lin(v)| + |Lout(v)|`` for one vertex."""
-        return len(self.label_in[v]) + len(self.label_out[v])
+        i = self.interner.ids[v]
+        return len(self.in_ids[i]) + len(self.out_ids[i])
 
     # ------------------------------------------------------------------
     # Copying and comparison
@@ -223,9 +535,13 @@ class TOLLabeling:
 
     def snapshot(self) -> dict[Vertex, tuple[frozenset, frozenset]]:
         """Return an immutable ``{v: (Lin(v), Lout(v))}`` view for tests."""
+        table = self.interner.table
         return {
-            v: (frozenset(self.label_in[v]), frozenset(self.label_out[v]))
-            for v in self.label_in
+            v: (
+                frozenset(table[u] for u in self.in_ids[i]),
+                frozenset(table[u] for u in self.out_ids[i]),
+            )
+            for v, i in self.interner.ids.items()
         }
 
     def equals_labels(self, other: "TOLLabeling") -> bool:
@@ -239,24 +555,41 @@ class TOLLabeling:
         )
 
     def check_invariants(self) -> None:
-        """Validate inverted-list consistency and level constraints (tests)."""
-        assert (
-            self.label_in.keys()
-            == self.label_out.keys()
-            == self.inv_in.keys()
-            == self.inv_out.keys()
-        )
-        for v, labels in self.label_in.items():
-            for u in labels:
-                assert v in self.inv_in[u], (v, u)
-                assert self.order.higher(u, v), f"level constraint: {u} in Lin({v})"
-        for v, labels in self.label_out.items():
-            for u in labels:
-                assert v in self.inv_out[u], (v, u)
-                assert self.order.higher(u, v), f"level constraint: {u} in Lout({v})"
-        for u, holders in self.inv_in.items():
-            for w in holders:
-                assert u in self.label_in[w], (u, w)
-        for u, holders in self.inv_out.items():
-            for w in holders:
-                assert u in self.label_out[w], (u, w)
+        """Validate interning, sortedness, inverted-list and level
+        consistency (tests)."""
+        self.interner.check_invariants()
+        ids = self.interner.ids
+        table = self.interner.table
+        for v in ids:
+            assert v in self.order, f"vertex {v!r} missing from the order"
+        for v, i in ids.items():
+            lin = self.in_ids[i]
+            lout = self.out_ids[i]
+            assert lin is not None and lout is not None, v
+            assert list(lin) == sorted(set(lin)), f"Lin({v!r}) not sorted-unique"
+            assert list(lout) == sorted(set(lout)), f"Lout({v!r}) not sorted-unique"
+            assert self.in_sets[i] is None or self.in_sets[i] == frozenset(
+                lin
+            ), f"stale query mirror for Lin({v!r})"
+            assert self.out_sets[i] is None or self.out_sets[i] == frozenset(
+                lout
+            ), f"stale query mirror for Lout({v!r})"
+            for u in lin:
+                assert i in self.in_holders[u], (v, table[u])
+                assert self.order.higher(table[u], v), (
+                    f"level constraint: {table[u]!r} in Lin({v!r})"
+                )
+            for u in lout:
+                assert i in self.out_holders[u], (v, table[u])
+                assert self.order.higher(table[u], v), (
+                    f"level constraint: {table[u]!r} in Lout({v!r})"
+                )
+        for v, u in ids.items():
+            for w in self.in_holders[u]:
+                a = self.in_ids[w]
+                pos = bisect_left(a, u)
+                assert pos < len(a) and a[pos] == u, (v, table[w])
+            for w in self.out_holders[u]:
+                a = self.out_ids[w]
+                pos = bisect_left(a, u)
+                assert pos < len(a) and a[pos] == u, (v, table[w])

@@ -237,6 +237,11 @@ def resolve_order_strategy(strategy: str | OrderStrategy) -> OrderStrategy:
     """
     if callable(strategy):
         return strategy
+    if not isinstance(strategy, str):
+        raise TypeError(
+            f"order strategy must be a name or a callable "
+            f"graph -> LevelOrder, got {type(strategy).__name__}"
+        )
     try:
         return ORDER_STRATEGIES[strategy.lower()]
     except KeyError:

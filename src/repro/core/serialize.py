@@ -35,7 +35,6 @@ import io
 import json
 import struct
 import zlib
-from collections.abc import Hashable
 from pathlib import Path
 from typing import Union
 
@@ -73,6 +72,12 @@ def index_to_dict(index: TOLIndex) -> dict:
         raise IndexStateError(
             f"vertices are not JSON-serializable: {exc}"
         ) from None
+    # Translate interned ids to order positions through one flat table
+    # (avoids re-hashing vertex objects per label).
+    intern_ids = labeling.interner.ids
+    pos_of_id = [0] * labeling.interner.capacity
+    for v, i in intern_ids.items():
+        pos_of_id[i] = position[v]
     return {
         "format": "tol-index",
         "version": _VERSION,
@@ -82,10 +87,12 @@ def index_to_dict(index: TOLIndex) -> dict:
             (position[t], position[h]) for t, h in graph.edges()
         ),
         "labels_in": [
-            sorted(position[u] for u in labeling.label_in[v]) for v in order
+            sorted(pos_of_id[u] for u in labeling.in_ids[intern_ids[v]])
+            for v in order
         ],
         "labels_out": [
-            sorted(position[u] for u in labeling.label_out[v]) for v in order
+            sorted(pos_of_id[u] for u in labeling.out_ids[intern_ids[v]])
+            for v in order
         ],
     }
 

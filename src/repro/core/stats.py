@@ -73,12 +73,12 @@ def _percentile(sorted_values: list[int], fraction: float) -> int:
 
 def labeling_stats(labeling: TOLLabeling) -> LabelStats:
     """Compute :class:`LabelStats` for *labeling*."""
+    live_ids = list(labeling.interner.ids.values())
     counts = sorted(
-        len(labeling.label_in[v]) + len(labeling.label_out[v])
-        for v in labeling.vertices()
+        len(labeling.in_ids[i]) + len(labeling.out_ids[i]) for i in live_ids
     )
-    total_in = sum(len(s) for s in labeling.label_in.values())
-    total_out = sum(len(s) for s in labeling.label_out.values())
+    total_in = sum(len(labeling.in_ids[i]) for i in live_ids)
+    total_out = sum(len(labeling.out_ids[i]) for i in live_ids)
     n = len(counts)
     return LabelStats(
         num_vertices=n,
@@ -101,8 +101,8 @@ def top_label_holders(
     """The *k* vertices with the largest label sets (the query hot spots)."""
     ranked = sorted(
         (
-            (v, len(labeling.label_in[v]) + len(labeling.label_out[v]))
-            for v in labeling.vertices()
+            (v, len(labeling.in_ids[i]) + len(labeling.out_ids[i]))
+            for v, i in labeling.interner.items()
         ),
         key=lambda pair: (-pair[1], repr(pair[0])),
     )

@@ -140,6 +140,27 @@ class ReachabilityService:
         self._metrics.incr("queries")
         return answer, epoch
 
+    def query_many(self, pairs: Iterable[Pair]) -> list[bool]:
+        """Answer a batch of queries, in input order.
+
+        :class:`~repro.core.protocols.ReachabilityQuerier` spelling of
+        :meth:`query_batch` (same single-acquisition, deduplicated path).
+        """
+        return self.query_batch(pairs)
+
+    def witness(self, s: Vertex, t: Vertex) -> Optional[Vertex]:
+        """Return one vertex on some ``s ⇝ t`` path, or ``None``.
+
+        Witnesses are not cached (they are not epoch-stamped booleans);
+        the lookup runs against the index under the read lock.
+        """
+        with self._rwlock.read_locked():
+            return self._index.witness(s, t)
+
+    def __contains__(self, v: Vertex) -> bool:
+        with self._rwlock.read_locked():
+            return v in self._index
+
     def query_batch(self, pairs: Iterable[Pair]) -> list[bool]:
         """Answer many queries under one read-lock acquisition.
 
@@ -279,15 +300,27 @@ class ReachabilityService:
             )
         return list(self._applied)
 
+    @property
     def num_vertices(self) -> int:
         """Vertex count of the served graph (consistent read)."""
         with self._rwlock.read_locked():
             return self._index.num_vertices
 
+    @property
     def num_edges(self) -> int:
         """Edge count of the served graph (consistent read)."""
         with self._rwlock.read_locked():
             return self._index.num_edges
+
+    def size(self) -> int:
+        """Label count ``|L|`` of the underlying index (consistent read)."""
+        with self._rwlock.read_locked():
+            return self._index.size()
+
+    def size_bytes(self) -> int:
+        """Label payload bytes of the underlying index (consistent read)."""
+        with self._rwlock.read_locked():
+            return self._index.size_bytes()
 
     def snapshot(self) -> dict:
         """All serving metrics as one nested dict (cheap; lock-light)."""

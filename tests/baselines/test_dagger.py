@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.baselines.dagger import DaggerIndex
 from repro.graph.digraph import DiGraph

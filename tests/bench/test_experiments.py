@@ -4,7 +4,6 @@ Run at tiny scale (a couple of datasets, few hundred vertices) so the whole
 file stays fast; the real numbers come from ``benchmarks/``.
 """
 
-import pytest
 
 from repro.bench.experiments import (
     ALL_EXPERIMENTS,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench.trace import (
-    Trace,
     TraceOp,
     format_trace,
     generate_trace,

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given
 
-from repro.core.frozen import FrozenTOLIndex, freeze
+from repro.core.frozen import freeze
 from repro.core.index import TOLIndex
 from repro.core.reference import descendants_map
 from repro.errors import IndexStateError
@@ -38,10 +38,24 @@ class TestFreeze:
 
     def test_packed_bytes_accounting(self, live):
         frozen = freeze(live)
-        # labels + the two (n+1)-long offset arrays
+        # size_bytes is label payload only: size() * itemsize, the same
+        # formula the live labeling uses, so the two are comparable.
         item = frozen._in_labels.itemsize
-        expected = item * (live.size() + 2 * (live.num_vertices + 1))
-        assert frozen.size_bytes() == expected
+        assert frozen.size_bytes() == item * live.size()
+        assert frozen.size_bytes() == item * frozen.size()
+        # buffer_bytes additionally counts the two (n+1)-long offset arrays.
+        offsets = frozen._in_offsets.itemsize * 2 * (live.num_vertices + 1)
+        assert frozen.buffer_bytes() == frozen.size_bytes() + offsets
+
+    def test_live_size_bytes_matches_frozen_formula(self, live):
+        # The reconciled accounting: both label stores are 'i'-typed and
+        # both report size() * itemsize, so the numbers are identical.
+        frozen = freeze(live)
+        from repro.core.labeling import BYTES_PER_LABEL
+
+        assert live.labeling.size_bytes() == BYTES_PER_LABEL * live.size()
+        assert frozen._in_labels.itemsize == BYTES_PER_LABEL
+        assert live.labeling.size_bytes() == frozen.size_bytes()
 
     def test_unknown_vertex(self, live):
         frozen = freeze(live)
@@ -108,13 +122,18 @@ def test_frozen_matches_ground_truth(graph):
             assert frozen.query(s, t) == (s == t or t in desc[s])
 
 
-def test_memory_packing_is_denser_than_sets():
+def test_memory_packing_is_denser_than_containers():
     import sys
 
     g = random_dag(300, 1500, seed=3)
     live = TOLIndex.build(g)
     frozen = freeze(live)
-    set_bytes = sum(
-        sys.getsizeof(s) for s in live.labeling.label_in.values()
-    ) + sum(sys.getsizeof(s) for s in live.labeling.label_out.values())
-    assert frozen.size_bytes() < set_bytes
+    lab = live.labeling
+    # The live index pays one array object (plus inverted-list set) per
+    # vertex; the frozen CSR layout pays two flat buffers total.  Compare
+    # full frozen footprint against just the live label containers.
+    live_bytes = sum(
+        sys.getsizeof(lab.in_ids[i]) + sys.getsizeof(lab.out_ids[i])
+        for i in lab.interner.ids.values()
+    )
+    assert frozen.buffer_bytes() < live_bytes

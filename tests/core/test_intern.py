@@ -1,0 +1,130 @@
+"""Unit tests for the vertex interner (`repro.core.intern`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TOLIndex, VertexInterner
+from repro.core.intern import _EMPTY
+from repro.errors import UnknownVertexError
+from repro.graph.digraph import DiGraph
+
+
+class TestAllocation:
+    def test_dense_sequential_ids(self):
+        interner = VertexInterner()
+        assert [interner.intern(v) for v in "abc"] == [0, 1, 2]
+        assert interner.capacity == 3
+
+    def test_intern_is_idempotent(self):
+        interner = VertexInterner()
+        assert interner.intern("a") == interner.intern("a") == 0
+        assert len(interner) == 1
+
+    def test_release_then_reuse_lifo(self):
+        interner = VertexInterner()
+        for v in "abcd":
+            interner.intern(v)
+        assert interner.release("b") == 1
+        assert interner.release("d") == 3
+        # LIFO: the most recently freed id comes back first.
+        assert interner.intern("e") == 3
+        assert interner.intern("f") == 1
+        # The id space never grew past the original four.
+        assert interner.capacity == 4
+        assert interner.free_count == 0
+        interner.check_invariants()
+
+    def test_release_unknown_raises(self):
+        interner = VertexInterner()
+        with pytest.raises(UnknownVertexError):
+            interner.release("ghost")
+
+    def test_churn_keeps_id_space_bounded(self):
+        interner = VertexInterner()
+        interner.intern("anchor")
+        for round_ in range(50):
+            i = interner.intern(("temp", round_))
+            assert i == 1, "balanced churn must recycle the same id"
+            interner.release(("temp", round_))
+        assert interner.capacity == 2
+        interner.check_invariants()
+
+
+class TestLookup:
+    def test_bijection_round_trip(self):
+        interner = VertexInterner()
+        vertices = ["x", 7, ("tuple", 1), None, frozenset({3})]
+        ids = [interner.intern(v) for v in vertices]
+        for v, i in zip(vertices, ids):
+            assert interner.id_of(v) == i
+            assert interner.vertex_of(i) == v
+            assert v in interner
+        interner.check_invariants()
+
+    def test_none_is_a_valid_vertex(self):
+        interner = VertexInterner()
+        i = interner.intern(None)
+        assert interner.get(None) == i
+        assert interner.vertex_of(i) is None
+        interner.release(None)
+        assert interner.get(None) is None
+        assert interner.table[i] is _EMPTY
+
+    def test_lookup_of_freed_id_raises(self):
+        interner = VertexInterner()
+        i = interner.intern("a")
+        interner.release("a")
+        with pytest.raises(UnknownVertexError):
+            interner.vertex_of(i)
+        with pytest.raises(UnknownVertexError):
+            interner.id_of("a")
+        with pytest.raises(UnknownVertexError):
+            interner.vertex_of(99)
+
+    def test_iteration_and_items(self):
+        interner = VertexInterner()
+        for v in "abc":
+            interner.intern(v)
+        assert list(interner) == ["a", "b", "c"]
+        assert dict(interner.items()) == {"a": 0, "b": 1, "c": 2}
+
+
+class TestStability:
+    def test_ids_stable_across_unrelated_churn(self):
+        interner = VertexInterner()
+        keep = interner.intern("keep")
+        for round_ in range(20):
+            interner.intern(("churn", round_))
+        for round_ in range(0, 20, 2):
+            interner.release(("churn", round_))
+        assert interner.id_of("keep") == keep
+        interner.check_invariants()
+
+
+class TestThroughIndex:
+    """Id reuse observed through the public TOLIndex mutation API."""
+
+    def test_delete_vertex_recycles_its_id(self, fig1):
+        index = TOLIndex.build(fig1)
+        interner = index.labeling.interner
+        capacity_before = interner.capacity
+        freed = interner.id_of("g")
+        index.delete_vertex("g")
+        assert "g" not in interner
+        assert interner.free_count == 1
+        index.insert_vertex("new", in_neighbors=["a"], out_neighbors=["h"])
+        assert interner.id_of("new") == freed
+        assert interner.capacity == capacity_before
+        interner.check_invariants()
+        index.labeling.check_invariants()
+
+    def test_survivor_ids_stable_across_delete(self):
+        graph = DiGraph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        index = TOLIndex.build(graph)
+        interner = index.labeling.interner
+        before = {v: interner.id_of(v) for v in "ac"}
+        index.delete_vertex("b")
+        for v, i in before.items():
+            assert interner.id_of(v) == i
+        assert index.query("a", "c")

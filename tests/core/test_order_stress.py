@@ -11,7 +11,6 @@ import random
 import pytest
 
 from repro.core.order import LevelOrder
-from repro.errors import OrderError
 
 
 class TestHotspotPatterns:

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given
 
 from repro.core.butterfly import butterfly_build
-from repro.core.order import LevelOrder
 from repro.core.orders import (
     ORDER_STRATEGIES,
     butterfly_lower_order,
@@ -88,8 +87,32 @@ class TestStrategies:
         assert sorted(order, key=repr) == sorted(g.vertices(), key=repr)
 
     def test_unknown_strategy(self):
-        with pytest.raises(GraphError):
+        with pytest.raises(GraphError) as excinfo:
             resolve_order_strategy("nope")
+        # The error lists every valid name, so typos are self-correcting.
+        for name in ORDER_STRATEGIES:
+            assert name in str(excinfo.value)
+
+    def test_non_string_non_callable_strategy(self):
+        with pytest.raises(TypeError):
+            resolve_order_strategy(42)
+
+    def test_facades_resolve_uniformly(self):
+        from repro.core.index import ReachabilityIndex, TOLIndex
+
+        g = random_dag(6, 8, seed=0)
+        with pytest.raises(GraphError):
+            TOLIndex.build(g, order="nope")
+        with pytest.raises(GraphError):
+            ReachabilityIndex(g, order="nope")
+        with pytest.raises(TypeError):
+            ReachabilityIndex(g, order=42)
+        # Name and callable spellings build equivalent indices.
+        a = TOLIndex.build(g, order="bu")
+        b = ReachabilityIndex(g, order=butterfly_upper_order)
+        for s in g.vertices():
+            for t in g.vertices():
+                assert a.query(s, t) == b.query(s, t), (s, t)
 
     def test_callable_passthrough(self):
         fn = resolve_order_strategy(topological_order_strategy)

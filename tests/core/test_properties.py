@@ -6,18 +6,15 @@ remain *the* TOL index of Definition 1 (checked via the independent
 reference construction) and must answer every query like a BFS would.
 """
 
-import random
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.butterfly import butterfly_build
 from repro.core.deletion import delete_vertex
 from repro.core.insertion import insert_vertex
-from repro.core.order import LevelOrder
 from repro.core.reference import descendants_map, reference_tol
 from repro.errors import NotADagError
 from repro.graph.dag import ensure_dag
-from repro.graph.digraph import DiGraph
 
 from ..conftest import dags_with_order
 

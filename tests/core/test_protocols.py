@@ -1,0 +1,159 @@
+"""Cross-facade conformance against the `ReachabilityQuerier` protocol.
+
+Two layers of checking:
+
+* structural — every facade passes ``isinstance(..., ReachabilityQuerier)``
+  (the protocol is runtime-checkable), and a non-facade does not;
+* semantic — one random DAG update/query trace is driven through all four
+  facades at once (the frozen index is re-frozen after every update) and
+  every sampled query must agree across facades *and* with a BFS oracle
+  over a plain mirrored :class:`DiGraph`.  ``query_many`` must equal the
+  per-pair answers, and every non-``None`` witness must actually lie on
+  some ``s -> t`` path of the oracle graph.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    FrozenTOLIndex,
+    ReachabilityIndex,
+    ReachabilityQuerier,
+    TOLIndex,
+    freeze,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_dag
+from repro.graph.traversal import forward_reachable
+from repro.service.server import ReachabilityService
+
+
+def _all_facades(graph: DiGraph):
+    return {
+        "tol": TOLIndex.build(graph.copy()),
+        "reach": ReachabilityIndex(graph.copy()),
+        "frozen": freeze(TOLIndex.build(graph.copy())),
+        "service": ReachabilityService(graph.copy()),
+    }
+
+
+class TestStructuralConformance:
+    @pytest.mark.parametrize("name", ["tol", "reach", "frozen", "service"])
+    def test_facade_satisfies_protocol(self, name):
+        facade = _all_facades(figure1_dag())[name]
+        assert isinstance(facade, ReachabilityQuerier)
+
+    def test_digraph_is_not_a_querier(self):
+        assert not isinstance(figure1_dag(), ReachabilityQuerier)
+
+    def test_protocol_is_importable_from_core(self):
+        import repro.core
+
+        assert "ReachabilityQuerier" in repro.core.__all__
+
+
+def _oracle_query(graph: DiGraph, s, t) -> bool:
+    return s == t or t in forward_reachable(graph, s)
+
+
+def _check_agreement(rng, graph: DiGraph, facades: dict) -> None:
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        return
+    pairs = [
+        (rng.choice(vertices), rng.choice(vertices)) for _ in range(12)
+    ]
+    expected = [_oracle_query(graph, s, t) for s, t in pairs]
+    for name, facade in facades.items():
+        answers = [facade.query(s, t) for s, t in pairs]
+        assert answers == expected, (name, pairs)
+        assert facade.query_many(pairs) == expected, name
+        for (s, t), reachable in zip(pairs, expected):
+            w = facade.witness(s, t)
+            if not reachable:
+                assert w is None, (name, s, t, w)
+            else:
+                assert w is not None, (name, s, t)
+                assert _oracle_query(graph, s, w), (name, s, t, w)
+                assert _oracle_query(graph, w, t), (name, s, t, w)
+        # Membership and counts also agree with the oracle graph.
+        assert facade.num_vertices == graph.num_vertices, name
+        assert vertices[0] in facade, name
+        assert ("missing", "sentinel") not in facade, name
+        assert facade.size() >= 0 and facade.size_bytes() >= 0, name
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_trace_agreement_across_facades(seed):
+    """One update/query trace, four facades, one BFS oracle."""
+    rng = random.Random(seed)
+    n0 = rng.randint(3, 7)
+    # `ranked` fixes a topological order; edges always go forward in it.
+    ranked = list(range(n0))
+    graph = DiGraph(vertices=ranked)
+    for i in range(n0):
+        for j in range(i + 1, n0):
+            if rng.random() < 0.4:
+                graph.add_edge(ranked[i], ranked[j])
+
+    tol = TOLIndex.build(graph.copy())
+    reach = ReachabilityIndex(graph.copy())
+    service = ReachabilityService(graph.copy())
+    next_vertex = n0
+
+    for _ in range(12):
+        op = rng.choice(["insert_vertex", "delete_vertex",
+                         "insert_edge", "delete_edge", "noop"])
+        if op == "insert_vertex":
+            pos = rng.randint(0, len(ranked))
+            before = [u for u in ranked[:pos] if rng.random() < 0.5]
+            after = [u for u in ranked[pos:] if rng.random() < 0.5]
+            v = next_vertex
+            next_vertex += 1
+            ranked.insert(pos, v)
+            graph.add_vertex(v)
+            for u in before:
+                graph.add_edge(u, v)
+            for u in after:
+                graph.add_edge(v, u)
+            for facade in (tol, reach, service):
+                facade.insert_vertex(v, in_neighbors=before,
+                                     out_neighbors=after)
+        elif op == "delete_vertex" and len(ranked) > 2:
+            v = rng.choice(ranked)
+            ranked.remove(v)
+            graph.remove_vertex(v)
+            for facade in (tol, reach, service):
+                facade.delete_vertex(v)
+        elif op == "insert_edge" and len(ranked) >= 2:
+            i, j = sorted(rng.sample(range(len(ranked)), 2))
+            tail, head = ranked[i], ranked[j]
+            if not graph.has_edge(tail, head):
+                graph.add_edge(tail, head)
+                for facade in (tol, reach, service):
+                    facade.insert_edge(tail, head)
+        elif op == "delete_edge":
+            edges = sorted(graph.edges())
+            if edges:
+                tail, head = rng.choice(edges)
+                graph.remove_edge(tail, head)
+                for facade in (tol, reach, service):
+                    facade.delete_edge(tail, head)
+
+        facades = {
+            "tol": tol,
+            "reach": reach,
+            "frozen": freeze(tol),
+            "service": service,
+        }
+        _check_agreement(rng, graph, facades)
+
+
+def test_size_accounting_agrees_between_live_and_frozen(fig1):
+    index = TOLIndex.build(fig1)
+    frozen = FrozenTOLIndex.from_index(index)
+    assert frozen.size() == index.size()
+    assert frozen.size_bytes() == index.size_bytes()

@@ -10,7 +10,7 @@ import pytest
 from repro.bench.trace import generate_trace
 from repro.bench.workloads import generate_zipfian_queries
 from repro.core.index import ReachabilityIndex
-from repro.errors import VertexNotFoundError, WorkloadError
+from repro.errors import VertexNotFoundError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_dag
 from repro.service.server import ReachabilityService
@@ -202,8 +202,8 @@ class TestTraceEquivalence:
 class TestIntrospection:
     def test_counts_and_repr(self):
         service = ReachabilityService(diamond())
-        assert service.num_vertices() == 4
-        assert service.num_edges() == 4
+        assert service.num_vertices == 4
+        assert service.num_edges == 4
         assert "ReachabilityService" in repr(service)
 
     def test_snapshot_shape(self):

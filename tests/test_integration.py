@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro import (
-    DiGraph,
     ReachabilityIndex,
     TOLIndex,
     freeze,
