@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke ruff reproduce examples serve-demo lint-docs clean
+.PHONY: install test bench bench-smoke ruff reproduce examples serve-demo metrics-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -44,6 +44,16 @@ serve-demo:
 		--ops 600 --query-fraction 0.6
 	$(PYTHON) -m repro serve-replay .demo/graph.txt .demo/ops.trace \
 		--readers 8 --rounds 2 --flush-threshold 8
+
+# Replay a trace with full core-span tracing and print the Prometheus
+# rendering of the unified metric registry (see docs/observability.md).
+metrics-demo:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro trace-generate .demo/graph.txt .demo/ops.trace \
+		--ops 600 --query-fraction 0.6
+	$(PYTHON) -m repro metrics .demo/graph.txt .demo/ops.trace \
+		--events .demo/ops.jsonl
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results benchmarks/results-smoke .benchmarks .demo

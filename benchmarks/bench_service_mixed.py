@@ -130,3 +130,7 @@ def test_mixed_readers_plus_writer(benchmark, flush_threshold):
     benchmark.extra_info["batches"] = snap["queue"]["drained_batches"]
     benchmark.extra_info["coalesced"] = snap["queue"]["coalesced"]
     assert snap["epoch"] > 0
+    # Operation counts live under the "counters" sub-dict (they used to
+    # be merged flat into the snapshot, colliding with recorder keys).
+    assert snap["counters"]["queries"] > 0
+    assert snap["counters"]["updates_applied"] > 0

@@ -11,6 +11,8 @@ Usage examples::
     python -m repro trace-generate graph.txt ops.trace --ops 500
     python -m repro trace-replay graph.txt ops.trace --methods BU Dagger BFS
     python -m repro serve-replay graph.txt ops.trace --readers 8
+    python -m repro serve-replay graph.txt ops.trace --metrics-out metrics.prom
+    python -m repro metrics graph.txt ops.trace --format json --events ops.jsonl
     python -m repro experiments --only fig7 table4 --chart
 
 Vertex tokens that parse as integers are treated as integers (matching the
@@ -247,6 +249,9 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     import threading
 
     from .bench.trace import read_trace
+    from .obs import trace as obs_trace
+    from .obs.export import write_metrics
+    from .obs.registry import MetricRegistry
     from .service.server import ReachabilityService
     from .service.updates import UpdateOp
 
@@ -272,40 +277,52 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
               "nonzero --query-fraction", file=sys.stderr)
         return 2
 
-    service = ReachabilityService(
-        graph,
-        cache_size=args.cache_size,
-        flush_threshold=args.flush_threshold,
-    )
-    unknown = [0] * args.readers
+    # --metrics-out implies core-span tracing for the whole replay
+    # (index build included), routed into the service's own registry so
+    # the exported file is one cross-layer snapshot.
+    registry = MetricRegistry() if args.metrics_out else None
+    if registry is not None:
+        obs_trace.enable(registry)
+    try:
+        service = ReachabilityService(
+            graph,
+            cache_size=args.cache_size,
+            flush_threshold=args.flush_threshold,
+            registry=registry,
+        )
 
-    def reader(idx: int) -> None:
-        offset = (idx * 7919) % len(queries)  # decorrelate reader streams
-        for _ in range(args.rounds):
-            for i in range(len(queries)):
-                s, t = queries[(offset + i) % len(queries)]
-                try:
-                    service.query(s, t)
-                except (ReproError, KeyError):
-                    # The writer raced us and removed an endpoint.
-                    unknown[idx] += 1
+        unknown = [0] * args.readers
 
-    def writer() -> None:
-        for op in mutations:
-            service.submit_update(UpdateOp.from_trace_op(op))
-        service.flush()
+        def reader(idx: int) -> None:
+            offset = (idx * 7919) % len(queries)  # decorrelate readers
+            for _ in range(args.rounds):
+                for i in range(len(queries)):
+                    s, t = queries[(offset + i) % len(queries)]
+                    try:
+                        service.query(s, t)
+                    except (ReproError, KeyError):
+                        # The writer raced us and removed an endpoint.
+                        unknown[idx] += 1
 
-    threads = [
-        threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
-        for i in range(args.readers)
-    ]
-    threads.append(threading.Thread(target=writer, name="writer"))
-    start = time.perf_counter()
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    elapsed = time.perf_counter() - start
+        def writer() -> None:
+            for op in mutations:
+                service.submit_update(UpdateOp.from_trace_op(op))
+            service.flush()
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), name=f"reader-{i}")
+            for i in range(args.readers)
+        ]
+        threads.append(threading.Thread(target=writer, name="writer"))
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+    finally:
+        if registry is not None:
+            obs_trace.disable()
 
     total_queries = args.readers * args.rounds * len(queries)
     print(
@@ -318,6 +335,71 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
         print(f"  {sum(unknown)} queries hit a concurrently-removed vertex")
     print("metrics snapshot:")
     print(render_snapshot(service.snapshot()))
+    if args.metrics_out:
+        fmt = write_metrics(service.registry, args.metrics_out)
+        print(f"wrote {fmt} metrics to {args.metrics_out}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """`repro metrics`: replay a trace with full tracing, export the registry.
+
+    Single-threaded replay of a trace through a
+    :class:`ReachabilityService` with core-span tracing enabled from
+    *before* index construction — so the exported registry carries the
+    whole telemetry story in one snapshot: the `tol.build` span, every
+    `tol.insert`/`tol.delete` with Δk-sweep and repair-frontier sizes,
+    the optional `tol.reduction` rounds, cache hit-rate and
+    query-latency percentiles.  See docs/observability.md for the
+    metric names and span taxonomy.
+    """
+    from .bench.trace import read_trace
+    from .obs import JsonlSink, render_json, render_prometheus, trace
+    from .obs.registry import MetricRegistry
+    from .service.server import ReachabilityService
+    from .service.updates import UpdateOp
+
+    graph = read_edge_list(args.graph)
+    trace_ops = read_trace(args.trace)
+
+    registry = MetricRegistry()
+    sink = JsonlSink(args.events) if args.events else None
+    try:
+        with trace.capture(registry, sink):
+            service = ReachabilityService(
+                graph, cache_size=args.cache_size, registry=registry
+            )
+            for op in trace_ops:
+                if op.kind == "query":
+                    try:
+                        service.query(op.tail, op.head)
+                    except ReproError:
+                        pass  # the trace may query a deleted endpoint
+                else:
+                    service.submit_update(UpdateOp.from_trace_op(op))
+            service.flush()
+            if args.reduce_rounds:
+                service.reduce_labels(max_rounds=args.reduce_rounds)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    rendered = (
+        render_json(registry)
+        if args.format == "json"
+        else render_prometheus(registry)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if sink is not None:
+        print(
+            f"wrote {sink.records_written} JSONL events to {args.events}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -430,7 +512,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query-result LRU capacity (0 disables)")
     p.add_argument("--flush-threshold", type=int, default=8,
                    help="apply queued updates once this many are pending")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="export the metric registry after the replay "
+                        "(.json = JSON, else Prometheus text); also "
+                        "enables core-span tracing for the run")
     p.set_defaults(func=cmd_serve_replay)
+
+    p = sub.add_parser(
+        "metrics",
+        help="replay a trace with full core tracing and export the registry",
+    )
+    p.add_argument("graph", help="edge-list file of the starting graph")
+    p.add_argument("trace", help="trace file providing queries and mutations")
+    p.add_argument("--format", default="prometheus",
+                   choices=["prometheus", "json"],
+                   help="rendering of the metric registry")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the rendering here instead of stdout")
+    p.add_argument("--events", default=None, metavar="PATH",
+                   help="also write per-operation JSONL span/event records")
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="query-result LRU capacity (0 disables)")
+    p.add_argument("--reduce-rounds", type=int, default=1,
+                   help="Section-6 reduction rounds to run after the "
+                        "replay (0 skips; default 1, so the snapshot "
+                        "shows the reduction span)")
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("experiments", help="print the paper's tables/figures")
     p.add_argument("--only", nargs="*", default=None,

@@ -36,6 +36,7 @@ from collections.abc import Hashable
 
 from ..graph.dag import ensure_dag
 from ..graph.digraph import DiGraph
+from ..obs import trace
 from .labeling import TOLLabeling, ids_intersect
 from .order import LevelOrder
 
@@ -74,10 +75,36 @@ def butterfly_build(
     labeling = TOLLabeling(order)
     removed: set[Vertex] = set()
 
-    for v in order:  # highest level first
-        _sweep(graph, labeling, v, removed, forward=True, prune=prune)
-        _sweep(graph, labeling, v, removed, forward=False, prune=prune)
-        removed.add(v)
+    with trace.span("tol.build") as sp:
+        if sp:
+            sp.set("vertices", graph.num_vertices)
+            sp.set("edges", graph.num_edges)
+            sp.set("prune", int(prune))
+            # |E_k| of the residual graph G_k, maintained incrementally:
+            # peeling v subtracts its edges to still-present vertices
+            # (its edges to already-peeled ones were subtracted earlier).
+            residual_edges = graph.num_edges
+            level = 0
+
+        for v in order:  # highest level first
+            if sp:
+                level += 1
+                trace.event(
+                    "tol.build.level",
+                    k=level,
+                    v_k=graph.num_vertices - len(removed),
+                    e_k=residual_edges,
+                )
+            _sweep(graph, labeling, v, removed, forward=True, prune=prune)
+            _sweep(graph, labeling, v, removed, forward=False, prune=prune)
+            removed.add(v)
+            if sp:
+                residual_edges -= sum(
+                    1 for u in graph.iter_out(v) if u not in removed
+                ) + sum(1 for u in graph.iter_in(v) if u not in removed)
+
+        if sp:
+            sp.set("labels", labeling.size())
     return labeling
 
 

@@ -46,6 +46,7 @@ from collections.abc import Hashable
 
 from ..errors import IndexStateError
 from ..graph.digraph import DiGraph
+from ..obs import trace
 from ..graph.traversal import (
     backward_reachable,
     bidirectional_reachable,
@@ -77,31 +78,44 @@ def delete_vertex(graph: DiGraph, labeling: TOLLabeling, v: Vertex) -> None:
     if v not in labeling:
         raise IndexStateError(f"vertex {v!r} is not indexed")
 
-    # The affected sets must be taken while v is still present: they are
-    # exactly the vertices whose labels may have depended on paths via v.
-    affected_fwd = forward_reachable(graph, v)  # B+(v)
-    affected_bwd = backward_reachable(graph, v)  # B-(v)
+    with trace.span("tol.delete") as sp:
+        if sp:
+            sp.set("vertex", str(v))
+            size_before = labeling.size()
 
-    graph.remove_vertex(v)
-    labeling.drop_vertex(v)  # lines 1–4: purge v from all label sets
-    labeling.order.remove(v)
+        # The affected sets must be taken while v is still present: they
+        # are exactly the vertices whose labels may have depended on
+        # paths via v.
+        affected_fwd = forward_reachable(graph, v)  # B+(v)
+        affected_bwd = backward_reachable(graph, v)  # B-(v)
 
-    # Survivors keep their ids; translate the affected sets once.
-    ids = labeling.interner.ids
-    suspect_holder_ids = {ids[u] for u in affected_bwd}
-    suspect_witness_ids = {ids[u] for u in affected_fwd}
+        graph.remove_vertex(v)
+        labeling.drop_vertex(v)  # lines 1–4: purge v from all label sets
+        labeling.order.remove(v)
 
-    for u in _local_topological(graph, affected_fwd, forward=True):
-        _rebuild_labels(
-            graph, labeling, u, incoming=True,
-            suspect_holders=suspect_holder_ids,
-            suspect_witnesses=suspect_witness_ids,
-        )
-    for u in _local_topological(graph, affected_bwd, forward=False):
-        _rebuild_labels(
-            graph, labeling, u, incoming=False,
-            suspect_holders=None, suspect_witnesses=None,
-        )
+        # Survivors keep their ids; translate the affected sets once.
+        ids = labeling.interner.ids
+        suspect_holder_ids = {ids[u] for u in affected_bwd}
+        suspect_witness_ids = {ids[u] for u in affected_fwd}
+
+        for u in _local_topological(graph, affected_fwd, forward=True):
+            _rebuild_labels(
+                graph, labeling, u, incoming=True,
+                suspect_holders=suspect_holder_ids,
+                suspect_witnesses=suspect_witness_ids,
+            )
+        for u in _local_topological(graph, affected_bwd, forward=False):
+            _rebuild_labels(
+                graph, labeling, u, incoming=False,
+                suspect_holders=None, suspect_witnesses=None,
+            )
+
+        if sp:
+            # Repair-BFS frontier sizes: the survivor sets whose label
+            # sets the rebuild loops re-derived.
+            sp.set("frontier_fwd", len(affected_fwd))
+            sp.set("frontier_bwd", len(affected_bwd))
+            sp.set("labels_removed", size_before - labeling.size())
 
 
 def _local_topological(

@@ -60,6 +60,7 @@ from typing import Optional, Union
 
 from ..errors import IndexStateError
 from ..graph.digraph import DiGraph
+from ..obs import trace
 from .labeling import TOLLabeling, ids_intersect
 
 __all__ = ["Placement", "LevelChoice", "choose_level", "insert_vertex"]
@@ -132,16 +133,34 @@ def insert_vertex(
         if u not in labeling:
             raise IndexStateError(f"neighbor {u!r} is not indexed")
 
-    if placement is not None:
-        _materialize(graph, labeling, v, placement)
-        return
+    with trace.span("tol.insert") as sp:
+        if sp:
+            sp.set("vertex", str(v))
+            sp.set("in_degree", len(ins))
+            sp.set("out_degree", len(outs))
+            size_before = labeling.size()
 
-    # Step 1 (Algorithm 3): bottom-place, sweep, relocate if profitable.
-    _materialize(graph, labeling, v, "bottom")
-    choice = choose_level(labeling, v)
-    if choice.placement != "bottom":
-        _, anchor = choice.placement
-        _relocate_upward(labeling, v, anchor)
+        if placement is not None:
+            _materialize(graph, labeling, v, placement)
+            if sp:
+                sp.set("labels_added", labeling.size() - size_before)
+                sp.set("placement", "explicit")
+            return
+
+        # Step 1 (Algorithm 3): bottom-place, sweep, relocate if profitable.
+        _materialize(graph, labeling, v, "bottom")
+        with trace.span("tol.insert.choose_level") as level_sp:
+            choice = choose_level(labeling, v)
+            if level_sp:
+                level_sp.set("candidates_scanned", choice.candidates_scanned)
+                level_sp.set("theta", choice.theta)
+        if choice.placement != "bottom":
+            _, anchor = choice.placement
+            _relocate_upward(labeling, v, anchor)
+        if sp:
+            sp.set("labels_added", labeling.size() - size_before)
+            sp.set("relocated", int(choice.placement != "bottom"))
+            sp.set("theta", choice.theta)
 
 
 def choose_level(labeling: TOLLabeling, v: Vertex) -> LevelChoice:

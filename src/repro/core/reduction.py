@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..graph.digraph import DiGraph
+from ..obs import trace
 from .deletion import delete_vertex
 from .insertion import insert_vertex
 from .labeling import TOLLabeling
@@ -100,29 +101,46 @@ def reduce_labels(
     ReductionReport
     """
     report = ReductionReport(initial_size=labeling.size())
-    for _ in range(max_rounds):
-        moved = 0
-        order = list(sweep) if sweep is not None else list(labeling.order)[::-1]
-        for v in order:
-            ins = graph.in_neighbors(v)
-            outs = graph.out_neighbors(v)
-            anchor_above = labeling.order.predecessor(v)
-            anchor_below = labeling.order.successor(v)
-            delete_vertex(graph, labeling, v)
-            graph.add_vertex_if_absent(v)
-            for u in ins:
-                graph.add_edge(u, v)
-            for w in outs:
-                graph.add_edge(v, w)
-            insert_vertex(graph, labeling, v)
-            new_above = labeling.order.predecessor(v)
-            new_below = labeling.order.successor(v)
-            if (new_above, new_below) != (anchor_above, anchor_below):
-                moved += 1
-            if on_vertex is not None:
-                on_vertex(v, labeling.size())
-        report.round_sizes.append(labeling.size())
-        report.vertices_moved += moved
-        if moved == 0:
-            break
+    with trace.span("tol.reduction") as sp:
+        if sp:
+            sp.set("initial_size", report.initial_size)
+            sp.set("max_rounds", max_rounds)
+        for round_no in range(1, max_rounds + 1):
+            moved = 0
+            order = (
+                list(sweep) if sweep is not None else list(labeling.order)[::-1]
+            )
+            for v in order:
+                ins = graph.in_neighbors(v)
+                outs = graph.out_neighbors(v)
+                anchor_above = labeling.order.predecessor(v)
+                anchor_below = labeling.order.successor(v)
+                delete_vertex(graph, labeling, v)
+                graph.add_vertex_if_absent(v)
+                for u in ins:
+                    graph.add_edge(u, v)
+                for w in outs:
+                    graph.add_edge(v, w)
+                insert_vertex(graph, labeling, v)
+                new_above = labeling.order.predecessor(v)
+                new_below = labeling.order.successor(v)
+                if (new_above, new_below) != (anchor_above, anchor_below):
+                    moved += 1
+                if on_vertex is not None:
+                    on_vertex(v, labeling.size())
+            report.round_sizes.append(labeling.size())
+            report.vertices_moved += moved
+            # The per-round |L| trajectory of Table 4 / Figure "conv".
+            trace.event(
+                "tol.reduction.round",
+                round=round_no,
+                size=report.round_sizes[-1],
+                moved=moved,
+            )
+            if moved == 0:
+                break
+        if sp:
+            sp.set("rounds", len(report.round_sizes))
+            sp.set("final_size", report.final_size)
+            sp.set("vertices_moved", report.vertices_moved)
     return report

@@ -1,0 +1,46 @@
+"""Observability: unified metric registry, span tracing, exporters.
+
+The paper's claims are cost claims — how many candidate levels an
+insertion sweeps (Algorithm 3), how large a deletion's repair frontier
+is (Algorithm 4), how fast a reduction round converges (Section 6).
+This subpackage makes those costs observable end to end:
+
+* :mod:`repro.obs.registry` — :class:`MetricRegistry`, one thread-safe
+  home for counters, gauges, :class:`LatencyHistogram` and
+  :class:`RunningStats` (both moved here from ``repro.service.metrics``,
+  which re-exports them);
+* :mod:`repro.obs.trace` — nestable spans and point events with a
+  near-zero-cost disabled path and an optional :class:`JsonlSink`;
+  the core algorithms are instrumented with it;
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON
+  renderers over any registry (`repro metrics`, ``--metrics-out``).
+
+Metric names, the span taxonomy and the JSONL schema are documented in
+``docs/observability.md``.
+"""
+
+from . import trace
+from .export import render_json, render_prometheus, write_metrics
+from .registry import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricRegistry,
+    RunningStats,
+)
+from .trace import JsonlSink
+
+__all__ = [
+    "trace",
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "RunningStats",
+    "BUCKET_BOUNDS",
+    "JsonlSink",
+    "render_prometheus",
+    "render_json",
+    "write_metrics",
+]

@@ -1,0 +1,130 @@
+"""Render a :class:`~repro.obs.registry.MetricRegistry` for export.
+
+Two formats:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4): counters as ``_total`` series, gauges/callbacks as
+  gauges, :class:`LatencyHistogram` as native Prometheus histograms with
+  cumulative ``le`` buckets, and :class:`RunningStats` as a small gauge
+  family (``_count``/``_sum``/``_min``/``_max``).
+* :func:`render_json` — the registry snapshot as indented JSON, for
+  dashboards and tests that want structure rather than scrape format.
+
+:func:`write_metrics` picks the format from the file extension
+(``.json`` → JSON, anything else → Prometheus text), which is what the
+``--metrics-out`` flag of ``repro serve-replay`` and the ``repro
+metrics`` subcommand use.
+
+Metric names are sanitized to Prometheus rules (dots and dashes become
+underscores; a leading digit gains a ``_`` prefix).  Values of ``None``
+(e.g. a hit-rate before the first lookup, an empty histogram's mean)
+are simply omitted — absent is the correct scrape-format spelling of
+"no data yet".
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from .registry import MetricRegistry
+
+__all__ = ["render_prometheus", "render_json", "write_metrics"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus name grammar."""
+    cleaned = _NAME_OK.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value) -> str:
+    """Format one sample value as Prometheus expects."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    raise TypeError(f"cannot render {value!r} as a Prometheus sample")
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The whole registry in Prometheus text exposition format.
+
+    Deterministic: metric families are emitted in sorted-name order, so
+    the output is directly comparable in golden-file tests.
+    """
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    for name in sorted(snapshot["counters"]):
+        pname = _sanitize(name)
+        lines.append(f"# TYPE {pname}_total counter")
+        lines.append(f"{pname}_total {_fmt(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot["gauges"]):
+        value = snapshot["gauges"][name]
+        if value is None:
+            continue
+        if not isinstance(value, (int, float)):
+            continue  # callbacks may publish non-numeric diagnostics
+        pname = _sanitize(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {_fmt(value)}")
+
+    # Histograms need raw cumulative buckets, not the percentile summary.
+    histograms = registry.histograms()
+    for name in sorted(histograms):
+        pname = _sanitize(name) + "_seconds"
+        buckets, count, total = histograms[name].cumulative_buckets()
+        lines.append(f"# TYPE {pname} histogram")
+        for bound, cumulative in buckets:
+            lines.append(
+                f'{pname}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f"{pname}_sum {_fmt(total)}")
+        lines.append(f"{pname}_count {count}")
+
+    for name in sorted(snapshot["stats"]):
+        pname = _sanitize(name)
+        summary = snapshot["stats"][name]
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname}_count {summary['count']}")
+        for key in ("mean", "min", "max"):
+            if summary[key] is not None:
+                lines.append(f"{pname}_{key} {_fmt(summary[key])}")
+
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricRegistry, *, indent: int = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_metrics(registry: MetricRegistry, path) -> str:
+    """Write the registry to *path*; format chosen by extension.
+
+    ``.json`` gets :func:`render_json`, everything else the Prometheus
+    text format.  Returns the format written (``"json"`` or
+    ``"prometheus"``).
+    """
+    text_format = "json" if str(path).endswith(".json") else "prometheus"
+    text = (
+        render_json(registry)
+        if text_format == "json"
+        else render_prometheus(registry)
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    return text_format

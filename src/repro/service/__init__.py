@@ -14,8 +14,10 @@ Dynamic Graphs"):
   lazily invalidates the whole cache without scanning it;
 * :mod:`repro.service.updates` — a coalescing update queue that merges
   redundant insert/delete operations before they reach the index;
-* :mod:`repro.service.metrics` — lock-cheap counters and latency
-  histograms behind a single ``snapshot()`` dict;
+* :mod:`repro.service.metrics` — the serving-layer naming over the
+  unified :class:`~repro.obs.registry.MetricRegistry` (instrument
+  classes live in :mod:`repro.obs`), behind a single ``snapshot()``
+  dict;
 * :mod:`repro.service.server` — :class:`ReachabilityService`, the facade
   tying the four together around a
   :class:`~repro.core.index.ReachabilityIndex`.

@@ -122,6 +122,25 @@ class EpochLRUCache:
     # Introspection
     # ------------------------------------------------------------------
 
+    def bind_registry(self, registry, prefix: str = "cache") -> None:
+        """Publish this cache's live stats into a metric registry.
+
+        Registers one callback per stat (``cache.hits``,
+        ``cache.hit_rate``, ...) so a registry snapshot or Prometheus
+        export reads the *current* values — no double bookkeeping, no
+        sampling loop.  The callbacks hold a reference to the cache;
+        re-binding a rebuilt cache under the same prefix just replaces
+        them.
+        """
+        for stat in (
+            "entries", "hits", "misses", "hit_rate", "stale_drops",
+            "evictions",
+        ):
+            registry.register_callback(
+                f"{prefix}.{stat}",
+                lambda stat=stat: self.stats()[stat],
+            )
+
     @property
     def hit_rate(self) -> Optional[float]:
         """Hits / lookups, or ``None`` before the first lookup."""

@@ -1,178 +1,85 @@
-"""Serving metrics: counters and latency histograms with one snapshot.
+"""Serving metrics, rebuilt on the unified observability registry.
 
-Query latencies are long-tailed (a cache hit is two dict probes; a miss on
-a heavy vertex intersects large label sets), so mean latency hides exactly
-what matters.  :class:`LatencyHistogram` keeps counts in geometrically
-spaced buckets — the scheme used by Prometheus/HDR-style recorders — which
-makes ``record()`` O(log #buckets), memory constant, and percentile
-estimates accurate to one bucket width (here a factor of 2).
+The instrument classes (:class:`LatencyHistogram`, :class:`RunningStats`)
+moved to :mod:`repro.obs.registry` — this module re-exports them for
+backwards compatibility — and :class:`ServiceMetrics` is now a thin
+naming layer over a :class:`~repro.obs.registry.MetricRegistry`: every
+counter and histogram the service touches is registered under a
+``service.``-prefixed name, so the same registry can also receive the
+core-algorithm spans (:mod:`repro.obs.trace`) and cache gauges, and one
+Prometheus/JSON export covers the whole stack.
 
-:class:`ServiceMetrics` groups the histograms and counters the service
-updates on its hot paths and renders everything as one plain ``dict`` via
-:meth:`ServiceMetrics.snapshot`, so the CLI, tests and benchmarks can
-print or assert on it without knowing the internals.
+:meth:`ServiceMetrics.snapshot` namespaces counters under a
+``"counters"`` sub-dict.  The old flat merge meant a counter whose name
+matched a histogram key (``query_latency``) silently shadowed the
+histogram entry; now the names cannot collide — and the registry itself
+rejects rebinding a name to a different instrument kind.
 """
 
 from __future__ import annotations
 
-import threading
-from bisect import bisect_left
 from typing import Optional
+
+from ..obs.registry import LatencyHistogram, MetricRegistry, RunningStats
 
 __all__ = ["LatencyHistogram", "RunningStats", "ServiceMetrics"]
 
-#: Geometric bucket upper bounds for latencies, in seconds: 1 µs up to
-#: ~67 s doubling each step; anything slower lands in a final overflow
-#: bucket.  26 buckets cover every rate this pure-Python index can hit.
-_BOUNDS = tuple(1e-6 * 2**i for i in range(26))
-
-
-class LatencyHistogram:
-    """A fixed-bucket geometric histogram of durations in seconds.
-
-    Thread-safe; all mutation happens under an internal mutex.  Quantiles
-    are upper bounds of the containing bucket, i.e. conservative to within
-    one power of two.
-    """
-
-    __slots__ = ("_lock", "_counts", "_count", "_sum", "_max")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = [0] * (len(_BOUNDS) + 1)  # +1 = overflow bucket
-        self._count = 0
-        self._sum = 0.0
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Add one observation."""
-        idx = bisect_left(_BOUNDS, seconds)
-        with self._lock:
-            self._counts[idx] += 1
-            self._count += 1
-            self._sum += seconds
-            if seconds > self._max:
-                self._max = seconds
-
-    @property
-    def count(self) -> int:
-        """Number of observations."""
-        with self._lock:
-            return self._count
-
-    @property
-    def mean(self) -> Optional[float]:
-        """Mean of the observations, or ``None`` if there are none."""
-        with self._lock:
-            return self._sum / self._count if self._count else None
-
-    def quantile(self, q: float) -> Optional[float]:
-        """Estimated *q*-quantile (0 < q <= 1), or ``None`` when empty.
-
-        Returns the upper bound of the bucket containing the quantile
-        rank; observations beyond the last bound report the maximum seen.
-        """
-        if not 0 < q <= 1:
-            raise ValueError(f"quantile must be in (0, 1], got {q}")
-        with self._lock:
-            if not self._count:
-                return None
-            rank = q * self._count
-            seen = 0
-            for idx, bucket in enumerate(self._counts):
-                seen += bucket
-                if seen >= rank:
-                    if idx < len(_BOUNDS):
-                        return min(_BOUNDS[idx], self._max)
-                    return self._max
-            return self._max  # pragma: no cover - rank <= count always hits
-
-    def snapshot(self) -> dict:
-        """``{count, mean, p50, p95, p99, max}`` with seconds as values."""
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "max": self._max if self.count else None,
-        }
-
-    def __repr__(self) -> str:
-        return f"{type(self).__name__}(count={self.count}, mean={self.mean})"
-
-
-class RunningStats:
-    """Count / mean / min / max of a stream of numbers (thread-safe)."""
-
-    __slots__ = ("_lock", "_count", "_sum", "_min", "_max")
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._count = 0
-        self._sum = 0.0
-        self._min: Optional[float] = None
-        self._max: Optional[float] = None
-
-    def record(self, value: float) -> None:
-        """Add one observation."""
-        with self._lock:
-            self._count += 1
-            self._sum += value
-            if self._min is None or value < self._min:
-                self._min = value
-            if self._max is None or value > self._max:
-                self._max = value
-
-    def snapshot(self) -> dict:
-        """``{count, mean, min, max}``; mean is ``None`` when empty."""
-        with self._lock:
-            return {
-                "count": self._count,
-                "mean": self._sum / self._count if self._count else None,
-                "min": self._min,
-                "max": self._max,
-            }
-
-    def __repr__(self) -> str:
-        s = self.snapshot()
-        return f"{type(self).__name__}(count={s['count']}, mean={s['mean']})"
+#: Registry prefix for every metric owned by the serving layer.
+_PREFIX = "service."
 
 
 class ServiceMetrics:
     """Counters and histograms for :class:`ReachabilityService`.
 
-    Counters are a plain name -> int mapping guarded by one mutex
-    (:meth:`incr`); histograms are fixed at construction.  Everything
-    flattens into :meth:`snapshot`.
+    Parameters
+    ----------
+    registry:
+        The :class:`MetricRegistry` to register instruments in.  Pass
+        the registry you also hand to :func:`repro.obs.trace.enable` to
+        get serving metrics and core spans in one snapshot; the default
+        is a fresh private registry.
+
+    Counter names are short (``queries``, ``updates_applied``); in the
+    registry they live under the ``service.`` prefix
+    (``service.queries``), which is also how the Prometheus exporter
+    sees them.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: dict[str, int] = {}
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
         #: Per-query service time (cache hits and misses alike).
-        self.query_latency = LatencyHistogram()
+        self.query_latency = self.registry.histogram(
+            _PREFIX + "query_latency"
+        )
         #: Wall time of one write-lock critical section (whole batch).
-        self.batch_apply_latency = LatencyHistogram()
+        self.batch_apply_latency = self.registry.histogram(
+            _PREFIX + "batch_apply_latency"
+        )
         #: Number of index mutations applied per drained batch.
-        self.batch_size = RunningStats()
+        self.batch_size = self.registry.stats(_PREFIX + "batch_size")
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Add *amount* to counter *name* (creating it at zero)."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + amount
+        self.registry.incr(_PREFIX + name, amount)
 
     def counter(self, name: str) -> int:
         """Current value of counter *name* (0 if never incremented)."""
-        with self._lock:
-            return self._counters.get(name, 0)
+        return self.registry.counter(_PREFIX + name).value
 
     def snapshot(self) -> dict:
-        """One flat dict of every counter and histogram summary."""
-        with self._lock:
-            counters = dict(self._counters)
+        """Counters (namespaced) plus the three recorder summaries.
+
+        Shape: ``{"counters": {name: int}, "query_latency": {...},
+        "batch_apply_latency": {...}, "batch_size": {...}}`` — counter
+        names have the ``service.`` prefix stripped back off.
+        """
+        counters = {
+            name[len(_PREFIX):]: value
+            for name, value in self.registry.snapshot()["counters"].items()
+            if name.startswith(_PREFIX)
+        }
         return {
-            **counters,
+            "counters": counters,
             "query_latency": self.query_latency.snapshot(),
             "batch_apply_latency": self.batch_apply_latency.snapshot(),
             "batch_size": self.batch_size.snapshot(),

@@ -37,6 +37,7 @@ from typing import Optional, Union
 from ..core.index import ReachabilityIndex
 from ..errors import ReproError
 from ..graph.digraph import DiGraph
+from ..obs.registry import MetricRegistry
 from .cache import MISS, EpochLRUCache
 from .concurrency import EpochCounter, RWLock
 from .metrics import ServiceMetrics
@@ -71,6 +72,14 @@ class ReachabilityService:
         applied mutation, readable via :attr:`applied_ops`.  Used by the
         oracle tests to reconstruct the graph at any epoch; off by
         default (it grows without bound).
+    registry:
+        A :class:`~repro.obs.registry.MetricRegistry` to record into
+        (default: a fresh private one).  The service registers its
+        counters/histograms under ``service.*``, the cache's live stats
+        under ``cache.*``, and index-size gauges under ``index.*``.
+        Point :func:`repro.obs.trace.enable` at the same registry
+        (:attr:`registry`) and one snapshot additionally carries the
+        core-algorithm spans — cache hit-rate through label churn.
 
     Examples
     --------
@@ -94,6 +103,7 @@ class ReachabilityService:
         flush_threshold: int = 1,
         order: Union[str, object] = "butterfly-u",
         record_applied: bool = False,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         if index is not None and graph is not None:
             raise ValueError("pass either graph or index, not both")
@@ -112,7 +122,17 @@ class ReachabilityService:
         self._queue = CoalescingUpdateQueue()
         self._flush_threshold = flush_threshold
         self._flush_mutex = threading.Lock()
-        self._metrics = ServiceMetrics()
+        self._metrics = ServiceMetrics(registry)
+        self._cache.bind_registry(self._metrics.registry)
+        self._metrics.registry.register_callback(
+            "service.epoch", lambda: self._epoch.value
+        )
+        self._metrics.registry.register_callback(
+            "index.size", lambda: self.size()
+        )
+        self._metrics.registry.register_callback(
+            "index.num_vertices", lambda: self.num_vertices
+        )
         self._applied: Optional[list[tuple[int, UpdateOp]]] = (
             [] if record_applied else None
         )
@@ -281,6 +301,16 @@ class ReachabilityService:
         return self._metrics
 
     @property
+    def registry(self) -> MetricRegistry:
+        """The metric registry everything records into.
+
+        Hand this to :func:`repro.obs.trace.enable` to route core spans
+        into the same snapshot, or to
+        :func:`repro.obs.export.render_prometheus` to scrape it.
+        """
+        return self._metrics.registry
+
+    @property
     def cache(self) -> EpochLRUCache:
         """The query-result cache (shared; treat as read-only)."""
         return self._cache
@@ -323,7 +353,14 @@ class ReachabilityService:
             return self._index.size_bytes()
 
     def snapshot(self) -> dict:
-        """All serving metrics as one nested dict (cheap; lock-light)."""
+        """All serving metrics as one nested dict (cheap; lock-light).
+
+        Keys: ``epoch``, ``queue``, ``cache``, ``counters`` (plain
+        ``name -> int``), and the three recorder summaries
+        (``query_latency``, ``batch_apply_latency``, ``batch_size``).
+        For the full cross-layer view — including core spans when
+        tracing is enabled — snapshot :attr:`registry` instead.
+        """
         return {
             "epoch": self.epoch,
             "queue": self._queue.stats(),

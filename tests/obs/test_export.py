@@ -1,0 +1,112 @@
+"""Tests for the Prometheus/JSON exporters, including a golden file."""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import _fmt, _sanitize, render_json, render_prometheus, write_metrics
+from repro.obs.registry import MetricRegistry
+
+GOLDEN = Path(__file__).parent / "golden_metrics.prom"
+
+
+def golden_registry() -> MetricRegistry:
+    """One of every instrument kind, with hand-picked deterministic values."""
+    reg = MetricRegistry()
+    reg.counter("service.queries").incr(5)
+    reg.counter("event.tol.reduction.round").incr(3)
+    reg.gauge("index.size").set(42)
+    reg.gauge("cache.hit-rate").set(0.5)
+    reg.register_callback("service.epoch", lambda: 7)
+    reg.register_callback("cache.pending", lambda: None)  # omitted: no data
+    reg.register_callback("service.note", lambda: "warm")  # omitted: non-numeric
+    h = reg.histogram("span.tol.insert")
+    for v in (1e-6, 3e-6, 100.0):  # first bucket, third bucket, overflow
+        h.record(v)
+    s = reg.stats("span.tol.insert.labels_added")
+    s.record(2)
+    s.record(10)
+    return reg
+
+
+class TestSanitize:
+    def test_dots_and_dashes_become_underscores(self):
+        assert _sanitize("span.tol.insert") == "span_tol_insert"
+        assert _sanitize("cache.hit-rate") == "cache_hit_rate"
+
+    def test_leading_digit_prefixed(self):
+        assert _sanitize("95th.latency") == "_95th_latency"
+
+
+class TestFmt:
+    def test_values(self):
+        assert _fmt(True) == "1"
+        assert _fmt(7) == "7"
+        assert _fmt(0.5) == "0.5"
+        assert _fmt(float("inf")) == "+Inf"
+        assert _fmt(float("-inf")) == "-Inf"
+        assert _fmt(float("nan")) == "NaN"
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            _fmt("nope")
+
+
+class TestPrometheusRendering:
+    def test_matches_golden_file(self):
+        assert render_prometheus(golden_registry()) == GOLDEN.read_text()
+
+    def test_counters_get_total_suffix(self):
+        text = render_prometheus(golden_registry())
+        assert "# TYPE service_queries_total counter" in text
+        assert "\nservice_queries_total 5\n" in text
+
+    def test_none_and_non_numeric_callbacks_omitted(self):
+        text = render_prometheus(golden_registry())
+        assert "cache_pending" not in text
+        assert "service_note" not in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render_prometheus(golden_registry())
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("span_tol_insert_seconds_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert bucket_lines[-1] == 'span_tol_insert_seconds_bucket{le="+Inf"} 3'
+        assert "span_tol_insert_seconds_count 3" in text
+
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricRegistry()) == "\n"
+
+    def test_deterministic(self):
+        a = render_prometheus(golden_registry())
+        b = render_prometheus(golden_registry())
+        assert a == b
+
+
+class TestJsonRendering:
+    def test_round_trips_and_matches_snapshot(self):
+        reg = golden_registry()
+        doc = json.loads(render_json(reg))
+        assert doc["counters"]["service.queries"] == 5
+        assert doc["gauges"]["service.epoch"] == 7
+        assert doc["gauges"]["cache.pending"] is None  # JSON keeps the null
+        assert doc["histograms"]["span.tol.insert"]["count"] == 3
+        assert math.isclose(
+            doc["stats"]["span.tol.insert.labels_added"]["mean"], 6.0
+        )
+
+
+class TestWriteMetrics:
+    def test_extension_selects_format(self, tmp_path):
+        reg = golden_registry()
+        jpath = tmp_path / "m.json"
+        ppath = tmp_path / "m.prom"
+        assert write_metrics(reg, jpath) == "json"
+        assert write_metrics(reg, ppath) == "prometheus"
+        json.loads(jpath.read_text())  # valid JSON document
+        assert ppath.read_text() == GOLDEN.read_text()

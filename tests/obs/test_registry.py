@@ -1,0 +1,147 @@
+"""Tests for the unified metric registry and its instruments."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricRegistry,
+    RunningStats,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.incr()
+        c.incr(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().incr(-1)
+
+    def test_concurrent_increments_all_land(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.incr() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 4000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge()
+        g.set(10.0)
+        g.add(-3.0)
+        assert g.value == 7.0
+
+
+class TestLatencyHistogram:
+    def test_bucket_bounds_are_geometric(self):
+        assert BUCKET_BOUNDS[0] == 1e-6
+        for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert hi == 2 * lo
+
+    def test_cumulative_buckets_end_with_inf(self):
+        h = LatencyHistogram()
+        h.record(2e-6)
+        h.record(1.0)
+        h.record(1e9)  # beyond every bound: overflow bucket
+        buckets, count, total = h.cumulative_buckets()
+        assert count == 3
+        assert total == pytest.approx(2e-6 + 1.0 + 1e9)
+        bounds = [b for b, _ in buckets]
+        assert bounds[:-1] == list(BUCKET_BOUNDS)
+        assert bounds[-1] == float("inf")
+        # Cumulative: monotone, final entry counts everything.
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+        # The 1e9 observation is only in the +Inf bucket.
+        assert counts[-2] == 2
+
+    def test_snapshot_empty(self):
+        snap = LatencyHistogram().snapshot()
+        assert snap == {
+            "count": 0,
+            "mean": None,
+            "p50": None,
+            "p95": None,
+            "p99": None,
+            "max": None,
+        }
+
+
+class TestRunningStats:
+    def test_tracks_extremes(self):
+        s = RunningStats()
+        for v in (3.0, -1.0, 8.0):
+            s.record(v)
+        snap = s.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == -1.0
+        assert snap["max"] == 8.0
+        assert snap["mean"] == pytest.approx(10.0 / 3)
+
+
+class TestMetricRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_rebind_raises(self):
+        reg = MetricRegistry()
+        reg.counter("service.queries")
+        with pytest.raises(ValueError, match="already bound"):
+            reg.histogram("service.queries")
+        with pytest.raises(ValueError, match="already bound"):
+            reg.register_callback("service.queries", lambda: 1)
+
+    def test_callback_rendered_as_gauge_and_replaceable(self):
+        reg = MetricRegistry()
+        reg.register_callback("cache.hit_rate", lambda: 0.25)
+        assert reg.snapshot()["gauges"]["cache.hit_rate"] == 0.25
+        reg.register_callback("cache.hit_rate", lambda: 0.75)
+        assert reg.snapshot()["gauges"]["cache.hit_rate"] == 0.75
+
+    def test_convenience_mutators(self):
+        reg = MetricRegistry()
+        reg.incr("ops", 2)
+        reg.observe("sizes", 7.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["ops"] == 2
+        assert snap["stats"]["sizes"]["count"] == 1
+
+    def test_snapshot_shape_is_nested(self):
+        reg = MetricRegistry()
+        reg.counter("c").incr()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").record(1e-5)
+        reg.stats("s").record(2)
+        snap = reg.snapshot()
+        assert sorted(snap) == ["counters", "gauges", "histograms", "stats"]
+        assert snap["counters"] == {"c": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["stats"]["s"]["max"] == 2
+
+    def test_names_covers_every_kind(self):
+        reg = MetricRegistry()
+        reg.counter("c")
+        reg.gauge("g")
+        reg.histogram("h")
+        reg.stats("s")
+        reg.register_callback("k", lambda: None)
+        assert reg.names() == ["c", "g", "h", "k", "s"]

@@ -1,0 +1,176 @@
+"""Tests for the span-tracing layer: no-op path, recording, nesting, sink."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.registry import MetricRegistry
+from repro.obs.trace import JsonlSink
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    """Every test starts and ends with tracing disabled."""
+    trace.disable()
+    yield
+    trace.disable()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_falsy_noop(self):
+        a = trace.span("x")
+        b = trace.span("y", ignored=1)
+        assert a is b  # no allocation on the hot path
+        assert not a
+        with a as sp:
+            sp.set("k", 1)  # silently discarded
+            sp.incr("k")
+        assert not trace.active()
+
+    def test_event_is_a_no_op(self):
+        trace.event("x", k=1)  # must not raise, must not require a registry
+
+    def test_noop_swallows_nothing(self):
+        # The no-op context manager must not suppress exceptions.
+        with pytest.raises(RuntimeError):
+            with trace.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestEnabledSpans:
+    def test_span_is_truthy_and_records_into_registry(self):
+        reg = trace.enable()
+        with trace.span("op", n=3) as sp:
+            assert sp
+            sp.set("m", 2.5)
+        snap = reg.snapshot()
+        assert snap["histograms"]["span.op"]["count"] == 1
+        assert snap["stats"]["span.op.n"]["max"] == 3
+        assert snap["stats"]["span.op.m"]["max"] == 2.5
+
+    def test_non_numeric_and_bool_attrs_skip_stats(self):
+        reg = trace.enable()
+        with trace.span("op", vertex="v1", flag=True):
+            pass
+        snap = reg.snapshot()
+        assert "span.op.vertex" not in snap["stats"]
+        assert "span.op.flag" not in snap["stats"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        reg = trace.enable()
+        with pytest.raises(ValueError):
+            with trace.span("op"):
+                raise ValueError("boom")
+        # The span still finished: duration recorded despite the raise.
+        assert reg.snapshot()["histograms"]["span.op"]["count"] == 1
+
+    def test_event_bumps_counter_and_stats(self):
+        reg = trace.enable()
+        trace.event("round", size=10)
+        trace.event("round", size=6)
+        snap = reg.snapshot()
+        assert snap["counters"]["event.round"] == 2
+        assert snap["stats"]["event.round.size"]["min"] == 6
+
+    def test_enable_returns_given_registry(self):
+        reg = MetricRegistry()
+        assert trace.enable(reg) is reg
+        assert trace.current_registry() is reg
+
+
+class TestNesting:
+    def test_parent_names_in_sink_records(self):
+        buf = io.StringIO()
+        trace.enable(sink=JsonlSink(buf))
+        with trace.span("outer"):
+            with trace.span("inner"):
+                trace.event("tick")
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == "outer"
+        assert by_name["tick"]["parent"] == "inner"
+        # Inner spans close first.
+        assert [r["name"] for r in records if r["kind"] == "span"] == [
+            "inner",
+            "outer",
+        ]
+
+    def test_stack_is_per_thread(self):
+        buf = io.StringIO()
+        trace.enable(sink=JsonlSink(buf))
+        seen = {}
+
+        def worker():
+            with trace.span("child"):
+                pass
+
+        with trace.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        seen = {r["name"]: r["parent"] for r in records}
+        # The other thread's span must NOT see this thread's open span.
+        assert seen["child"] is None
+        assert seen["main-span"] is None
+
+
+class TestCapture:
+    def test_capture_restores_previous_state(self):
+        assert not trace.active()
+        with trace.capture() as reg:
+            assert trace.active()
+            assert trace.current_registry() is reg
+        assert not trace.active()
+        assert trace.current_registry() is None
+
+    def test_capture_nests(self):
+        outer = MetricRegistry()
+        inner = MetricRegistry()
+        with trace.capture(outer):
+            with trace.capture(inner):
+                with trace.span("op"):
+                    pass
+            # Back to the outer registry after the inner block.
+            assert trace.current_registry() is outer
+        assert inner.snapshot()["histograms"]["span.op"]["count"] == 1
+        assert "span.op" not in outer.snapshot()["histograms"]
+
+
+class TestJsonlSink:
+    def test_schema_of_span_and_event_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlSink(path) as sink:
+            trace.enable(sink=sink)
+            with trace.span("op", vertex="v1", n=2):
+                trace.event("tick", k=1)
+            trace.disable()
+            assert sink.records_written == 2
+        lines = path.read_text().splitlines()
+        event, span = (json.loads(line) for line in lines)
+        assert event["kind"] == "event"
+        assert sorted(event) == ["attrs", "kind", "name", "parent", "ts"]
+        assert span["kind"] == "span"
+        assert sorted(span) == ["attrs", "dur_s", "kind", "name", "parent", "ts"]
+        assert span["dur_s"] >= 0
+        assert span["attrs"] == {"vertex": "v1", "n": 2}
+
+    def test_non_serializable_attrs_are_stringified(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.write({"attrs": {"obj": object()}})
+        record = json.loads(buf.getvalue())
+        assert record["attrs"]["obj"].startswith("<object object")
+
+    def test_close_only_closes_owned_files(self, tmp_path):
+        buf = io.StringIO()
+        JsonlSink(buf).close()
+        assert not buf.closed
+        path = tmp_path / "x.jsonl"
+        sink = JsonlSink(path)
+        sink.close()
+        assert sink._file.closed

@@ -38,6 +38,58 @@ class TestLatencyHistogram:
         hist.record(1.2e-6)
         assert hist.quantile(0.5) == pytest.approx(1.2e-6)
 
+    def test_overflow_bucket_quantiles_report_max(self):
+        # Observations beyond the last bucket bound (~67s) land in the
+        # overflow bucket; every quantile that falls there must report
+        # the true maximum, not a bucket bound.
+        hist = LatencyHistogram()
+        hist.record(100.0)
+        hist.record(250.0)
+        assert hist.quantile(0.5) == pytest.approx(250.0)
+        assert hist.quantile(1.0) == pytest.approx(250.0)
+        assert hist.snapshot()["max"] == pytest.approx(250.0)
+
+    def test_single_observation_all_quantiles_equal_it(self):
+        hist = LatencyHistogram()
+        hist.record(3.7e-5)
+        for q in (0.01, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(3.7e-5)
+
+    def test_q_one_is_the_maximum(self):
+        hist = LatencyHistogram()
+        for v in (1e-6, 5e-5, 2e-3, 0.4):
+            hist.record(v)
+        assert hist.quantile(1.0) == pytest.approx(0.4)
+
+    def test_snapshot_is_consistent_under_concurrent_records(self):
+        # The snapshot is taken under one lock hold: count/mean/quantiles
+        # must describe the same set of observations even while writers
+        # race (the old per-field reads could tear).
+        hist = LatencyHistogram()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                hist.record(1e-5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = hist.snapshot()
+                if snap["count"] == 0:
+                    assert snap["mean"] is None and snap["max"] is None
+                else:
+                    # All observations are 1e-5: a torn read would show
+                    # a mean inconsistent with the recorded value.
+                    assert snap["mean"] == pytest.approx(1e-5)
+                    assert snap["p50"] == pytest.approx(1e-5)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+
     def test_invalid_quantile(self):
         with pytest.raises(ValueError):
             LatencyHistogram().quantile(0.0)
@@ -88,7 +140,23 @@ class TestServiceMetrics:
         metrics.query_latency.record(1e-5)
         metrics.batch_size.record(3)
         snap = metrics.snapshot()
-        assert snap["updates_applied"] == 2
+        assert snap["counters"]["updates_applied"] == 2
         assert snap["query_latency"]["count"] == 1
         assert snap["batch_size"]["max"] == 3
         assert "batch_apply_latency" in snap
+        assert "updates_applied" not in snap  # namespaced, not flat
+
+    def test_counter_cannot_shadow_histogram(self):
+        # The old flat merge let a counter named `query_latency` silently
+        # shadow the histogram; the registry now rejects the rebind.
+        metrics = ServiceMetrics()
+        with pytest.raises(ValueError):
+            metrics.incr("query_latency")
+
+    def test_shared_registry(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        metrics = ServiceMetrics(registry)
+        metrics.incr("queries", 3)
+        assert registry.snapshot()["counters"]["service.queries"] == 3

@@ -77,7 +77,7 @@ class TestQueryCache:
             service.query(s, t)
         snapshot = service.snapshot()
         assert snapshot["cache"]["hit_rate"] > 0
-        assert snapshot["queries"] == 500
+        assert snapshot["counters"]["queries"] == 500
 
 
 class TestQueryBatch:
@@ -95,8 +95,8 @@ class TestQueryBatch:
         pairs = [("a", "d"), ("d", "a"), ("a", "d"), ("a", "d")]
         assert service.query_batch(pairs) == [True, False, True, True]
         snap = service.snapshot()
-        assert snap["batch_dedup_saved"] == 2
-        assert snap["queries"] == 4
+        assert snap["counters"]["batch_dedup_saved"] == 2
+        assert snap["counters"]["queries"] == 4
         # Only the two unique pairs ever reached cache/index.
         assert service.cache.stats()["misses"] == 2
 
@@ -144,7 +144,7 @@ class TestUpdatesAndEpochs:
         service = ReachabilityService(diamond())
         service.delete_vertex("ghost")
         snap = service.snapshot()
-        assert snap["updates_rejected"] == 1
+        assert snap["counters"]["updates_rejected"] == 1
         assert service.epoch == 0
         # Service still healthy.
         assert service.query("a", "d")
@@ -175,7 +175,7 @@ class TestUpdatesAndEpochs:
         report = service.reduce_labels()
         assert service.epoch == before + 1
         assert report.final_size <= report.initial_size
-        assert service.snapshot()["reductions"] == 1
+        assert service.snapshot()["counters"]["reductions"] == 1
 
 
 class TestTraceEquivalence:
@@ -216,3 +216,27 @@ class TestIntrospection:
         assert snap["cache"]["misses"] == 1
         assert snap["query_latency"]["count"] == 1
         assert snap["batch_size"]["count"] == 1
+        # Counters are namespaced: a counter can no longer shadow a
+        # histogram key in the flat merge.
+        assert snap["counters"]["queries"] == 1
+        assert "queries" not in snap
+
+    def test_registry_covers_service_cache_and_index(self):
+        service = ReachabilityService(diamond())
+        service.query("a", "d")
+        service.query("a", "d")
+        snap = service.registry.snapshot()
+        assert snap["counters"]["service.queries"] == 2
+        assert snap["gauges"]["cache.hits"] == 1
+        assert snap["gauges"]["index.num_vertices"] == 4
+        assert snap["gauges"]["service.epoch"] == 0
+        assert snap["histograms"]["service.query_latency"]["count"] == 2
+
+    def test_shared_registry_injection(self):
+        from repro.obs import MetricRegistry
+
+        registry = MetricRegistry()
+        service = ReachabilityService(diamond(), registry=registry)
+        assert service.registry is registry
+        service.query("a", "d")
+        assert registry.snapshot()["counters"]["service.queries"] == 1

@@ -125,3 +125,58 @@ class TestExperiments:
 
     def test_unknown_experiment(self, capsys):
         assert main(["experiments", "--only", "fig99"]) == 2
+
+
+@pytest.fixture
+def trace_file(graph_file, tmp_path):
+    path = tmp_path / "ops.trace"
+    code = main([
+        "trace-generate", str(graph_file), str(path),
+        "--ops", "80", "--seed", "5",
+    ])
+    assert code == 0
+    return path
+
+
+class TestMetrics:
+    def test_prometheus_to_stdout(self, graph_file, trace_file, capsys):
+        assert main(["metrics", str(graph_file), str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE span_tol_build_seconds histogram" in out
+        assert "# TYPE service_queries_total counter" in out
+        assert "cache_hit_rate" in out
+
+    def test_json_out_with_events(self, graph_file, trace_file, tmp_path):
+        import json
+
+        out = tmp_path / "m.json"
+        events = tmp_path / "ops.jsonl"
+        code = main([
+            "metrics", str(graph_file), str(trace_file),
+            "--format", "json", "--out", str(out), "--events", str(events),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert "span.tol.build" in doc["histograms"]
+        records = [
+            json.loads(line) for line in events.read_text().splitlines()
+        ]
+        assert any(r["name"] == "tol.build.level" for r in records)
+        # Tracing must not leak out of the command.
+        from repro.obs import trace
+
+        assert not trace.active()
+
+
+class TestServeReplay:
+    def test_metrics_out_flag(self, graph_file, trace_file, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        code = main([
+            "serve-replay", str(graph_file), str(trace_file),
+            "--readers", "2", "--metrics-out", str(out),
+        ])
+        assert code == 0
+        text = out.read_text()
+        assert "# TYPE service_queries_total counter" in text
+        assert "span_tol_build_seconds_count 1" in text
+        assert "wrote prometheus metrics" in capsys.readouterr().out

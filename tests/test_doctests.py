@@ -12,6 +12,7 @@ import repro.core.order
 import repro.core.serialize
 import repro.graph.condensation
 import repro.graph.digraph
+import repro.obs.registry
 import repro.service.cache
 import repro.service.concurrency
 import repro.service.server
@@ -25,6 +26,7 @@ MODULES = [
     repro.baselines.dagger,
     repro.baselines.search,
     repro.baselines.transitive_closure,
+    repro.obs.registry,
     repro.service.cache,
     repro.service.concurrency,
     repro.service.server,
