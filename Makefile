@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke ruff reproduce examples serve-demo metrics-demo lint-docs clean
+.PHONY: install test bench bench-smoke profile ruff reproduce examples serve-demo metrics-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,6 +17,11 @@ bench:
 # graphs (numbers are meaningless; the point is nothing is broken).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ --quick -q
+
+# cProfile of butterfly_build on random_dag(5000, 20000), top 25 by
+# cumulative time (see benchmarks/profile_build.py for --engine/--prune).
+profile:
+	$(PYTHON) benchmarks/profile_build.py
 
 ruff:
 	ruff check src tests benchmarks examples

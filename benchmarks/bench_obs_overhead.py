@@ -26,11 +26,11 @@ and a single build is ~100ms — cheap enough for the smoke tree.
 """
 
 import time
+from array import array
 
 from repro.core import resolve_order_strategy
-from repro.core.butterfly import _sweep, butterfly_build
+from repro.core.butterfly import butterfly_build
 from repro.core.labeling import TOLLabeling
-from repro.graph.dag import ensure_dag
 from repro.graph.generators import random_dag
 from repro.obs import trace
 from repro.service.server import ReachabilityService
@@ -57,19 +57,83 @@ def _graph_and_order():
 
 
 def _uninstrumented_build(graph, order):
-    """``butterfly_build`` exactly as it was before instrumentation.
+    """``butterfly_build`` (CSR engine) with every tracing call deleted.
 
-    The hot inner loop (:func:`_sweep`) carries no tracing calls, so this
-    replica — the same validation, the same peeling loop, no span/event
-    calls — is a faithful pre-instrumentation baseline.
+    A line-for-line replica of ``butterfly._build_csr``'s pruned path —
+    same snapshot, same flat-array peeling loop — minus the span/event
+    calls and the residual-edge accounting they require.  Keep it in sync
+    with the kernel when that changes, or the budget assertion measures
+    the wrong thing.
     """
-    ensure_dag(graph)
+    snap = graph.csr()
+    snap.topological_ids()
     labeling = TOLLabeling(order)
-    removed = set()
-    for v in order:
-        _sweep(graph, labeling, v, removed, forward=True, prune=True)
-        _sweep(graph, labeling, v, removed, forward=False, prune=True)
-        removed.add(v)
+    n = snap.num_vertices
+    if not n:
+        return labeling
+    snap_ids = snap.interner.ids
+    vcs = list(map(snap_ids.__getitem__, order))
+    lab_of = [0] * n
+    for rank, vc in enumerate(vcs):
+        lab_of[vc] = rank
+    oo = snap.out_offsets
+    ot = list(snap.out_targets)
+    out_rows = [ot[oo[i]:oo[i + 1]] for i in range(n)]
+    io_ = snap.in_offsets
+    it = list(snap.in_targets)
+    in_rows = [it[io_[i]:io_[i + 1]] for i in range(n)]
+    in_bufs = [[] for _ in range(n)]
+    out_bufs = [[] for _ in range(n)]
+    in_holders = labeling.in_holders
+    out_holders = labeling.out_holders
+    peeled = 2 * n + 1
+    state = [0] * n
+    queue = [0] * n
+    stamp = 0
+    for vlab, vc in enumerate(vcs):
+        for rows, my_labels, their_bufs, side_holders in (
+            (out_rows, out_bufs[vlab], in_bufs, in_holders),
+            (in_rows, in_bufs[vlab], out_bufs, out_holders),
+        ):
+            if not rows[vc]:
+                continue
+            stamp += 1
+            state[vc] = stamp
+            queue[0] = vc
+            head = 0
+            tail = 1
+            if my_labels:
+                ml_lo = my_labels[0]
+                ml_hi = my_labels[-1]
+                ml_disjoint = frozenset(my_labels).isdisjoint
+            else:
+                ml_lo = peeled
+                ml_hi = -1
+            while head < tail:
+                for u in rows[queue[head]]:
+                    if state[u] >= stamp:
+                        continue
+                    state[u] = stamp
+                    ulab = lab_of[u]
+                    theirs = their_bufs[ulab]
+                    if (
+                        theirs
+                        and theirs[0] <= ml_hi
+                        and ml_lo <= theirs[-1]
+                        and not ml_disjoint(theirs)
+                    ):
+                        continue
+                    theirs.append(vlab)
+                    queue[tail] = u
+                    tail += 1
+                head += 1
+            side_holders[vlab] = {lab_of[q] for q in queue[1:tail]}
+        state[vc] = peeled
+    in_ids = labeling.in_ids
+    out_ids = labeling.out_ids
+    for j in range(n):
+        in_ids[j] = array("i", in_bufs[j])
+        out_ids[j] = array("i", out_bufs[j])
     return labeling
 
 

@@ -23,26 +23,46 @@ Two faithful variants are provided:
   construction practical; the equivalence is property-tested against both
   the verbatim variant and the Definition-1 reference.
 
-The sweeps run entirely on interned ids: the cover check is a sorted-array
-intersection (:func:`~repro.core.labeling.ids_intersect`) over the flat
-``array('i')`` label buffers, and labels are added through the id-level
-mutation API.
+Engines
+-------
+Two implementations of the peeling sweeps are kept, selected by
+``engine=``:
+
+* ``"csr"`` (default) — an id-only kernel over the graph's cached
+  :class:`~repro.graph.csr.CSRGraph` snapshot: adjacency is two flat
+  ``array('i')`` neighbor buffers walked by slice, the removed/seen state
+  is a ``bytearray`` plus an int stamp list indexed by snapshot id, and
+  the BFS frontier is a flat preallocated int queue.  No per-edge hashing,
+  no generator frames.
+* ``"object"`` — the legacy sweep over ``DiGraph``'s dict-of-``set``
+  adjacency, kept for differential testing (the property suite asserts
+  both engines produce identical label sets) and as the fallback shape
+  for exotic graph substrates.
+
+Either way the cover check is a sorted-array intersection
+(:func:`~repro.core.labeling.ids_intersect`) over the flat ``array('i')``
+label buffers, and labels are added through the id-level mutation API.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from collections.abc import Hashable
 
+from ..errors import GraphError
 from ..graph.dag import ensure_dag
 from ..graph.digraph import DiGraph
 from ..obs import trace
 from .labeling import TOLLabeling, ids_intersect
 from .order import LevelOrder
 
-__all__ = ["butterfly_build"]
+__all__ = ["butterfly_build", "BUILD_ENGINES"]
 
 Vertex = Hashable
+
+#: Names accepted by ``butterfly_build(engine=...)``.
+BUILD_ENGINES: tuple[str, ...] = ("csr", "object")
 
 
 def butterfly_build(
@@ -50,62 +70,239 @@ def butterfly_build(
     order: LevelOrder,
     *,
     prune: bool = True,
+    engine: str = "csr",
 ) -> TOLLabeling:
     """Build the TOL index of *graph* under *order* (Algorithm 5).
 
     Parameters
     ----------
     graph:
-        A DAG.  Not modified (the peeling uses a "removed" set rather than
+        A DAG.  Not modified (the peeling uses "removed" flags rather than
         destroying a copy).
     order:
         The level order; must contain exactly the vertices of *graph*.
     prune:
         Use the pruned-expansion variant (see module docstring).
+    engine:
+        ``"csr"`` (default) runs the flat-array kernel over the graph's
+        cached CSR snapshot; ``"object"`` runs the legacy dict-walking
+        sweeps.  Both produce the identical labeling.
 
     Returns
     -------
     TOLLabeling
         The unique TOL index for ``(graph, order)``; shares *order*.
+
+    Raises
+    ------
+    NotADagError
+        If *graph* has a cycle.
+    GraphError
+        If *order* does not contain exactly the graph's vertices (the
+        same uniform ``order=`` error type the facades raise).
+    ValueError
+        If *engine* is not one of :data:`BUILD_ENGINES`.
     """
-    ensure_dag(graph)
-    if len(order) != graph.num_vertices or any(v not in order for v in graph.vertices()):
-        raise ValueError("level order must contain exactly the graph's vertices")
+    if engine not in BUILD_ENGINES:
+        known = ", ".join(BUILD_ENGINES)
+        raise ValueError(f"unknown build engine {engine!r}; known: {known}")
+    if len(order) != graph.num_vertices or set(order) != set(graph.vertices()):
+        raise GraphError("level order must contain exactly the graph's vertices")
+    if engine == "csr":
+        snap = graph.csr()
+        snap.topological_ids()  # DAG check (cached for the score sweeps)
+    else:
+        snap = None
+        ensure_dag(graph)
 
     labeling = TOLLabeling(order)
-    removed: set[Vertex] = set()
-
     with trace.span("tol.build") as sp:
         if sp:
             sp.set("vertices", graph.num_vertices)
             sp.set("edges", graph.num_edges)
             sp.set("prune", int(prune))
-            # |E_k| of the residual graph G_k, maintained incrementally:
-            # peeling v subtracts its edges to still-present vertices
-            # (its edges to already-peeled ones were subtracted earlier).
-            residual_edges = graph.num_edges
-            level = 0
-
-        for v in order:  # highest level first
-            if sp:
-                level += 1
-                trace.event(
-                    "tol.build.level",
-                    k=level,
-                    v_k=graph.num_vertices - len(removed),
-                    e_k=residual_edges,
-                )
-            _sweep(graph, labeling, v, removed, forward=True, prune=prune)
-            _sweep(graph, labeling, v, removed, forward=False, prune=prune)
-            removed.add(v)
-            if sp:
-                residual_edges -= sum(
-                    1 for u in graph.iter_out(v) if u not in removed
-                ) + sum(1 for u in graph.iter_in(v) if u not in removed)
-
+            sp.set("engine", engine)
+        if snap is not None:
+            _build_csr(snap, labeling, order, prune, sp)
+        else:
+            _build_object(graph, labeling, order, prune, sp)
         if sp:
             sp.set("labels", labeling.size())
     return labeling
+
+
+# ----------------------------------------------------------------------
+# CSR engine: id-only kernel over the flat snapshot arrays
+# ----------------------------------------------------------------------
+
+def _build_csr(snap, labeling, order, prune, sp) -> None:
+    """Peel every vertex via the flat-array sweeps (see module docstring).
+
+    The BFS of both directions is inlined into the peel loop: the sweeps
+    on practical orders are tiny (a handful of dequeues each), so per-call
+    and per-row overheads — function frames, adjacency-slice allocations —
+    would rival the useful work.  Rows are walked by index off the offset
+    arrays, and one ``state`` slot per id doubles as the removed flag and
+    the BFS visit stamp (``state[i] == stamp`` — seen this sweep,
+    ``state[i] == peeled`` — removed, anything smaller — untouched), so
+    the hot loop skips with a single load+compare.
+
+    Label insertion is a plain ``append`` rather than
+    ``TOLLabeling.add_in_id``/``add_out_id``: a fresh build interns the
+    order sequence, so ``vlab`` (the level rank) is strictly greater than
+    every label id already present in any buffer, and each sweep visits a
+    vertex at most once — appends keep the buffers sorted and duplicate
+    free.  Labels accumulate in plain per-vertex lists (list subscripts
+    and appends are cheaper than ``array`` ones, and never re-box ints)
+    and are packed into the labeling's ``array('i')`` buffers once at the
+    end; the CSR arrays are likewise list-ified once up front.  The
+    frozenset query mirrors need no invalidation because the labeling is
+    unpublished during the build and every slot starts (and therefore
+    stays) stale.  Inverted lists: with ``prune`` the label receivers of
+    a sweep are exactly its enqueued vertices, so ``Iin(v)``/``Iout(v)``
+    is filled with one bulk ``update`` off the queue; the verbatim
+    variant also enqueues covered vertices and maintains the sets per
+    insertion instead.
+
+    The cover check is a frozenset ``isdisjoint`` over the candidate's
+    label row (C-speed; ``Lout(v)``/``Lin(v)`` is frozen into a set once
+    per sweep), guarded by inline emptiness/range bail-outs that kill
+    the vast majority of checks without any call — an empty label set
+    uses sentinel bounds that fail the range test unconditionally.
+    """
+    n = snap.num_vertices
+    if not n:
+        return
+    snap_ids = snap.interner.ids
+    # Snapshot id of each vertex, by level rank; a fresh labeling interns
+    # the order sequence, so the labeling id of the rank-k vertex is
+    # exactly k — the peel loop below walks ``enumerate(vcs)`` and never
+    # touches a dict or the order again.
+    vcs = list(map(snap_ids.__getitem__, order))
+    lab_of = [0] * n  # snapshot id -> labeling id (level rank)
+    for rank, vc in enumerate(vcs):
+        lab_of[vc] = rank
+    # Adjacency as per-vertex lists of pre-boxed ints: the tiny sweeps of
+    # practical orders average ~1 edge per dequeue, so per-row overhead
+    # (offset loads, index arithmetic, int re-boxing out of array('i'))
+    # would rival the useful work.
+    oo = snap.out_offsets
+    ot = list(snap.out_targets)
+    out_rows = [ot[oo[i]:oo[i + 1]] for i in range(n)]
+    io_ = snap.in_offsets
+    it = list(snap.in_targets)
+    in_rows = [it[io_[i]:io_[i + 1]] for i in range(n)]
+    # Fresh labeling => ids are exactly 0..n-1 (the order's level ranks).
+    in_bufs: list[list] = [[] for _ in range(n)]
+    out_bufs: list[list] = [[] for _ in range(n)]
+    in_holders = labeling.in_holders
+    out_holders = labeling.out_holders
+    peeled = 2 * n + 1  # larger than any stamp (2 sweeps per vertex)
+    state = [0] * n
+    queue = [0] * n  # flat frontier; each id is enqueued at most once
+    stamp = 0
+    tracing = bool(sp)  # hoisted: sp's __bool__ costs a call per peel
+    if tracing:
+        # |E_k| of the residual graph G_k, maintained incrementally:
+        # peeling v subtracts its edges to still-present vertices (its
+        # edges to already-peeled ones were subtracted earlier).
+        residual = snap.num_edges
+        level = 0
+
+    for vlab, vc in enumerate(vcs):  # highest level first
+        if tracing:
+            level += 1
+            trace.event(
+                "tol.build.level", k=level, v_k=n - level + 1, e_k=residual
+            )
+        for rows, my_labels, their_bufs, side_holders in (
+            # Forward: walk out-edges, v joins Lin(u); cover via Lout(v).
+            (out_rows, out_bufs[vlab], in_bufs, in_holders),
+            # Backward mirror image.
+            (in_rows, in_bufs[vlab], out_bufs, out_holders),
+        ):
+            if not rows[vc]:  # nothing to sweep in this direction
+                continue
+            stamp += 1
+            state[vc] = stamp
+            queue[0] = vc
+            head = 0
+            tail = 1
+            if my_labels:
+                ml_lo = my_labels[0]
+                ml_hi = my_labels[-1]
+                ml_disjoint = frozenset(my_labels).isdisjoint
+            else:
+                ml_lo = peeled  # sentinels: range test always fails,
+                ml_hi = -1  # ml_disjoint is never evaluated
+            if not prune:
+                holders_add = side_holders[vlab].add
+            while head < tail:
+                for u in rows[queue[head]]:
+                    if state[u] >= stamp:  # peeled or seen this sweep
+                        continue
+                    state[u] = stamp
+                    ulab = lab_of[u]
+                    theirs = their_bufs[ulab]
+                    if (
+                        theirs
+                        and theirs[0] <= ml_hi
+                        and ml_lo <= theirs[-1]
+                        and not ml_disjoint(theirs)
+                    ):
+                        if prune:
+                            continue
+                    else:
+                        theirs.append(vlab)
+                        if not prune:
+                            holders_add(ulab)
+                    queue[tail] = u
+                    tail += 1
+                head += 1
+            if prune:  # receivers == everything enqueued past the start
+                side_holders[vlab] = {lab_of[q] for q in queue[1:tail]}
+        state[vc] = peeled
+        if tracing:
+            for u in out_rows[vc]:
+                if state[u] != peeled:
+                    residual -= 1
+            for u in in_rows[vc]:
+                if state[u] != peeled:
+                    residual -= 1
+
+    in_ids = labeling.in_ids
+    out_ids = labeling.out_ids
+    for j in range(n):
+        in_ids[j] = array("i", in_bufs[j])
+        out_ids[j] = array("i", out_bufs[j])
+
+
+# ----------------------------------------------------------------------
+# Object engine: the legacy dict-walking sweeps (differential baseline)
+# ----------------------------------------------------------------------
+
+def _build_object(graph, labeling, order, prune, sp) -> None:
+    """Peel every vertex via the legacy adjacency-set sweeps."""
+    removed: set[Vertex] = set()
+    if sp:
+        residual_edges = graph.num_edges
+        level = 0
+    for v in order:  # highest level first
+        if sp:
+            level += 1
+            trace.event(
+                "tol.build.level",
+                k=level,
+                v_k=graph.num_vertices - len(removed),
+                e_k=residual_edges,
+            )
+        _sweep(graph, labeling, v, removed, forward=True, prune=prune)
+        _sweep(graph, labeling, v, removed, forward=False, prune=prune)
+        removed.add(v)
+        if sp:
+            residual_edges -= sum(
+                1 for u in graph.iter_out(v) if u not in removed
+            ) + sum(1 for u in graph.iter_in(v) if u not in removed)
 
 
 def _sweep(

@@ -73,6 +73,7 @@ class TOLIndex:
         *,
         order: Union[str, OrderStrategy, LevelOrder] = "butterfly-u",
         prune: bool = True,
+        engine: str = "csr",
     ) -> "TOLIndex":
         """Build the index for a DAG with Butterfly (Algorithm 5).
 
@@ -89,20 +90,25 @@ class TOLIndex:
         prune:
             Use the pruned Butterfly traversal (see
             :mod:`repro.core.butterfly`).
+        engine:
+            Construction engine, passed to
+            :func:`~repro.core.butterfly.butterfly_build`: ``"csr"``
+            (default, flat-array kernel) or ``"object"`` (legacy
+            dict-walking build, kept for differential testing).
 
         Raises
         ------
         NotADagError
             If *graph* has a cycle (use :class:`ReachabilityIndex` for
-            general graphs).
+            general graphs).  Raised by the order strategy or the build
+            itself; both engines validate acyclicity.
         """
-        ensure_dag(graph)
         own = graph.copy()
         if isinstance(order, LevelOrder):
             level_order = order
         else:
             level_order = resolve_order_strategy(order)(own)
-        labeling = butterfly_build(own, level_order, prune=prune)
+        labeling = butterfly_build(own, level_order, prune=prune, engine=engine)
         return cls(own, labeling)
 
     # ------------------------------------------------------------------
@@ -358,6 +364,7 @@ class ReachabilityIndex:
         *,
         order: Union[str, OrderStrategy] = "butterfly-u",
         prune: bool = True,
+        engine: str = "csr",
     ) -> None:
         self._condensation = DynamicCondensation(
             graph.copy() if graph is not None else DiGraph()
@@ -367,7 +374,10 @@ class ReachabilityIndex:
         self._order_strategy = resolve_order_strategy(order)
         self._prune = prune
         self._tol = TOLIndex.build(
-            self._condensation.dag, order=self._order_strategy, prune=prune
+            self._condensation.dag,
+            order=self._order_strategy,
+            prune=prune,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------

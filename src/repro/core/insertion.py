@@ -56,12 +56,15 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 from ..errors import IndexStateError
 from ..graph.digraph import DiGraph
 from ..obs import trace
 from .labeling import TOLLabeling, ids_intersect
+
+if TYPE_CHECKING:
+    from ..graph.csr import CSRGraph
 
 __all__ = ["Placement", "LevelChoice", "choose_level", "insert_vertex"]
 
@@ -100,6 +103,7 @@ def insert_vertex(
     v: Vertex,
     *,
     placement: Optional[Placement] = None,
+    snapshot: Optional[CSRGraph] = None,
 ) -> None:
     """Insert vertex *v* into the index (Section 5.1).
 
@@ -116,6 +120,13 @@ def insert_vertex(
         Algorithm-3 sweep to find the size-minimizing position;
         ``"bottom"`` gives ``v`` the lowest level (the cheap choice
         discussed in Section 5.1.2); ``("above", u)`` places it explicitly.
+    snapshot:
+        Optional :class:`~repro.graph.csr.CSRGraph` describing *graph*'s
+        current state (``v`` included).  When given, the materialization
+        traverses the flat snapshot arrays instead of the dict adjacency —
+        the Section-6 reduction passes one snapshot for a whole sweep of
+        delete/re-insert round trips (each trip restores the snapshotted
+        state; see the snapshot reuse contract in ``docs/api.md``).
 
     Raises
     ------
@@ -127,8 +138,12 @@ def insert_vertex(
         raise IndexStateError(f"vertex {v!r} is already indexed")
     if v not in graph:
         raise IndexStateError(f"vertex {v!r} is not in the graph")
-    ins = list(graph.in_neighbors(v))
-    outs = list(graph.out_neighbors(v))
+    if snapshot is not None:
+        ins = snapshot.in_neighbors(v)
+        outs = snapshot.out_neighbors(v)
+    else:
+        ins = list(graph.in_neighbors(v))
+        outs = list(graph.out_neighbors(v))
     for u in ins + outs:
         if u not in labeling:
             raise IndexStateError(f"neighbor {u!r} is not indexed")
@@ -141,14 +156,14 @@ def insert_vertex(
             size_before = labeling.size()
 
         if placement is not None:
-            _materialize(graph, labeling, v, placement)
+            _materialize(graph, labeling, v, placement, ins, outs, snapshot)
             if sp:
                 sp.set("labels_added", labeling.size() - size_before)
                 sp.set("placement", "explicit")
             return
 
         # Step 1 (Algorithm 3): bottom-place, sweep, relocate if profitable.
-        _materialize(graph, labeling, v, "bottom")
+        _materialize(graph, labeling, v, "bottom", ins, outs, snapshot)
         with trace.span("tol.insert.choose_level") as level_sp:
             choice = choose_level(labeling, v)
             if level_sp:
@@ -294,7 +309,13 @@ def _relocate_upward(labeling: TOLLabeling, v: Vertex, anchor: Vertex) -> None:
 # ----------------------------------------------------------------------
 
 def _materialize(
-    graph: DiGraph, labeling: TOLLabeling, v: Vertex, placement: Placement
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    v: Vertex,
+    placement: Placement,
+    ins: list,
+    outs: list,
+    snapshot: Optional[CSRGraph],
 ) -> None:
     """Insert *v* at *placement* and repair all label sets."""
     order = labeling.order
@@ -307,15 +328,19 @@ def _materialize(
         order.insert_before(v, anchor)
     labeling.add_vertex(v)
 
-    _build_own_labels(graph, labeling, v)
-    _spread_new_labels(graph, labeling, v, forward=True)
-    _spread_new_labels(graph, labeling, v, forward=False)
+    _build_own_labels(labeling, v, ins, outs)
+    if snapshot is not None:
+        _spread_new_labels_csr(snapshot, labeling, v, forward=True)
+        _spread_new_labels_csr(snapshot, labeling, v, forward=False)
+    else:
+        _spread_new_labels(graph, labeling, v, forward=True)
+        _spread_new_labels(graph, labeling, v, forward=False)
     _prune_through(labeling, labeling.interner.ids[v])
     _repair_other_labels(labeling, v)
 
 
 def _build_own_labels(
-    graph: DiGraph, labeling: TOLLabeling, v: Vertex
+    labeling: TOLLabeling, v: Vertex, ins: list, outs: list
 ) -> None:
     """Refine the candidate sets into ``v``'s own label sets.
 
@@ -323,13 +348,14 @@ def _build_own_labels(
     and their in-label sets (a proven superset of ``L'in(v)``); scanned
     from the highest level down, a candidate is kept when it is higher
     than ``v`` and no already-kept label covers it.  Mirrored for
-    ``Cout(v)``.
+    ``Cout(v)``.  Neighbor lists come from the caller, which sourced them
+    from either the object graph or a CSR snapshot.
     """
     ids = labeling.interner.ids
     vid = ids[v]
     vkey = labeling.order.key(v)
     for incoming in (True, False):
-        neighbors = graph.iter_in(v) if incoming else graph.iter_out(v)
+        neighbors = ins if incoming else outs
         neighbor_labels = labeling.in_ids if incoming else labeling.out_ids
         covering = labeling.out_ids if incoming else labeling.in_ids
         own = neighbor_labels[vid]  # live: grows as labels are admitted
@@ -384,6 +410,57 @@ def _spread_new_labels(
                 continue
             seen.add(u)
             uid = ids[u]
+            if ids_intersect(my_labels, their_labels[uid]):
+                continue  # covered: prune this branch
+            add_label(uid, vid)
+            queue.append(u)
+
+
+def _spread_new_labels_csr(
+    snap: CSRGraph, labeling: TOLLabeling, v: Vertex, *, forward: bool
+) -> None:
+    """:func:`_spread_new_labels` over a CSR snapshot's flat arrays.
+
+    Identical pruned search, but the BFS walks snapshot ids with a
+    ``bytearray`` seen table and crosses into labeling ids only for the
+    vertices that survive the level check.  Higher-level vertices are
+    marked seen here where the object path leaves them unmarked — both
+    skip them on every encounter, so the visit sets match.
+    """
+    order = labeling.order
+    ids = labeling.interner.ids
+    table = snap.interner.table
+    vid = ids[v]
+    vkey = order.key(v)
+    if forward:
+        offsets = snap.out_offsets
+        targets = snap.out_targets
+        my_labels = labeling.out_ids[vid]
+        their_labels = labeling.in_ids
+        add_label = labeling.add_in_id
+    else:
+        offsets = snap.in_offsets
+        targets = snap.in_targets
+        my_labels = labeling.in_ids[vid]
+        their_labels = labeling.out_ids
+        add_label = labeling.add_out_id
+
+    start = snap.id_of(v)
+    seen = bytearray(snap.num_vertices)
+    seen[start] = 1
+    queue = [start]
+    head = 0
+    while head < len(queue):
+        x = queue[head]
+        head += 1
+        for u in targets[offsets[x]:offsets[x + 1]]:
+            if seen[u]:
+                continue
+            seen[u] = 1
+            uv = table[u]
+            if order.key(uv) < vkey:
+                continue  # higher level: never receives v
+            uid = ids[uv]
             if ids_intersect(my_labels, their_labels[uid]):
                 continue  # covered: prune this branch
             add_label(uid, vid)

@@ -74,6 +74,29 @@ class VertexInterner:
         self._ids[v] = i
         return i
 
+    def intern_dense(self, vertices) -> int:
+        """Bulk-intern an iterable of distinct, new vertices.
+
+        Assigns consecutive fresh ids (``len(self)..``) in one C-speed
+        pass — the fast path for interning a whole graph or level order
+        at once (snapshot packing, fresh labelings).  Only valid while
+        the free list is empty; duplicate or already-interned vertices
+        are rejected before anything is modified.  Returns the number of
+        vertices interned.
+        """
+        if self._free:
+            raise ValueError("intern_dense requires an empty free list")
+        vs = list(vertices)
+        if len(set(vs)) != len(vs) or not self._ids.keys().isdisjoint(vs):
+            raise ValueError(
+                "intern_dense: duplicate or already-interned vertex"
+            )
+        table = self._table
+        start = len(table)
+        table.extend(vs)
+        self._ids.update(zip(vs, range(start, start + len(vs))))
+        return len(vs)
+
     def release(self, v: Vertex) -> int:
         """Forget *v*, returning its id to the free list (and the caller)."""
         try:

@@ -239,8 +239,17 @@ class TOLLabeling:
         self.label_out = _SideView(self, self.out_ids)
         self.inv_in = _SideView(self, self.in_holders)
         self.inv_out = _SideView(self, self.out_holders)
-        for v in order:
-            self._register(v)
+        # Bulk path: a fresh interner has no free ids, and a LevelOrder
+        # holds distinct vertices, so the whole order interns densely in
+        # one pass (ids == level ranks) — equivalent to, and much faster
+        # than, per-vertex _register calls.
+        count = self.interner.intern_dense(order)
+        self.in_ids.extend([array("i") for _ in range(count)])
+        self.out_ids.extend([array("i") for _ in range(count)])
+        self.in_holders.extend([set() for _ in range(count)])
+        self.out_holders.extend([set() for _ in range(count)])
+        self.in_sets.extend([None] * count)
+        self.out_sets.extend([None] * count)
 
     # ------------------------------------------------------------------
     # Vertex registry

@@ -21,9 +21,17 @@ between TF-Label, DL/PLL, HL and the paper's Butterfly variants come from:
   scores ``S⊥``.
 * :func:`random_order_strategy` — ablation baseline.
 
+Every strategy runs on the graph's cached CSR snapshot
+(:meth:`DiGraph.csr() <repro.graph.digraph.DiGraph.csr>`): the score
+sweeps are integer loops over the flat offset/neighbor arrays, and the
+snapshot is shared with the Butterfly build that typically follows (one
+packing pass per preprocessing pipeline).
+
 All strategies return a :class:`~repro.core.order.LevelOrder` whose first
-element is the *highest*-level vertex, and are deterministic (ties broken by
-``repr`` of the vertex, which is total for ints and strings used here).
+element is the *highest*-level vertex, and are deterministic: ties are
+broken by snapshot id — i.e. by graph insertion order — which is total,
+stable across runs, and free (sorts on id-indexed score tables are stable,
+so ascending id *is* the tie-break).
 """
 
 from __future__ import annotations
@@ -32,7 +40,6 @@ import random
 from collections.abc import Callable, Hashable
 
 from ..errors import GraphError
-from ..graph.dag import topological_order
 from ..graph.digraph import DiGraph
 from ..graph.traversal import backward_reachable, forward_reachable
 from .order import LevelOrder
@@ -75,12 +82,37 @@ def score_function(s_in: float, s_out: float) -> float:
 def exact_scores(graph: DiGraph) -> dict[Vertex, tuple[int, int]]:
     """Exact ``(|Sin(v,G)|, |Sout(v,G)|)`` for every vertex, via BFS each.
 
-    Quadratic; used by :func:`exact_greedy_order` and tests only.
+    Quadratic, and deliberately computed over the object graph rather
+    than the CSR snapshot: this is the oracle the snapshot-based sweeps
+    are tested against.  Used by tests and ablations only.
     """
     return {
         v: (len(backward_reachable(graph, v)), len(forward_reachable(graph, v)))
         for v in graph.vertices()
     }
+
+
+def _upper_scores_ids(snap) -> tuple[list[float], list[float]]:
+    """Id-indexed ``(S⊤in, S⊤out)`` tables over a CSR snapshot."""
+    topo = snap.topological_ids()
+    n = snap.num_vertices
+    in_offsets = snap.in_offsets
+    in_targets = snap.in_targets
+    s_in = [0.0] * n
+    for v in topo:
+        acc = 0.0
+        for u in in_targets[in_offsets[v]:in_offsets[v + 1]]:
+            acc += s_in[u] + 1.0
+        s_in[v] = acc
+    out_offsets = snap.out_offsets
+    out_targets = snap.out_targets
+    s_out = [0.0] * n
+    for v in reversed(topo):
+        acc = 0.0
+        for w in out_targets[out_offsets[v]:out_offsets[v + 1]]:
+            acc += s_out[w] + 1.0
+        s_out[v] = acc
+    return s_in, s_out
 
 
 def upper_bound_scores(graph: DiGraph) -> dict[Vertex, tuple[float, float]]:
@@ -91,14 +123,33 @@ def upper_bound_scores(graph: DiGraph) -> dict[Vertex, tuple[float, float]]:
     Each counts ancestors/descendants with multiplicity (once per path), so
     it upper-bounds the exact score.
     """
-    order = topological_order(graph)
-    s_in: dict[Vertex, float] = {}
-    for v in order:
-        s_in[v] = sum(s_in[u] + 1.0 for u in graph.iter_in(v))
-    s_out: dict[Vertex, float] = {}
-    for v in reversed(order):
-        s_out[v] = sum(s_out[w] + 1.0 for w in graph.iter_out(v))
-    return {v: (s_in[v], s_out[v]) for v in order}
+    snap = graph.csr()
+    s_in, s_out = _upper_scores_ids(snap)
+    table = snap.interner.table
+    return {table[i]: (s_in[i], s_out[i]) for i in range(snap.num_vertices)}
+
+
+def _lower_scores_ids(snap) -> tuple[list[float], list[float]]:
+    """Id-indexed ``(S⊥in, S⊥out)`` tables over a CSR snapshot."""
+    topo = snap.topological_ids()
+    n = snap.num_vertices
+    in_offsets = snap.in_offsets
+    in_targets = snap.in_targets
+    out_offsets = snap.out_offsets
+    out_targets = snap.out_targets
+    s_in = [0.0] * n
+    for v in topo:
+        acc = 0.0
+        for u in in_targets[in_offsets[v]:in_offsets[v + 1]]:
+            acc += (s_in[u] + 1.0) / (out_offsets[u + 1] - out_offsets[u])
+        s_in[v] = acc
+    s_out = [0.0] * n
+    for v in reversed(topo):
+        acc = 0.0
+        for w in out_targets[out_offsets[v]:out_offsets[v + 1]]:
+            acc += (s_out[w] + 1.0) / (in_offsets[w + 1] - in_offsets[w])
+        s_out[v] = acc
+    return s_in, s_out
 
 
 def lower_bound_scores(graph: DiGraph) -> dict[Vertex, tuple[float, float]]:
@@ -111,43 +162,59 @@ def lower_bound_scores(graph: DiGraph) -> dict[Vertex, tuple[float, float]]:
     formula repeats ``|Nout(u)|``, which would not be a lower bound; we take
     that as a typo and use the symmetric form (see DESIGN.md §5).
     """
-    order = topological_order(graph)
-    s_in: dict[Vertex, float] = {}
-    for v in order:
-        s_in[v] = sum(
-            (s_in[u] + 1.0) / graph.out_degree(u) for u in graph.iter_in(v)
-        )
-    s_out: dict[Vertex, float] = {}
-    for v in reversed(order):
-        s_out[v] = sum(
-            (s_out[w] + 1.0) / graph.in_degree(w) for w in graph.iter_out(v)
-        )
-    return {v: (s_in[v], s_out[v]) for v in order}
+    snap = graph.csr()
+    s_in, s_out = _lower_scores_ids(snap)
+    table = snap.interner.table
+    return {table[i]: (s_in[i], s_out[i]) for i in range(snap.num_vertices)}
 
 
-def _tie_key(v: Vertex) -> tuple[str, str]:
-    # Stable, total tie-break across mixed vertex types.
-    return (type(v).__name__, repr(v))
+def _order_by_neg_scores(snap, neg_scores: list[float]) -> LevelOrder:
+    """Rank ids ascending by *neg_scores* (i.e. descending score).
 
-
-def _order_by_score(
-    graph: DiGraph, scores: dict[Vertex, tuple[float, float]]
-) -> LevelOrder:
-    ranked = sorted(
-        graph.vertices(),
-        key=lambda v: (-score_function(*scores[v]), _tie_key(v)),
-    )
-    return LevelOrder(ranked)
+    ``sorted`` is stable, so equal scores resolve to ascending id — the
+    interned-id tie-break (graph insertion order).
+    """
+    ranked = sorted(range(snap.num_vertices), key=neg_scores.__getitem__)
+    table = snap.interner.table
+    return LevelOrder(table[i] for i in ranked)
 
 
 def butterfly_upper_order(graph: DiGraph) -> LevelOrder:
     """BU: rank by ``f`` over the upper-bound scores ``S⊤`` (descending)."""
-    return _order_by_score(graph, upper_bound_scores(graph))
+    snap = graph.csr()
+    s_in, s_out = _upper_scores_ids(snap)
+    f = score_function
+    neg = [-f(s_in[i], s_out[i]) for i in range(snap.num_vertices)]
+    return _order_by_neg_scores(snap, neg)
 
 
 def butterfly_lower_order(graph: DiGraph) -> LevelOrder:
     """BL: rank by ``f`` over the lower-bound scores ``S⊥`` (descending)."""
-    return _order_by_score(graph, lower_bound_scores(graph))
+    snap = graph.csr()
+    s_in, s_out = _lower_scores_ids(snap)
+    f = score_function
+    neg = [-f(s_in[i], s_out[i]) for i in range(snap.num_vertices)]
+    return _order_by_neg_scores(snap, neg)
+
+
+def _residual_reach_count(
+    offsets, targets, start: int, removed, visited, queue, stamp: int
+) -> int:
+    """Vertices reachable from *start* (exclusive) skipping removed ids."""
+    visited[start] = stamp
+    queue[0] = start
+    head = 0
+    tail = 1
+    while head < tail:
+        x = queue[head]
+        head += 1
+        for u in targets[offsets[x]:offsets[x + 1]]:
+            if removed[u] or visited[u] == stamp:
+                continue
+            visited[u] = stamp
+            queue[tail] = u
+            tail += 1
+    return tail - 1
 
 
 def exact_greedy_order(graph: DiGraph) -> LevelOrder:
@@ -156,53 +223,92 @@ def exact_greedy_order(graph: DiGraph) -> LevelOrder:
     This is the algorithm the paper motivates and then replaces with the
     BU/BL approximations because recomputing scores after every removal is
     too expensive at scale.  Kept for ablation benchmarks and tests.
+    Rather than destroying a graph copy, the rescoring BFS runs over the
+    CSR snapshot with removed flags and visit stamps.  Ties pick the
+    lowest snapshot id (the first maximum found scanning ascending ids).
     """
-    residual = graph.copy()
-    ranked: list[Vertex] = []
-    while residual.num_vertices:
-        scores = exact_scores(residual)
-        best = min(
-            residual.vertices(),
-            key=lambda v: (-score_function(*scores[v]), _tie_key(v)),
-        )
+    snap = graph.csr()
+    n = snap.num_vertices
+    out_offsets = snap.out_offsets
+    out_targets = snap.out_targets
+    in_offsets = snap.in_offsets
+    in_targets = snap.in_targets
+    removed = bytearray(n)
+    visited = [0] * n
+    queue = [0] * n
+    stamp = 0
+    live = list(range(n))
+    ranked: list[int] = []
+    f = score_function
+    while live:
+        best = -1
+        best_f = -1.0
+        for i in live:
+            stamp += 1
+            s_in = _residual_reach_count(
+                in_offsets, in_targets, i, removed, visited, queue, stamp
+            )
+            stamp += 1
+            s_out = _residual_reach_count(
+                out_offsets, out_targets, i, removed, visited, queue, stamp
+            )
+            fv = f(s_in, s_out)
+            if fv > best_f:
+                best_f = fv
+                best = i
         ranked.append(best)
-        residual.remove_vertex(best)
-    return LevelOrder(ranked)
+        removed[best] = 1
+        live.remove(best)
+    table = snap.interner.table
+    return LevelOrder(table[i] for i in ranked)
 
 
 def topological_order_strategy(graph: DiGraph) -> LevelOrder:
     """TF-Label's level order: the topological rank ``o`` itself."""
-    return LevelOrder(topological_order(graph))
+    snap = graph.csr()
+    table = snap.interner.table
+    return LevelOrder(table[i] for i in snap.topological_ids())
 
 
 def reverse_topological_order_strategy(graph: DiGraph) -> LevelOrder:
     """Reverse topological order (sinks get the highest level)."""
-    return LevelOrder(reversed(topological_order(graph)))
+    snap = graph.csr()
+    table = snap.interner.table
+    return LevelOrder(table[i] for i in reversed(snap.topological_ids()))
 
 
 def degree_order_strategy(graph: DiGraph) -> LevelOrder:
     """DL/PLL's level order: descending total degree."""
-    ranked = sorted(
-        graph.vertices(), key=lambda v: (-graph.degree(v), _tie_key(v))
-    )
-    return LevelOrder(ranked)
+    snap = graph.csr()
+    oo = snap.out_offsets
+    io = snap.in_offsets
+    neg = [
+        -(oo[i + 1] - oo[i] + io[i + 1] - io[i])
+        for i in range(snap.num_vertices)
+    ]
+    return _order_by_neg_scores(snap, neg)
 
 
 def hierarchical_order_strategy(graph: DiGraph) -> LevelOrder:
     """HL-like level order: descending ``(din + 1) * (dout + 1)``."""
-    ranked = sorted(
-        graph.vertices(),
-        key=lambda v: (
-            -(graph.in_degree(v) + 1) * (graph.out_degree(v) + 1),
-            _tie_key(v),
-        ),
-    )
-    return LevelOrder(ranked)
+    snap = graph.csr()
+    oo = snap.out_offsets
+    io = snap.in_offsets
+    neg = [
+        -(io[i + 1] - io[i] + 1) * (oo[i + 1] - oo[i] + 1)
+        for i in range(snap.num_vertices)
+    ]
+    return _order_by_neg_scores(snap, neg)
 
 
 def random_order_strategy(graph: DiGraph, *, seed: int = 0) -> LevelOrder:
-    """Uniformly random level order (ablation baseline)."""
-    ranked = sorted(graph.vertices(), key=_tie_key)
+    """Uniformly random level order (ablation baseline).
+
+    Deterministic for a given seed: the shuffle starts from snapshot id
+    order (graph insertion order).
+    """
+    snap = graph.csr()
+    ranked = list(snap.vertices())
     random.Random(seed).shuffle(ranked)
     return LevelOrder(ranked)
 

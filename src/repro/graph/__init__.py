@@ -1,6 +1,7 @@
 """Graph substrate: storage, traversal, DAG utilities, SCCs, generators, I/O."""
 
 from .condensation import CondensationDelta, DynamicCondensation
+from .csr import CSRGraph, csr_snapshot
 from .dag import (
     ensure_dag,
     is_dag,
@@ -32,6 +33,8 @@ from .traversal import (
 
 __all__ = [
     "DiGraph",
+    "CSRGraph",
+    "csr_snapshot",
     "CondensationDelta",
     "DynamicCondensation",
     "Condensation",

@@ -17,6 +17,10 @@ Design notes
   wants idempotent behavior uses the ``*_if_absent`` / ``discard_*`` variants.
 * Iteration order over vertices is insertion order (a ``dict`` is the vertex
   registry), which keeps generators and tests deterministic.
+* Every mutation bumps a monotonically increasing :attr:`DiGraph.version`
+  counter.  The counter keys the cached :meth:`DiGraph.csr` snapshot (see
+  :mod:`repro.graph.csr`) and lets any derived structure detect staleness
+  cheaply.
 """
 
 from __future__ import annotations
@@ -60,7 +64,7 @@ class DiGraph:
     (3, 2)
     """
 
-    __slots__ = ("_succ", "_pred", "_num_edges")
+    __slots__ = ("_succ", "_pred", "_num_edges", "_version", "_csr_cache")
 
     def __init__(
         self,
@@ -72,6 +76,8 @@ class DiGraph:
         self._succ: dict[Vertex, set[Vertex]] = {}
         self._pred: dict[Vertex, set[Vertex]] = {}
         self._num_edges = 0
+        self._version = 0
+        self._csr_cache = None
         if vertices is not None:
             for v in vertices:
                 self.add_vertex_if_absent(v)
@@ -92,6 +98,34 @@ class DiGraph:
     def num_edges(self) -> int:
         """Number of directed edges currently in the graph."""
         return self._num_edges
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: increments on every structural change.
+
+        Two reads returning the same value guarantee the graph was not
+        mutated in between; used to invalidate the cached :meth:`csr`
+        snapshot.
+        """
+        return self._version
+
+    def csr(self):
+        """Return a CSR snapshot of the graph, cached until mutation.
+
+        The first call packs the adjacency into a
+        :class:`~repro.graph.csr.CSRGraph` (one O(|V|+|E|) pass); later
+        calls return the same object until :attr:`version` changes.  The
+        snapshot is immutable — it never reflects mutations made after
+        it was taken.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        from .csr import csr_snapshot
+
+        snap = csr_snapshot(self)
+        self._csr_cache = (self._version, snap)
+        return snap
 
     def __len__(self) -> int:
         return len(self._succ)
@@ -177,6 +211,7 @@ class DiGraph:
             raise VertexExistsError(vertex)
         self._succ[vertex] = set()
         self._pred[vertex] = set()
+        self._version += 1
 
     def add_vertex_if_absent(self, vertex: Vertex) -> bool:
         """Add *vertex* if missing; return ``True`` if it was added."""
@@ -184,6 +219,7 @@ class DiGraph:
             return False
         self._succ[vertex] = set()
         self._pred[vertex] = set()
+        self._version += 1
         return True
 
     def add_edge(self, tail: Vertex, head: Vertex) -> None:
@@ -204,6 +240,7 @@ class DiGraph:
         self._succ[tail].add(head)
         self._pred[head].add(tail)
         self._num_edges += 1
+        self._version += 1
 
     def add_edge_if_absent(self, tail: Vertex, head: Vertex) -> bool:
         """Add the edge if missing; return ``True`` if it was added."""
@@ -214,6 +251,7 @@ class DiGraph:
         self._succ[tail].add(head)
         self._pred[head].add(tail)
         self._num_edges += 1
+        self._version += 1
         return True
 
     def remove_edge(self, tail: Vertex, head: Vertex) -> None:
@@ -230,6 +268,7 @@ class DiGraph:
         succ.remove(head)
         self._pred[head].remove(tail)
         self._num_edges -= 1
+        self._version += 1
 
     def discard_edge(self, tail: Vertex, head: Vertex) -> bool:
         """Remove the edge if present; return ``True`` if it was removed."""
@@ -239,6 +278,7 @@ class DiGraph:
         succ.remove(head)
         self._pred[head].remove(tail)
         self._num_edges -= 1
+        self._version += 1
         return True
 
     def remove_vertex(self, vertex: Vertex) -> None:
@@ -266,6 +306,7 @@ class DiGraph:
         self._num_edges -= removed
         del self._succ[vertex]
         del self._pred[vertex]
+        self._version += 1
 
     def discard_vertex(self, vertex: Vertex) -> bool:
         """Remove *vertex* if present; return ``True`` if it was removed."""
@@ -279,6 +320,8 @@ class DiGraph:
         self._succ.clear()
         self._pred.clear()
         self._num_edges = 0
+        self._version += 1
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Derived graphs

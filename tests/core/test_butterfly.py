@@ -5,6 +5,7 @@ from hypothesis import given
 
 from repro.core.butterfly import butterfly_build
 from repro.core.order import LevelOrder
+from repro.errors import GraphError
 from repro.core.reference import reference_tol
 from repro.core.validation import assert_queries_correct, assert_valid_tol
 from repro.graph.digraph import DiGraph
@@ -61,10 +62,16 @@ class TestBasics:
             butterfly_build(DiGraph(edges=[(1, 2), (2, 1)]), LevelOrder([1, 2]))
 
     def test_order_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             butterfly_build(DiGraph(vertices=[1, 2]), LevelOrder([1]))
-        with pytest.raises(ValueError):
+        with pytest.raises(GraphError):
             butterfly_build(DiGraph(vertices=[1]), LevelOrder([1, 99]))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown build engine"):
+            butterfly_build(
+                DiGraph(vertices=[1]), LevelOrder([1]), engine="simd"
+            )
 
 
 @given(dags_with_order())

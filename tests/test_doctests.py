@@ -11,6 +11,7 @@ import repro.core.frozen
 import repro.core.order
 import repro.core.serialize
 import repro.graph.condensation
+import repro.graph.csr
 import repro.graph.digraph
 import repro.obs.registry
 import repro.service.cache
@@ -20,6 +21,7 @@ import repro.service.server
 MODULES = [
     repro.graph.digraph,
     repro.graph.condensation,
+    repro.graph.csr,
     repro.core.order,
     repro.core.frozen,
     repro.core.serialize,
