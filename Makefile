@@ -2,13 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke profile ruff reproduce examples serve-demo metrics-demo lint-docs clean
+.PHONY: install test faults bench bench-smoke profile ruff reproduce examples serve-demo metrics-demo recover-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Fault-injection suite: the crash matrix (every named crash point vs
+# the BFS oracle), WAL/checkpoint units, quarantine and degraded mode.
+# See docs/robustness.md.
+faults:
+	$(PYTHON) -m pytest tests/service/test_durability.py \
+		tests/service/test_recovery.py tests/service/test_faults.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -59,6 +66,18 @@ metrics-demo:
 		--ops 600 --query-fraction 0.6
 	$(PYTHON) -m repro metrics .demo/graph.txt .demo/ops.trace \
 		--events .demo/ops.jsonl
+
+# Replay a trace with the write-ahead log on, then recover the service
+# from the durability directory alone and self-audit it against BFS
+# (see docs/robustness.md).
+recover-demo:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro trace-generate .demo/graph.txt .demo/ops.trace \
+		--ops 600 --query-fraction 0.6
+	$(PYTHON) -m repro serve-replay .demo/graph.txt .demo/ops.trace \
+		--readers 4 --flush-threshold 8 --wal .demo/state
+	$(PYTHON) -m repro recover .demo/state --checkpoint
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results benchmarks/results-smoke .benchmarks .demo

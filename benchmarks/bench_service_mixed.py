@@ -10,9 +10,12 @@ query stream (the regime caches are built for) and measures:
   latency hold under contention, and that the lock does not collapse);
 * the effect of cache size (off / small / large) on the same stream;
 * mixed throughput with one writer thread batching updates through the
-  coalescing queue while readers hammer queries.
+  coalescing queue while readers hammer queries;
+* steady-state write-path overhead of the durability layer (WAL off vs
+  each fsync policy), so the crash-safety tax is a measured number.
 """
 
+import itertools
 import threading
 
 import pytest
@@ -20,10 +23,11 @@ import pytest
 from repro import datasets as ds
 from repro.bench.trace import generate_trace
 from repro.bench.workloads import generate_zipfian_queries
+from repro.service.durability import DurabilityManager
 from repro.service.server import ReachabilityService
 from repro.service.updates import UpdateOp
 
-from _config import cached
+from _config import QUICK, cached
 
 DATASET = "citeseerx"
 NUM_VERTICES = 600
@@ -133,4 +137,49 @@ def test_mixed_readers_plus_writer(benchmark, flush_threshold):
     # Operation counts live under the "counters" sub-dict (they used to
     # be merged flat into the snapshot, colliding with recorder keys).
     assert snap["counters"]["queries"] > 0
+    assert snap["counters"]["updates_applied"] > 0
+
+
+@pytest.mark.parametrize("wal", ["off", "never", "batch", "always"])
+def test_write_path_wal_overhead(benchmark, wal, tmp_path):
+    """Update throughput with the WAL off vs each fsync policy.
+
+    Same mutation trace through the same service; the only variable is
+    the durability configuration, so the delta *is* the WAL tax.
+    ``never`` isolates the encode+write cost, ``batch`` adds one fsync
+    per flushed batch (the recommended setting), ``always`` pays one per
+    record.
+    """
+    graph = _graph()
+    num_ops = 12 if QUICK else 120
+    trace = generate_trace(graph, num_ops, seed=15, query_fraction=0.0)
+    mutations = [UpdateOp.from_trace_op(op) for op in trace]
+    fresh = itertools.count()
+
+    def run():
+        durability = None
+        if wal != "off":
+            durability = DurabilityManager(
+                tmp_path / f"wal-{next(fresh)}",
+                fsync=wal,
+                checkpoint_every=0,  # isolate the log from snapshot cost
+            )
+        service = ReachabilityService(
+            graph, cache_size=0, flush_threshold=8, durability=durability
+        )
+        for op in mutations:
+            service.submit_update(op)
+        service.flush()
+        if durability is not None:
+            durability.close()
+        return service
+
+    service = benchmark.pedantic(run, rounds=2, iterations=1)
+    snap = service.snapshot()
+    benchmark.extra_info["wal"] = wal
+    benchmark.extra_info["updates"] = num_ops
+    if wal != "off":
+        benchmark.extra_info["wal_records"] = snap["wal"]["records_appended"]
+        benchmark.extra_info["wal_fsyncs"] = snap["wal"]["fsyncs"]
+        assert snap["wal"]["records_appended"] > 0
     assert snap["counters"]["updates_applied"] > 0

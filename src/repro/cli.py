@@ -12,6 +12,8 @@ Usage examples::
     python -m repro trace-replay graph.txt ops.trace --methods BU Dagger BFS
     python -m repro serve-replay graph.txt ops.trace --readers 8
     python -m repro serve-replay graph.txt ops.trace --metrics-out metrics.prom
+    python -m repro serve-replay graph.txt ops.trace --wal state/ --fsync batch
+    python -m repro recover state/ --checkpoint
     python -m repro metrics graph.txt ops.trace --format json --events ops.jsonl
     python -m repro experiments --only fig7 table4 --chart
 
@@ -280,6 +282,16 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     # --metrics-out implies core-span tracing for the whole replay
     # (index build included), routed into the service's own registry so
     # the exported file is one cross-layer snapshot.
+    durability = None
+    if args.wal:
+        from .service.durability import DurabilityManager
+
+        durability = DurabilityManager(
+            args.wal,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+
     registry = MetricRegistry() if args.metrics_out else None
     if registry is not None:
         obs_trace.enable(registry)
@@ -289,6 +301,7 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             flush_threshold=args.flush_threshold,
             registry=registry,
+            durability=durability,
         )
 
         unknown = [0] * args.readers
@@ -333,12 +346,53 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     )
     if sum(unknown):
         print(f"  {sum(unknown)} queries hit a concurrently-removed vertex")
+    if durability is not None:
+        wal_stats = durability.stats()
+        durability.close()
+        print(
+            f"  wal: {wal_stats['records_appended']} records appended, "
+            f"{wal_stats['fsyncs']} fsyncs, "
+            f"{wal_stats['checkpoints']} checkpoints "
+            f"(covered through seq {wal_stats['checkpointed_seq']}); "
+            f"recover with: repro recover {args.wal}"
+        )
     print("metrics snapshot:")
     print(render_snapshot(service.snapshot()))
     if args.metrics_out:
         fmt = write_metrics(service.registry, args.metrics_out)
         print(f"wrote {fmt} metrics to {args.metrics_out}")
     return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """`repro recover`: rebuild serving state from a durability directory.
+
+    Loads the newest valid checkpoint, replays the WAL suffix (truncating
+    any torn tail), rebuilds the index from the recovered graph and runs
+    the sampled Definition-1 self-audit.  Exit code 1 means the audit
+    failed — the state recovered but the rebuilt index disagrees with
+    BFS, which should never happen and warrants a bug report.
+    """
+    from .service.server import ReachabilityService
+
+    start = time.perf_counter()
+    service = ReachabilityService.recover(
+        args.directory,
+        fsync=args.fsync,
+        checkpoint_every=args.checkpoint_every,
+    )
+    elapsed = time.perf_counter() - start
+    print(f"{service.last_recovery} in {elapsed:.2f}s")
+    healthy = service.self_audit(args.audit_samples)
+    print(
+        "definition-1 self-audit: "
+        + ("PASS" if healthy else "FAIL (index disagrees with BFS)")
+    )
+    if args.checkpoint:
+        path = service.checkpoint()
+        print(f"checkpoint written: {path}")
+    service.durability.close()
+    return 0 if healthy else 1
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -516,7 +570,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export the metric registry after the replay "
                         "(.json = JSON, else Prometheus text); also "
                         "enables core-span tracing for the run")
+    p.add_argument("--wal", default=None, metavar="DIR",
+                   help="durability directory: log every update to a WAL "
+                        "and checkpoint periodically (see `repro recover`)")
+    p.add_argument("--fsync", default="batch",
+                   choices=["always", "batch", "never"],
+                   help="WAL fsync policy (with --wal)")
+    p.add_argument("--checkpoint-every", type=int, default=256,
+                   help="checkpoint after this many WAL records (with --wal)")
     p.set_defaults(func=cmd_serve_replay)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild serving state from a WAL + checkpoint directory",
+    )
+    p.add_argument("directory",
+                   help="durability directory (wal.log + checkpoints/)")
+    p.add_argument("--fsync", default="batch",
+                   choices=["always", "batch", "never"],
+                   help="WAL fsync policy for continued operation")
+    p.add_argument("--checkpoint-every", type=int, default=256,
+                   help="checkpoint cadence for continued operation")
+    p.add_argument("--audit-samples", type=int, default=32,
+                   help="vertex pairs checked by the post-recovery "
+                        "Definition-1 self-audit")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="write a fresh checkpoint covering the recovered "
+                        "state before exiting")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser(
         "metrics",

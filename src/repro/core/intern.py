@@ -97,6 +97,40 @@ class VertexInterner:
         self._ids.update(zip(vs, range(start, start + len(vs))))
         return len(vs)
 
+    @classmethod
+    def restore(cls, assignments, free_ids=()) -> "VertexInterner":
+        """Rebuild an interner with an exact ``vertex -> id`` assignment.
+
+        *assignments* maps each live vertex to its id; *free_ids* lists the
+        holes in LIFO order (the last entry is reused first), so a restored
+        interner allocates future ids exactly as the original would.  The
+        persistence layer (:mod:`repro.core.serialize`) uses this so a
+        save/load round trip preserves id assignment.
+
+        Raises
+        ------
+        ValueError
+            If ids collide, overlap the free list, or leave gaps (every id
+            in ``0..capacity-1`` must be either live or free).
+        """
+        self = cls()
+        ids = dict(assignments)
+        free = list(free_ids)
+        capacity = len(ids) + len(free)
+        taken = set(ids.values())
+        if len(taken) != len(ids):
+            raise ValueError("restore: duplicate ids in assignment")
+        if not taken.isdisjoint(free) or len(set(free)) != len(free):
+            raise ValueError("restore: free list overlaps live ids")
+        if (taken | set(free)) != set(range(capacity)):
+            raise ValueError("restore: id space has gaps")
+        self._table = [_EMPTY] * capacity
+        for v, i in ids.items():
+            self._table[i] = v
+        self._ids = ids
+        self._free = free
+        return self
+
     def release(self, v: Vertex) -> int:
         """Forget *v*, returning its id to the free list (and the caller)."""
         try:
@@ -173,6 +207,11 @@ class VertexInterner:
     def free_count(self) -> int:
         """Number of ids currently on the free list."""
         return len(self._free)
+
+    @property
+    def free_ids(self) -> tuple[int, ...]:
+        """The free list in LIFO order (last entry is reused first)."""
+        return tuple(self._free)
 
     def __repr__(self) -> str:
         return (

@@ -216,9 +216,11 @@ class TOLLabeling:
         "inv_out",
     )
 
-    def __init__(self, order: LevelOrder) -> None:
+    def __init__(
+        self, order: LevelOrder, *, interner: Optional[VertexInterner] = None
+    ) -> None:
         self.order = order
-        self.interner = VertexInterner()
+        self.interner = VertexInterner() if interner is None else interner
         # Direct reference to the interner's vertex -> id dict (the dict
         # object is stable), skipping a property call on the query path.
         self._vids = self.interner.ids
@@ -239,17 +241,35 @@ class TOLLabeling:
         self.label_out = _SideView(self, self.out_ids)
         self.inv_in = _SideView(self, self.in_holders)
         self.inv_out = _SideView(self, self.out_holders)
-        # Bulk path: a fresh interner has no free ids, and a LevelOrder
-        # holds distinct vertices, so the whole order interns densely in
-        # one pass (ids == level ranks) — equivalent to, and much faster
-        # than, per-vertex _register calls.
-        count = self.interner.intern_dense(order)
-        self.in_ids.extend([array("i") for _ in range(count)])
-        self.out_ids.extend([array("i") for _ in range(count)])
-        self.in_holders.extend([set() for _ in range(count)])
-        self.out_holders.extend([set() for _ in range(count)])
-        self.in_sets.extend([None] * count)
-        self.out_sets.extend([None] * count)
+        if interner is None:
+            # Bulk path: a fresh interner has no free ids, and a LevelOrder
+            # holds distinct vertices, so the whole order interns densely in
+            # one pass (ids == level ranks) — equivalent to, and much faster
+            # than, per-vertex _register calls.
+            count = self.interner.intern_dense(order)
+            self.in_ids.extend([array("i") for _ in range(count)])
+            self.out_ids.extend([array("i") for _ in range(count)])
+            self.in_holders.extend([set() for _ in range(count)])
+            self.out_holders.extend([set() for _ in range(count)])
+            self.in_sets.extend([None] * count)
+            self.out_sets.extend([None] * count)
+        else:
+            # Adoption path (persistence): the caller hands a pre-built
+            # interner covering exactly the order's vertices, so a reload
+            # keeps the original id assignment including free-list holes.
+            if set(interner.ids) != set(order):
+                raise IndexStateError(
+                    "adopted interner does not cover the level order"
+                )
+            live = set(interner.ids.values())
+            for i in range(interner.capacity):
+                alive = i in live
+                self.in_ids.append(array("i") if alive else None)
+                self.out_ids.append(array("i") if alive else None)
+                self.in_holders.append(set() if alive else None)
+                self.out_holders.append(set() if alive else None)
+                self.in_sets.append(None)
+                self.out_sets.append(None)
 
     # ------------------------------------------------------------------
     # Vertex registry

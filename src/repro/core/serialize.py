@@ -38,18 +38,36 @@ import zlib
 from pathlib import Path
 from typing import Union
 
-from ..errors import IndexStateError
+from ..errors import IndexStateError, SerializationError
 from ..graph.digraph import DiGraph
 from .index import TOLIndex
+from .intern import VertexInterner
 from .labeling import TOLLabeling
 from .order import LevelOrder
 
-__all__ = ["save_index", "load_index", "index_to_dict", "index_from_dict"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "index_to_dict",
+    "index_from_dict",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 PathLike = Union[str, Path]
 
 _MAGIC = b"TOLX"
-_VERSION = 1
+#: Version 2 adds the interner id table (+ free list) so a round trip
+#: preserves id assignment, and a payload checksum on the JSON format.
+#: Version-1 artifacts still load (ids are then reassigned densely).
+_VERSION = 2
+_KNOWN_VERSIONS = (1, 2)
+
+#: Magic + version for service checkpoints (graph snapshot + metadata).
+_CKPT_MAGIC = b"TOLC"
+_CKPT_VERSION = 1
 
 
 # ----------------------------------------------------------------------
@@ -94,25 +112,58 @@ def index_to_dict(index: TOLIndex) -> dict:
             sorted(pos_of_id[u] for u in labeling.out_ids[intern_ids[v]])
             for v in order
         ],
+        # v2: exact interner state, so reload preserves id assignment
+        # (and therefore future id allocation) instead of renumbering.
+        "intern_ids": [intern_ids[v] for v in order],
+        "free_ids": list(labeling.interner.free_ids),
     }
 
 
 def index_from_dict(payload: dict) -> TOLIndex:
-    """Rebuild a :class:`TOLIndex` from :func:`index_to_dict` output."""
-    if payload.get("format") != "tol-index":
-        raise IndexStateError("payload is not a serialized TOL index")
-    if payload.get("version") != _VERSION:
-        raise IndexStateError(
+    """Rebuild a :class:`TOLIndex` from :func:`index_to_dict` output.
+
+    Raises
+    ------
+    SerializationError
+        On a malformed payload (missing fields, bad references,
+        inconsistent interner table) — never a bare ``KeyError`` or
+        ``IndexError`` from mid-parse.
+    """
+    if not isinstance(payload, dict) or payload.get("format") != "tol-index":
+        raise SerializationError("payload is not a serialized TOL index")
+    if payload.get("version") not in _KNOWN_VERSIONS:
+        raise SerializationError(
             f"unsupported index format version {payload.get('version')!r}"
         )
+    try:
+        return _index_from_dict_checked(payload)
+    except SerializationError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"serialized index payload is malformed: {exc!r}"
+        ) from None
+
+
+def _index_from_dict_checked(payload: dict) -> TOLIndex:
     raw_vertices = payload["vertices"]
     # JSON round-trips tuples as lists; make them hashable again.
     vertices = [_hashable(v) for v in raw_vertices]
     if len(set(vertices)) != len(vertices):
-        raise IndexStateError("serialized vertex table contains duplicates")
+        raise SerializationError("serialized vertex table contains duplicates")
 
     order = LevelOrder(vertices)
-    labeling = TOLLabeling(order)
+    interner = None
+    if payload.get("intern_ids") is not None:
+        intern_ids = payload["intern_ids"]
+        if len(intern_ids) != len(vertices):
+            raise SerializationError(
+                "intern id table does not match the vertex table"
+            )
+        interner = VertexInterner.restore(
+            dict(zip(vertices, intern_ids)), payload.get("free_ids", ())
+        )
+    labeling = TOLLabeling(order, interner=interner)
     for i, ids in enumerate(payload["labels_in"]):
         v = vertices[i]
         for u in ids:
@@ -153,7 +204,7 @@ def _read_uvarint(buf: io.BytesIO) -> int:
     while True:
         raw = buf.read(1)
         if not raw:
-            raise IndexStateError("truncated index file")
+            raise SerializationError("truncated index file")
         byte = raw[0]
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
@@ -196,6 +247,13 @@ def _encode_binary(payload: dict) -> bytes:
     for key in ("labels_in", "labels_out"):
         for ids in payload[key]:
             _write_id_list(body, ids)
+    # v2: exact interner state (ids per order position, then the free list
+    # — the latter is *not* sorted, its LIFO order is part of the state).
+    for i in payload["intern_ids"]:
+        _write_uvarint(body, i)
+    _write_uvarint(body, len(payload["free_ids"]))
+    for i in payload["free_ids"]:
+        _write_uvarint(body, i)
 
     raw = body.getvalue()
     compressed = zlib.compress(raw, level=6)
@@ -207,26 +265,45 @@ def _encode_binary(payload: dict) -> bytes:
 
 def _decode_binary(blob: bytes) -> dict:
     if blob[:4] != _MAGIC:
-        raise IndexStateError("not a TOL index file (bad magic)")
+        raise SerializationError("not a TOL index file (bad magic)")
+    if len(blob) < 14:
+        raise SerializationError("truncated index file (incomplete header)")
     version, raw_len, checksum = struct.unpack("<HII", blob[4:14])
-    if version != _VERSION:
-        raise IndexStateError(f"unsupported index format version {version}")
-    raw = zlib.decompress(blob[14:])
+    if version not in _KNOWN_VERSIONS:
+        raise SerializationError(
+            f"unsupported index format version {version}"
+        )
+    try:
+        raw = zlib.decompress(blob[14:])
+    except zlib.error as exc:
+        raise SerializationError(
+            f"index file is corrupt (bad compressed payload: {exc})"
+        ) from None
     if len(raw) != raw_len or zlib.crc32(raw) != checksum:
-        raise IndexStateError("index file is corrupt (checksum mismatch)")
+        raise SerializationError("index file is corrupt (checksum mismatch)")
 
     buf = io.BytesIO(raw)
-    num_vertices = _read_uvarint(buf)
-    blob_len = _read_uvarint(buf)
-    vertices = json.loads(buf.read(blob_len).decode("utf-8"))
-    if len(vertices) != num_vertices:
-        raise IndexStateError("index file is corrupt (vertex count)")
-    num_edges = _read_uvarint(buf)
-    edges = [
-        (_read_uvarint(buf), _read_uvarint(buf)) for _ in range(num_edges)
-    ]
-    labels_in = [_read_id_list(buf) for _ in range(num_vertices)]
-    labels_out = [_read_id_list(buf) for _ in range(num_vertices)]
+    try:
+        num_vertices = _read_uvarint(buf)
+        blob_len = _read_uvarint(buf)
+        vertices = json.loads(buf.read(blob_len).decode("utf-8"))
+        if len(vertices) != num_vertices:
+            raise SerializationError("index file is corrupt (vertex count)")
+        num_edges = _read_uvarint(buf)
+        edges = [
+            (_read_uvarint(buf), _read_uvarint(buf)) for _ in range(num_edges)
+        ]
+        labels_in = [_read_id_list(buf) for _ in range(num_vertices)]
+        labels_out = [_read_id_list(buf) for _ in range(num_vertices)]
+        intern_ids = None
+        free_ids: list[int] = []
+        if version >= 2:
+            intern_ids = [_read_uvarint(buf) for _ in range(num_vertices)]
+            free_ids = [_read_uvarint(buf) for _ in range(_read_uvarint(buf))]
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"index file is corrupt (bad vertex table: {exc})"
+        ) from None
     return {
         "format": "tol-index",
         "version": version,
@@ -234,6 +311,8 @@ def _decode_binary(blob: bytes) -> dict:
         "edges": edges,
         "labels_in": labels_in,
         "labels_out": labels_out,
+        "intern_ids": intern_ids,
+        "free_ids": free_ids,
     }
 
 
@@ -241,11 +320,21 @@ def _decode_binary(blob: bytes) -> dict:
 # Public file API
 # ----------------------------------------------------------------------
 
+def _payload_crc(payload: dict) -> int:
+    """CRC32 over the canonical JSON of *payload* minus the crc field."""
+    body = {k: v for k, v in sorted(payload.items()) if k != "crc32"}
+    return zlib.crc32(
+        json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    )
+
+
 def save_index(index: TOLIndex, path: PathLike, *, format: str = "auto") -> None:
     """Write *index* to *path*.
 
     ``format="auto"`` picks JSON for ``.json`` paths and the binary
-    format otherwise; ``"json"`` / ``"binary"`` force a format.
+    format otherwise; ``"json"`` / ``"binary"`` force a format.  Both
+    formats carry a format version and a payload checksum, verified on
+    load.
     """
     path = Path(path)
     fmt = format
@@ -253,6 +342,7 @@ def save_index(index: TOLIndex, path: PathLike, *, format: str = "auto") -> None
         fmt = "json" if path.suffix == ".json" else "binary"
     payload = index_to_dict(index)
     if fmt == "json":
+        payload["crc32"] = _payload_crc(payload)
         path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
     elif fmt == "binary":
         path.write_bytes(_encode_binary(payload))
@@ -261,7 +351,13 @@ def save_index(index: TOLIndex, path: PathLike, *, format: str = "auto") -> None
 
 
 def load_index(path: PathLike) -> TOLIndex:
-    """Load an index written by :func:`save_index` (format auto-detected)."""
+    """Load an index written by :func:`save_index` (format auto-detected).
+
+    Raises
+    ------
+    SerializationError
+        On truncated, corrupt or checksum-failing input.
+    """
     path = Path(path)
     blob = path.read_bytes()
     if blob[:4] == _MAGIC:
@@ -270,7 +366,110 @@ def load_index(path: PathLike) -> TOLIndex:
         try:
             payload = json.loads(blob.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
-            raise IndexStateError(
+            raise SerializationError(
                 f"{path} is neither a binary nor a JSON TOL index"
             ) from None
+        if isinstance(payload, dict) and "crc32" in payload:
+            if payload["crc32"] != _payload_crc(payload):
+                raise SerializationError(
+                    f"{path} is corrupt (payload checksum mismatch)"
+                )
     return index_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Graph snapshots and service checkpoints
+# ----------------------------------------------------------------------
+
+def graph_to_dict(graph: DiGraph) -> dict:
+    """JSON-serializable snapshot of a (possibly cyclic) directed graph."""
+    vertices = list(graph.vertices())
+    position = {v: i for i, v in enumerate(vertices)}
+    try:
+        vertex_table = [json.loads(json.dumps(v)) for v in vertices]
+    except (TypeError, ValueError) as exc:
+        raise IndexStateError(
+            f"vertices are not JSON-serializable: {exc}"
+        ) from None
+    return {
+        "vertices": vertex_table,
+        "edges": sorted((position[t], position[h]) for t, h in graph.edges()),
+    }
+
+
+def graph_from_dict(payload: dict) -> DiGraph:
+    """Rebuild a :class:`DiGraph` from :func:`graph_to_dict` output."""
+    try:
+        vertices = [_hashable(v) for v in payload["vertices"]]
+        if len(set(vertices)) != len(vertices):
+            raise SerializationError(
+                "serialized graph vertex table contains duplicates"
+            )
+        graph = DiGraph(vertices=vertices)
+        for tail, head in payload["edges"]:
+            graph.add_edge(vertices[tail], vertices[head])
+    except SerializationError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"serialized graph payload is malformed: {exc!r}"
+        ) from None
+    return graph
+
+
+def save_checkpoint(path: PathLike, graph: DiGraph, meta: dict) -> None:
+    """Write a service checkpoint: a graph snapshot plus JSON metadata.
+
+    The artifact is the durable half of the serving layer's recovery
+    story (:mod:`repro.service.durability`): *meta* records at least the
+    WAL sequence number the snapshot covers, and the header carries a
+    format version and a CRC32 over the compressed payload so
+    :func:`load_checkpoint` can reject torn or bit-flipped files.
+    """
+    body = {"meta": dict(meta), "graph": graph_to_dict(graph)}
+    raw = json.dumps(body, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    header = _CKPT_MAGIC + struct.pack(
+        "<HII", _CKPT_VERSION, len(raw), zlib.crc32(raw)
+    )
+    Path(path).write_bytes(header + zlib.compress(raw, level=6))
+
+
+def load_checkpoint(path: PathLike) -> tuple[DiGraph, dict]:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``(graph, meta)``.
+
+    Raises
+    ------
+    SerializationError
+        On bad magic, an unsupported version, truncation, or a checksum
+        mismatch — the recovery path relies on this to fall back to an
+        older checkpoint.
+    """
+    blob = Path(path).read_bytes()
+    if blob[:4] != _CKPT_MAGIC:
+        raise SerializationError(f"{path} is not a TOL checkpoint (bad magic)")
+    if len(blob) < 14:
+        raise SerializationError(f"{path} is truncated (incomplete header)")
+    version, raw_len, checksum = struct.unpack("<HII", blob[4:14])
+    if version != _CKPT_VERSION:
+        raise SerializationError(
+            f"unsupported checkpoint format version {version}"
+        )
+    try:
+        raw = zlib.decompress(blob[14:])
+    except zlib.error as exc:
+        raise SerializationError(f"{path} is corrupt ({exc})") from None
+    if len(raw) != raw_len or zlib.crc32(raw) != checksum:
+        raise SerializationError(f"{path} is corrupt (checksum mismatch)")
+    try:
+        body = json.loads(raw.decode("utf-8"))
+        meta = dict(body["meta"])
+        graph = graph_from_dict(body["graph"])
+    except SerializationError:
+        raise
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SerializationError(
+            f"{path} checkpoint body is malformed: {exc!r}"
+        ) from None
+    return graph, meta

@@ -16,6 +16,7 @@ __all__ = [
     "EdgeExistsError",
     "NotADagError",
     "IndexStateError",
+    "SerializationError",
     "UnknownVertexError",
     "OrderError",
     "DatasetError",
@@ -81,6 +82,17 @@ class IndexStateError(ReproError):
     Raised, for example, when querying an index for a vertex it does not
     cover, or when updating an index whose underlying graph has been mutated
     behind its back.
+    """
+
+
+class SerializationError(IndexStateError):
+    """A persisted artifact (index, checkpoint, WAL) failed to decode.
+
+    Raised on truncated input, checksum mismatches, bad magic bytes and
+    unsupported format versions — instead of letting a bare
+    :class:`struct.error` / :class:`KeyError` escape mid-parse.  Derives
+    from :class:`IndexStateError` so pre-existing broad handlers keep
+    working.
     """
 
 

@@ -18,17 +18,40 @@ Dynamic Graphs"):
   unified :class:`~repro.obs.registry.MetricRegistry` (instrument
   classes live in :mod:`repro.obs`), behind a single ``snapshot()``
   dict;
+* :mod:`repro.service.durability` — crash safety: a CRC-checksummed
+  write-ahead log with torn-tail truncation, atomic checkpoints over
+  :mod:`repro.core.serialize`, and the checkpoint-plus-WAL-suffix
+  recovery path;
+* :mod:`repro.service.faults` — deterministic fault injection (named
+  crash points) and the retry/quarantine
+  :class:`~repro.service.faults.FaultPolicy` for poison updates;
 * :mod:`repro.service.server` — :class:`ReachabilityService`, the facade
-  tying the four together around a
-  :class:`~repro.core.index.ReachabilityIndex`.
+  tying them together around a
+  :class:`~repro.core.index.ReachabilityIndex`, including degraded-mode
+  BFS serving and the sampled Definition-1 self-audit.
 
 See ``docs/service.md`` for the lock discipline and invalidation rules,
+``docs/robustness.md`` for the crash-safety story,
 ``python -m repro serve-replay`` for a runnable multi-threaded driver,
 and ``benchmarks/bench_service_mixed.py`` for throughput measurements.
 """
 
 from .cache import EpochLRUCache
 from .concurrency import EpochCounter, RWLock
+from .durability import (
+    CheckpointStore,
+    DurabilityManager,
+    RecoveryReport,
+    WriteAheadLog,
+    recover_state,
+)
+from .faults import (
+    CRASH_POINTS,
+    FaultInjector,
+    FaultPolicy,
+    InjectedCrash,
+    QuarantinedUpdate,
+)
 from .metrics import LatencyHistogram, ServiceMetrics
 from .server import ReachabilityService
 from .updates import CoalescingUpdateQueue, UpdateOp
@@ -42,4 +65,14 @@ __all__ = [
     "UpdateOp",
     "ServiceMetrics",
     "LatencyHistogram",
+    "WriteAheadLog",
+    "CheckpointStore",
+    "DurabilityManager",
+    "RecoveryReport",
+    "recover_state",
+    "FaultInjector",
+    "FaultPolicy",
+    "InjectedCrash",
+    "QuarantinedUpdate",
+    "CRASH_POINTS",
 ]

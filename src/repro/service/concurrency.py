@@ -20,7 +20,9 @@ Two small pieces, both deliberately boring:
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+from typing import Optional
 
 __all__ = ["RWLock", "EpochCounter"]
 
@@ -55,12 +57,29 @@ class RWLock:
     # Reader side
     # ------------------------------------------------------------------
 
-    def acquire_read(self) -> None:
-        """Block until no writer is active or waiting, then enter."""
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        """Enter the read side; return ``True`` on success.
+
+        With ``timeout=None`` (the default) this blocks until no writer
+        is active or waiting and always returns ``True``.  With a
+        timeout in seconds it gives up after the deadline and returns
+        ``False`` *without* holding the lock — the serving layer's
+        per-query deadline, which falls back to degraded-mode BFS
+        instead of stalling behind a long writer (e.g. a rebuild).
+        """
         with self._cond:
-            while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+            if timeout is None:
+                while self._writer_active or self._writers_waiting:
+                    self._cond.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while self._writer_active or self._writers_waiting:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
             self._active_readers += 1
+            return True
 
     def release_read(self) -> None:
         """Leave the read side; wake writers when the last reader exits."""

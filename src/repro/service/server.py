@@ -25,21 +25,64 @@ Because cached answers are epoch-stamped and every write bumps the epoch,
 a query can never return an answer computed against a different graph
 version than the one it reports — the invariant the stress test
 (``tests/service/test_concurrency.py``) checks against a BFS oracle.
+
+Robustness (see ``docs/robustness.md``)
+---------------------------------------
+
+The service additionally keeps a **mirror**: a plain
+:class:`~repro.graph.digraph.DiGraph` copy of the served graph, updated
+under its own small ``_mirror_lock`` (nested inside the write lock, with
+the epoch bump inside the mirror lock so mirror state and epoch move
+together).  The mirror powers three things:
+
+* **degraded mode** — when :attr:`degraded` is set (a failed self-audit,
+  an operator call, or mid-recovery), queries are answered by
+  bidirectional BFS over the mirror instead of the index: slower but
+  correct by Definition 1, and never blocked behind the write lock;
+* **per-query deadlines** — with ``query_deadline`` set, a query that
+  cannot take the read lock in time falls back to the same BFS path
+  rather than stalling behind a long writer (counted in
+  ``degraded_queries``);
+* **checkpoints and self-audit** — the mirror is the state that
+  checkpoints snapshot, and the reference the sampled Definition-1
+  audit compares index answers against.
+
+Durability is optional: pass a
+:class:`~repro.service.durability.DurabilityManager` and every drained
+batch is appended to its write-ahead log (and synced, per its fsync
+policy) *before* any op touches the index, with periodic checkpoints
+covering the WAL prefix.  :meth:`ReachabilityService.recover` rebuilds a
+service from that directory after a crash.  Failing ops are governed by
+a :class:`~repro.service.faults.FaultPolicy`: deterministic rejections
+(:class:`~repro.errors.ReproError`) are counted and skipped as before;
+anything else is retried with backoff and then quarantined, so a poison
+update never wedges the writer or blocks readers.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from collections.abc import Hashable, Iterable
+from pathlib import Path
+from random import Random
 from typing import Optional, Union
 
 from ..core.index import ReachabilityIndex
-from ..errors import ReproError
+from ..errors import ReproError, UnknownVertexError
 from ..graph.digraph import DiGraph
+from ..graph.traversal import bidirectional_reachable
 from ..obs.registry import MetricRegistry
 from .cache import MISS, EpochLRUCache
 from .concurrency import EpochCounter, RWLock
+from .durability import DurabilityManager, RecoveryReport, recover_state
+from .faults import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPolicy,
+    QuarantinedUpdate,
+)
 from .metrics import ServiceMetrics
 from .updates import CoalescingUpdateQueue, UpdateOp
 
@@ -80,6 +123,24 @@ class ReachabilityService:
         Point :func:`repro.obs.trace.enable` at the same registry
         (:attr:`registry`) and one snapshot additionally carries the
         core-algorithm spans — cache hit-rate through label churn.
+    durability:
+        A :class:`~repro.service.durability.DurabilityManager`; when set,
+        every drained batch is WAL-logged before it is applied and
+        checkpoints are taken per the manager's cadence.
+    fault_policy:
+        Retry/quarantine policy for non-deterministic op failures
+        (default :class:`~repro.service.faults.FaultPolicy`).
+    injector:
+        Fault injector whose named crash points the apply loop fires
+        (default: the shared no-op injector).
+    query_deadline:
+        Seconds a query may wait for the read lock before answering from
+        the mirror in degraded mode (``None`` = wait forever).
+    audit_interval:
+        Run a sampled Definition-1 self-audit every this many flushed
+        batches (0 = only when :meth:`self_audit` is called explicitly).
+    audit_samples:
+        Vertex pairs checked per audit.
 
     Examples
     --------
@@ -104,6 +165,12 @@ class ReachabilityService:
         order: Union[str, object] = "butterfly-u",
         record_applied: bool = False,
         registry: Optional[MetricRegistry] = None,
+        durability: Optional[DurabilityManager] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        injector: FaultInjector = NULL_INJECTOR,
+        query_deadline: Optional[float] = None,
+        audit_interval: int = 0,
+        audit_samples: int = 16,
     ) -> None:
         if index is not None and graph is not None:
             raise ValueError("pass either graph or index, not both")
@@ -111,31 +178,136 @@ class ReachabilityService:
             raise ValueError(
                 f"flush_threshold must be >= 1, got {flush_threshold}"
             )
+        if query_deadline is not None and query_deadline <= 0:
+            raise ValueError(
+                f"query_deadline must be positive, got {query_deadline}"
+            )
+        if audit_interval < 0:
+            raise ValueError(
+                f"audit_interval must be >= 0, got {audit_interval}"
+            )
         self._index = (
             index
             if index is not None
             else ReachabilityIndex(graph, order=order)
         )
+        self._order = order
         self._rwlock = RWLock()
         self._epoch = EpochCounter()
         self._cache = EpochLRUCache(cache_size)
         self._queue = CoalescingUpdateQueue()
         self._flush_threshold = flush_threshold
         self._flush_mutex = threading.Lock()
+        self._flushes = 0
         self._metrics = ServiceMetrics(registry)
         self._cache.bind_registry(self._metrics.registry)
-        self._metrics.registry.register_callback(
-            "service.epoch", lambda: self._epoch.value
+
+        # Robustness state: mirror graph, degraded flag, fault handling.
+        self._mirror = self._index.condensation.graph.copy()
+        self._mirror_lock = threading.Lock()
+        self._degraded = threading.Event()
+        self._policy = fault_policy if fault_policy is not None else FaultPolicy()
+        self._injector = injector
+        self._query_deadline = query_deadline
+        self._audit_interval = audit_interval
+        self._audit_samples = audit_samples
+        self._quarantined: deque[QuarantinedUpdate] = deque(
+            maxlen=self._policy.max_quarantined
         )
-        self._metrics.registry.register_callback(
-            "index.size", lambda: self.size()
+        self._durability = durability
+        self._last_recovery: Optional[RecoveryReport] = None
+
+        reg = self._metrics.registry
+        if durability is not None:
+            durability.bind_registry(reg)
+            # A fresh durability directory under a non-empty starting
+            # graph needs a baseline checkpoint: the WAL only carries
+            # *updates*, so without one, recovery would replay onto an
+            # empty graph and silently lose the base state.
+            if (
+                durability.wal.last_seq == 0
+                and durability.checkpointed_seq == 0
+                and not durability.checkpoints.paths()
+                and self._mirror.num_vertices
+            ):
+                durability.checkpoint(
+                    self._mirror.copy(), {"wal_seq": 0, "epoch": 0}
+                )
+        # Pre-create the robustness counters so they are visible (at 0)
+        # in `repro metrics` before anything goes wrong.
+        for name in (
+            "degraded.queries",
+            "updates.quarantined",
+            "recovery.replayed_records",
+            "wal.records_appended",
+            "wal.fsyncs",
+        ):
+            reg.counter(name)
+        reg.register_callback(
+            "service.degraded", lambda: int(self._degraded.is_set())
         )
-        self._metrics.registry.register_callback(
-            "index.num_vertices", lambda: self.num_vertices
+        reg.register_callback(
+            "service.quarantine_depth", lambda: len(self._quarantined)
+        )
+        reg.register_callback("service.epoch", lambda: self._epoch.value)
+        # Gauge callbacks run inside registry.snapshot(), i.e. on the
+        # metrics-scrape path — they must never park behind a stuck or
+        # long-running writer (scraping is how you *notice* a stuck
+        # writer).  Vertex count comes from the mirror; the label count
+        # try-locks and falls back to the last value it managed to read.
+        self._size_gauge = self._index.size()
+        reg.register_callback("index.size", self._gauge_size)
+        reg.register_callback(
+            "index.num_vertices", self._gauge_num_vertices
         )
         self._applied: Optional[list[tuple[int, UpdateOp]]] = (
             [] if record_applied else None
         )
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        *,
+        fsync: str = "batch",
+        checkpoint_every: int = 256,
+        keep_checkpoints: int = 2,
+        injector: FaultInjector = NULL_INJECTOR,
+        **service_kwargs,
+    ) -> "ReachabilityService":
+        """Rebuild a service from a durability directory after a crash.
+
+        Loads the newest valid checkpoint, replays the WAL suffix onto
+        it (:func:`~repro.service.durability.recover_state`), rebuilds
+        the index from the recovered graph, and returns a service wired
+        to the same directory so logging continues where it left off.
+        The report is kept on :attr:`last_recovery`, and the number of
+        replayed records lands in the ``recovery_replayed_records``
+        counter.
+        """
+        report = recover_state(directory, fsync=fsync, injector=injector)
+        durability = DurabilityManager(
+            directory,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            keep_checkpoints=keep_checkpoints,
+            injector=injector,
+        )
+        service = cls(
+            report.graph,
+            durability=durability,
+            injector=injector,
+            **service_kwargs,
+        )
+        service._last_recovery = report
+        service._metrics.registry.incr(
+            "recovery.replayed_records", report.replayed
+        )
+        return service
 
     # ------------------------------------------------------------------
     # Read path
@@ -150,12 +322,22 @@ class ReachabilityService:
 
         The epoch is read under the same read-lock hold that computes (or
         fetches) the answer, so the pair is consistent even while a writer
-        is waiting.
+        is waiting.  In degraded mode — or when ``query_deadline`` expires
+        before the read lock is free — the answer comes from bidirectional
+        BFS over the mirror instead, under the mirror lock, with the same
+        (answer, epoch) consistency.
         """
         start = time.perf_counter()
-        with self._rwlock.read_locked():
-            epoch = self._epoch.value
-            answer = self._answer_locked(s, t, epoch)
+        if self._degraded.is_set():
+            answer, epoch = self._answer_degraded(s, t)
+        elif not self._rwlock.acquire_read(timeout=self._query_deadline):
+            answer, epoch = self._answer_degraded(s, t)
+        else:
+            try:
+                epoch = self._epoch.value
+                answer = self._answer_locked(s, t, epoch)
+            finally:
+                self._rwlock.release_read()
         self._metrics.query_latency.record(time.perf_counter() - start)
         self._metrics.incr("queries")
         return answer, epoch
@@ -178,6 +360,9 @@ class ReachabilityService:
             return self._index.witness(s, t)
 
     def __contains__(self, v: Vertex) -> bool:
+        if self._degraded.is_set():
+            with self._mirror_lock:
+                return self._mirror.has_vertex(v)
         with self._rwlock.read_locked():
             return v in self._index
 
@@ -186,15 +371,29 @@ class ReachabilityService:
 
         Duplicate pairs are answered once; results come back in input
         order.  This is the high-throughput entry point: one lock
-        round-trip and one epoch read for the whole batch.
+        round-trip and one epoch read for the whole batch.  Degraded
+        mode and deadline expiry fall back to the mirror, one mirror-lock
+        hold for the whole batch.
         """
         pairs = list(pairs)
         unique: dict[Pair, bool] = dict.fromkeys(pairs)  # insertion-ordered
         start = time.perf_counter()
-        with self._rwlock.read_locked():
-            epoch = self._epoch.value
-            for pair in unique:
-                unique[pair] = self._answer_locked(pair[0], pair[1], epoch)
+        if self._degraded.is_set() or not self._rwlock.acquire_read(
+            timeout=self._query_deadline
+        ):
+            with self._mirror_lock:
+                for pair in unique:
+                    unique[pair] = bidirectional_reachable(
+                        self._mirror, pair[0], pair[1]
+                    )
+            self._metrics.registry.incr("degraded.queries", len(pairs))
+        else:
+            try:
+                epoch = self._epoch.value
+                for pair in unique:
+                    unique[pair] = self._answer_locked(pair[0], pair[1], epoch)
+            finally:
+                self._rwlock.release_read()
         self._metrics.query_latency.record(time.perf_counter() - start)
         self._metrics.incr("queries", len(pairs))
         self._metrics.incr("batch_calls")
@@ -211,15 +410,66 @@ class ReachabilityService:
         self._cache.put(key, epoch, answer)
         return answer
 
+    def _answer_degraded(self, s: Vertex, t: Vertex) -> tuple[bool, int]:
+        """BFS over the mirror — correct by Definition 1, index-free.
+
+        Runs under the mirror lock, where the writer also bumps the
+        epoch, so the (answer, epoch) pair stays consistent.  Answers
+        are not cached (they would poison the cache for the epoch).
+        """
+        with self._mirror_lock:
+            epoch = self._epoch.value
+            answer = bidirectional_reachable(self._mirror, s, t)
+        self._metrics.registry.incr("degraded.queries")
+        return answer, epoch
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
 
-    def submit_update(self, op: UpdateOp) -> None:
-        """Queue one mutation; flush if the threshold is reached."""
+    def submit_update(self, op: UpdateOp, *, validate: bool = True) -> None:
+        """Queue one mutation; flush if the threshold is reached.
+
+        With ``validate=True`` (the default), an op referencing a vertex
+        that neither exists nor is pending insertion is rejected *here*
+        with :class:`~repro.errors.UnknownVertexError`, before it ever
+        enters the queue — the caller gets the error on the submitting
+        thread instead of a silent apply-time rejection counted in a
+        metric.  Apply-time rejection still backstops races (a vertex
+        deleted by another writer between validation and apply).
+        """
+        if validate:
+            self._validate_refs(op)
         self._queue.submit(op)
         if len(self._queue) >= self._flush_threshold:
             self.flush()
+
+    def _validate_refs(self, op: UpdateOp) -> None:
+        """Raise :class:`UnknownVertexError` for dangling references.
+
+        The membership view is the mirror (all applied ops) adjusted by
+        the pending queue in submission order, so a queued-but-unapplied
+        ``addv`` already satisfies references and a queued ``delv``
+        already invalidates them.
+        """
+        refs = op.referenced_vertices()
+        if not refs:
+            return
+        added: set[Vertex] = set()
+        removed: set[Vertex] = set()
+        for pending in self._queue.pending_ops():
+            if pending.kind == "addv":
+                added.add(pending.vertex)
+                removed.discard(pending.vertex)
+            elif pending.kind == "delv":
+                removed.add(pending.vertex)
+                added.discard(pending.vertex)
+        with self._mirror_lock:
+            for v in refs:
+                if v in removed or (
+                    v not in added and not self._mirror.has_vertex(v)
+                ):
+                    raise UnknownVertexError(v)
 
     def insert_vertex(
         self,
@@ -245,33 +495,140 @@ class ReachabilityService:
     def flush(self) -> int:
         """Drain the queue and apply the batch; return ops applied.
 
-        Invalid operations (e.g. deleting a vertex that never existed)
-        are rejected individually — counted in the ``updates_rejected``
-        metric, without bumping the epoch or aborting the rest of the
-        batch.
+        The full sequence, per batch: WAL-log every op (when durability
+        is configured) and sync once; apply under the write lock with
+        per-op retry/quarantine; mirror each success and bump the epoch
+        under the mirror lock; then maybe checkpoint.  Invalid
+        operations (:class:`ReproError` — e.g. deleting a vertex that
+        never existed) are rejected individually and counted in
+        ``updates_rejected``; non-deterministic failures are retried per
+        the :class:`~repro.service.faults.FaultPolicy` and quarantined
+        on exhaustion (``updates_quarantined``) — either way the rest of
+        the batch proceeds and readers never wait on a poison op.
         """
         with self._flush_mutex:
             batch = self._queue.drain()
             if not batch:
                 return 0
+            if self._durability is not None:
+                batch = self._log_batch(batch)
+                if not batch:
+                    return 0
             applied = 0
             start = time.perf_counter()
             with self._rwlock.write_locked():
                 for op in batch:
-                    try:
-                        op.apply(self._index)
-                    except ReproError:
-                        self._metrics.incr("updates_rejected")
+                    epoch = self._apply_one(op)
+                    if epoch is None:
                         continue
-                    epoch = self._epoch.bump()
                     if self._applied is not None:
                         self._applied.append((epoch, op))
                     applied += 1
             elapsed = time.perf_counter() - start
+            if self._durability is not None and applied:
+                self._maybe_checkpoint()
+            self._flushes += 1
+            flushes = self._flushes
         self._metrics.batch_apply_latency.record(elapsed)
         self._metrics.batch_size.record(len(batch))
         self._metrics.incr("updates_applied", applied)
+        if self._audit_interval and flushes % self._audit_interval == 0:
+            self.self_audit(self._audit_samples)
         return applied
+
+    def _apply_one(self, op: UpdateOp) -> Optional[int]:
+        """Apply one op under the write lock; return its epoch or ``None``.
+
+        ``None`` means the op took no effect: a deterministic rejection
+        (counted) or quarantine after the policy's retries ran out.
+        """
+        attempts = 0
+        while True:
+            try:
+                self._injector.fire("service.apply")
+                op.apply(self._index)
+            except ReproError:
+                self._metrics.incr("updates_rejected")
+                return None
+            except Exception as exc:  # noqa: BLE001 - the quarantine boundary
+                attempts += 1
+                if attempts > self._policy.max_retries:
+                    self._quarantine(op, exc, attempts)
+                    return None
+                # Backoff while holding the write lock: releasing it
+                # mid-batch would expose a half-applied batch, so the
+                # policy keeps these waits in the low milliseconds.
+                time.sleep(self._policy.backoff_base * (2 ** (attempts - 1)))
+                continue
+            with self._mirror_lock:
+                op.apply_to_graph(self._mirror)
+                return self._epoch.bump()
+
+    def _log_batch(self, batch: list[UpdateOp]) -> list[UpdateOp]:
+        """WAL-append the batch (with retry/quarantine) and sync once.
+
+        Returns the ops that were durably logged; an op whose append
+        keeps failing is quarantined *before* apply, so the in-memory
+        state never runs ahead of the log.
+        """
+        wal = self._durability.wal
+        survivors: list[UpdateOp] = []
+        for op in batch:
+            attempts = 0
+            while True:
+                try:
+                    wal.append(op)
+                except OSError as exc:
+                    attempts += 1
+                    if attempts > self._policy.max_retries:
+                        self._quarantine(op, exc, attempts)
+                        break
+                    time.sleep(
+                        self._policy.backoff_base * (2 ** (attempts - 1))
+                    )
+                    continue
+                survivors.append(op)
+                break
+        try:
+            wal.sync()
+        except OSError:
+            # Records are flushed (process-crash durable) but not synced;
+            # keep serving rather than losing the drained batch.
+            self._metrics.registry.incr("wal.sync_errors")
+        return survivors
+
+    def _quarantine(self, op: UpdateOp, exc: Exception, attempts: int) -> None:
+        self._quarantined.append(
+            QuarantinedUpdate(op=op, error=repr(exc), attempts=attempts)
+        )
+        self._metrics.registry.incr("updates.quarantined")
+
+    def _maybe_checkpoint(self) -> None:
+        """Hand the manager a mirror snapshot; called under the flush mutex."""
+        with self._mirror_lock:
+            snapshot = self._mirror.copy()
+            meta = {
+                "wal_seq": self._durability.wal.last_seq,
+                "epoch": self._epoch.value,
+            }
+        try:
+            self._durability.maybe_checkpoint(snapshot, meta)
+        except OSError:
+            self._metrics.registry.incr("checkpoint.errors")
+
+    def checkpoint(self) -> Path:
+        """Flush, then force a checkpoint covering the current WAL position."""
+        if self._durability is None:
+            raise ValueError("service has no durability manager")
+        self.flush()
+        with self._flush_mutex:
+            with self._mirror_lock:
+                snapshot = self._mirror.copy()
+                meta = {
+                    "wal_seq": self._durability.wal.last_seq,
+                    "epoch": self._epoch.value,
+                }
+            return self._durability.checkpoint(snapshot, meta)
 
     def reduce_labels(self, *, max_rounds: int = 1):
         """Flush pending updates, then run Section-6 label reduction.
@@ -282,9 +639,90 @@ class ReachabilityService:
         self.flush()
         with self._flush_mutex, self._rwlock.write_locked():
             report = self._index.reduce_labels(max_rounds=max_rounds)
-            self._epoch.bump()
+            with self._mirror_lock:
+                self._epoch.bump()
             self._metrics.incr("reductions")
         return report
+
+    # ------------------------------------------------------------------
+    # Degraded mode, audit, rebuild
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether queries are currently served from the mirror BFS path."""
+        return self._degraded.is_set()
+
+    def enter_degraded(self) -> None:
+        """Route queries through the mirror until :meth:`exit_degraded`.
+
+        Operators (and :meth:`self_audit`) flip this when the index is
+        suspect or a long write-side operation is in flight; readers
+        keep getting correct answers, just without the index speedup.
+        """
+        self._degraded.set()
+
+    def exit_degraded(self) -> None:
+        """Resume serving from the index."""
+        self._degraded.clear()
+
+    def self_audit(self, samples: Optional[int] = None, *, seed: int = 0) -> bool:
+        """Sampled Definition-1 audit: does the index agree with BFS?
+
+        Draws vertex pairs from the mirror and compares the index's
+        answer with bidirectional BFS over the mirror — the definition
+        the index is supposed to encode.  Any disagreement flips the
+        service into degraded mode (readers instantly fall back to the
+        correct path) and returns ``False``; call :meth:`rebuild_index`
+        to repair and resume.  Runs under the flush mutex so no writer
+        moves the state between the two reads.
+        """
+        samples = self._audit_samples if samples is None else samples
+        rng = Random(seed)
+        with self._flush_mutex:
+            with self._mirror_lock:
+                vertices = list(self._mirror.vertices())
+            if len(vertices) < 2:
+                self._metrics.registry.incr("service.audits")
+                return True
+            for _ in range(samples):
+                s = rng.choice(vertices)
+                t = rng.choice(vertices)
+                with self._rwlock.read_locked():
+                    try:
+                        got = self._index.query(s, t)
+                    except ReproError:
+                        got = None
+                with self._mirror_lock:
+                    try:
+                        want = bidirectional_reachable(self._mirror, s, t)
+                    except ReproError:
+                        want = None
+                if got != want:
+                    self._degraded.set()
+                    self._metrics.registry.incr("service.audit_failures")
+                    return False
+        self._metrics.registry.incr("service.audits")
+        return True
+
+    def rebuild_index(self) -> int:
+        """Rebuild the index from the mirror and leave degraded mode.
+
+        The rebuild happens off the write lock (readers keep going —
+        degraded readers on the mirror, healthy ones on the old index);
+        only the final swap takes it.  Returns the post-swap epoch.
+        """
+        with self._flush_mutex:
+            with self._mirror_lock:
+                snapshot = self._mirror.copy()
+            new_index = ReachabilityIndex(snapshot, order=self._order)
+            with self._rwlock.write_locked():
+                self._index = new_index
+                with self._mirror_lock:
+                    epoch = self._epoch.bump()
+            self._degraded.clear()
+            self._metrics.registry.incr("service.rebuilds")
+        return epoch
 
     # ------------------------------------------------------------------
     # Introspection
@@ -321,6 +759,21 @@ class ReachabilityService:
         return len(self._queue)
 
     @property
+    def quarantined(self) -> tuple[QuarantinedUpdate, ...]:
+        """Updates given up on after retries (newest last, bounded)."""
+        return tuple(self._quarantined)
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The durability manager, when crash safety is configured."""
+        return self._durability
+
+    @property
+    def last_recovery(self) -> Optional[RecoveryReport]:
+        """The report from :meth:`recover`, when this service came from one."""
+        return self._last_recovery
+
+    @property
     def applied_ops(self) -> list[tuple[int, UpdateOp]]:
         """The ``(epoch, op)`` log (requires ``record_applied=True``)."""
         if self._applied is None:
@@ -352,21 +805,40 @@ class ReachabilityService:
         with self._rwlock.read_locked():
             return self._index.size_bytes()
 
+    def _gauge_num_vertices(self) -> int:
+        with self._mirror_lock:
+            return self._mirror.num_vertices
+
+    def _gauge_size(self) -> int:
+        if self._rwlock.acquire_read(timeout=0.05):
+            try:
+                self._size_gauge = self._index.size()
+            finally:
+                self._rwlock.release_read()
+        return self._size_gauge
+
     def snapshot(self) -> dict:
         """All serving metrics as one nested dict (cheap; lock-light).
 
-        Keys: ``epoch``, ``queue``, ``cache``, ``counters`` (plain
-        ``name -> int``), and the three recorder summaries
-        (``query_latency``, ``batch_apply_latency``, ``batch_size``).
-        For the full cross-layer view — including core spans when
-        tracing is enabled — snapshot :attr:`registry` instead.
+        Keys: ``epoch``, ``degraded``, ``quarantined``, ``queue``,
+        ``cache``, ``counters`` (plain ``name -> int``), the three
+        recorder summaries (``query_latency``, ``batch_apply_latency``,
+        ``batch_size``), and — when durability is configured — ``wal``
+        (seq position, appends, fsyncs, checkpoint coverage).  For the
+        full cross-layer view — including core spans when tracing is
+        enabled — snapshot :attr:`registry` instead.
         """
-        return {
+        out = {
             "epoch": self.epoch,
+            "degraded": self.degraded,
+            "quarantined": len(self._quarantined),
             "queue": self._queue.stats(),
             "cache": self._cache.stats(),
             **self._metrics.snapshot(),
         }
+        if self._durability is not None:
+            out["wal"] = self._durability.stats()
+        return out
 
     # ------------------------------------------------------------------
     # Context manager: flush on exit
@@ -377,10 +849,13 @@ class ReachabilityService:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.flush()
+        if self._durability is not None:
+            self._durability.close()
 
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(epoch={self.epoch}, "
             f"queue_depth={self.queue_depth}, "
+            f"degraded={self.degraded}, "
             f"cache={self._cache!r})"
         )

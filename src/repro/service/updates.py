@@ -44,6 +44,11 @@ Vertex = Hashable
 _KINDS = ("addv", "delv", "adde", "dele")
 
 
+def _unwire(v):
+    """JSON round-trips tuple vertices as lists; make them hashable again."""
+    return tuple(_unwire(x) for x in v) if isinstance(v, list) else v
+
+
 @dataclass(frozen=True)
 class UpdateOp:
     """One pending index mutation.
@@ -96,6 +101,54 @@ class UpdateOp:
         return cls("dele", tail=tail, head=head)
 
     @classmethod
+    def from_wire(cls, payload: dict) -> "UpdateOp":
+        """Decode a :meth:`to_wire` dict (the WAL record payload).
+
+        Raises
+        ------
+        WorkloadError
+            On an unknown kind or missing fields.
+        """
+        try:
+            kind = payload["kind"]
+            if kind == "addv":
+                return cls.insert_vertex(
+                    _unwire(payload["vertex"]),
+                    [_unwire(v) for v in payload.get("ins", ())],
+                    [_unwire(v) for v in payload.get("outs", ())],
+                )
+            if kind == "delv":
+                return cls.delete_vertex(_unwire(payload["vertex"]))
+            if kind in ("adde", "dele"):
+                return cls(
+                    kind,
+                    tail=_unwire(payload["tail"]),
+                    head=_unwire(payload["head"]),
+                )
+        except (KeyError, TypeError) as exc:
+            raise WorkloadError(
+                f"malformed wire-format update: {exc!r}"
+            ) from None
+        raise WorkloadError(f"unknown wire update kind {payload.get('kind')!r}")
+
+    def to_wire(self) -> dict:
+        """JSON-compatible encoding (inverse of :meth:`from_wire`).
+
+        Vertices must be JSON-serializable; tuples round-trip back to
+        tuples (the same convention :mod:`repro.core.serialize` uses).
+        """
+        if self.kind == "addv":
+            return {
+                "kind": "addv",
+                "vertex": self.vertex,
+                "ins": list(self.ins),
+                "outs": list(self.outs),
+            }
+        if self.kind == "delv":
+            return {"kind": "delv", "vertex": self.vertex}
+        return {"kind": self.kind, "tail": self.tail, "head": self.head}
+
+    @classmethod
     def from_trace_op(cls, op) -> "UpdateOp":
         """Adapt a mutation :class:`~repro.bench.trace.TraceOp`."""
         if op.kind == "addv":
@@ -122,6 +175,38 @@ class UpdateOp:
             index.insert_edge(self.tail, self.head)
         else:
             index.delete_edge(self.tail, self.head)
+
+    def apply_to_graph(self, graph) -> None:
+        """Mirror this op onto a plain :class:`~repro.graph.digraph.DiGraph`.
+
+        Used by the service's shadow graph (degraded-mode BFS serving),
+        WAL replay during recovery, and the oracle tests — all of which
+        need the *graph* effect of an op without touching any index.
+        """
+        if self.kind == "addv":
+            graph.add_vertex(self.vertex)
+            for u in self.ins:
+                graph.add_edge(u, self.vertex)
+            for w in self.outs:
+                graph.add_edge(self.vertex, w)
+        elif self.kind == "delv":
+            graph.remove_vertex(self.vertex)
+        elif self.kind == "adde":
+            graph.add_edge(self.tail, self.head)
+        else:
+            graph.remove_edge(self.tail, self.head)
+
+    def referenced_vertices(self) -> tuple[Vertex, ...]:
+        """Vertices this op requires to already exist.
+
+        For ``addv`` that is the neighbor lists (the inserted vertex
+        itself is new); for the other kinds, every named vertex.
+        """
+        if self.kind == "addv":
+            return self.ins + self.outs
+        if self.kind == "delv":
+            return (self.vertex,)
+        return (self.tail, self.head)
 
     def __str__(self) -> str:
         if self.kind == "addv":
@@ -221,6 +306,16 @@ class CoalescingUpdateQueue:
     # ------------------------------------------------------------------
     # Drain
     # ------------------------------------------------------------------
+
+    def pending_ops(self) -> tuple[UpdateOp, ...]:
+        """Snapshot of the pending batch, oldest first (non-draining).
+
+        The service's up-front update validation reads this to treat a
+        queued-but-unapplied ``addv`` as an existing vertex (and a queued
+        ``delv`` as a removal) when checking later references.
+        """
+        with self._lock:
+            return tuple(self._pending)
 
     def drain(self) -> list[UpdateOp]:
         """Atomically take (and clear) the pending batch, oldest first."""

@@ -9,11 +9,13 @@ from repro.core.index import TOLIndex
 from repro.core.serialize import (
     index_from_dict,
     index_to_dict,
+    load_checkpoint,
     load_index,
+    save_checkpoint,
     save_index,
 )
 from repro.core.validation import find_violations
-from repro.errors import IndexStateError
+from repro.errors import IndexStateError, SerializationError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import figure1_dag, random_dag
 
@@ -114,6 +116,106 @@ class TestFileRoundTrip:
         assert restored.query("e", "z")
         restored.delete_vertex("a")
         assert not restored.query("e", "c")
+        assert find_violations(restored.graph_copy(), restored.labeling) == []
+
+
+class TestMalformedInput:
+    """Every decode failure must surface as SerializationError.
+
+    A durable-recovery caller (``CheckpointStore.load_latest``) walks
+    past corrupt checkpoints by catching exactly this type, so a bare
+    ``struct.error`` or ``zlib.error`` escaping the parser would abort
+    recovery instead of falling back to an older snapshot.
+    """
+
+    def test_truncated_binary_index(self, index, tmp_path):
+        path = tmp_path / "i.tolx"
+        save_index(index, path)
+        blob = path.read_bytes()
+        for cut in (3, 10, len(blob) // 2, len(blob) - 1):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(SerializationError):
+                load_index(path)
+
+    def test_corrupt_binary_index(self, index, tmp_path):
+        path = tmp_path / "i.tolx"
+        save_index(index, path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SerializationError):
+            load_index(path)
+
+    def test_truncated_checkpoint(self, tmp_path):
+        path = tmp_path / "c.tolc"
+        save_checkpoint(path, figure1_dag(), {"wal_seq": 3})
+        blob = path.read_bytes()
+        for cut in (0, 5, len(blob) - 2):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(SerializationError):
+                load_checkpoint(path)
+
+    def test_corrupt_checkpoint_payload(self, tmp_path):
+        path = tmp_path / "c.tolc"
+        save_checkpoint(path, figure1_dag(), {})
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SerializationError):
+            load_checkpoint(path)
+
+    def test_serialization_error_is_an_index_state_error(self):
+        # Pre-existing broad handlers must keep catching the new type.
+        assert issubclass(SerializationError, IndexStateError)
+
+
+class TestCheckpointRoundTrip:
+    def test_graph_and_meta_preserved(self, tmp_path):
+        graph = random_dag(30, 70, seed=8)
+        meta = {"wal_seq": 41, "epoch": 7}
+        path = tmp_path / "c.tolc"
+        save_checkpoint(path, graph, meta)
+        back, meta_back = load_checkpoint(path)
+        assert back == graph
+        assert meta_back == meta
+
+    def test_tuple_vertices(self, tmp_path):
+        graph = DiGraph(edges=[((1, "a"), (2, "b"))], vertices=[("x", 0)])
+        path = tmp_path / "c.tolc"
+        save_checkpoint(path, graph, {})
+        back, _ = load_checkpoint(path)
+        assert back == graph
+
+
+class TestInternerPreservation:
+    """Round-trips must preserve vertex-id assignment (satellite 2).
+
+    Label buffers store interner ids; if a reload renumbered vertices,
+    the restored index would silently answer queries for the wrong
+    vertices even though every buffer decoded cleanly.
+    """
+
+    def test_ids_stable_across_round_trip(self, tmp_path):
+        idx = TOLIndex.build(random_dag(40, 90, seed=12))
+        before = dict(idx.labeling.interner.ids)
+        path = tmp_path / "i.tolx"
+        save_index(idx, path)
+        restored = load_index(path)
+        assert dict(restored.labeling.interner.ids) == before
+
+    def test_ids_stable_after_deletions(self, tmp_path):
+        # Deleting vertices leaves holes in the id space; the free list
+        # must survive so post-reload inserts can't collide.
+        idx = TOLIndex.build(figure1_dag())
+        idx.delete_vertex("b")
+        before = dict(idx.labeling.interner.ids)
+        path = tmp_path / "i.tolx"
+        save_index(idx, path)
+        restored = load_index(path)
+        assert dict(restored.labeling.interner.ids) == before
+        restored.insert_vertex("fresh", in_neighbors=["a"])
+        ids = restored.labeling.interner.ids
+        assert len(set(ids.values())) == len(ids)  # no id collision
         assert find_violations(restored.graph_copy(), restored.labeling) == []
 
 

@@ -1,0 +1,316 @@
+"""Unit tests for the durability layer: WAL, checkpoints, recovery.
+
+The crash *matrix* (every named crash point against a BFS oracle) lives
+in ``test_recovery.py``; here we pin down each component's contract in
+isolation: record round-trips, torn-tail truncation, sequence-number
+monotonicity across trims, atomic checkpoint writes with corrupt-file
+fallback, and the checkpoint-plus-WAL-suffix composition of
+``recover_state``.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.service.durability import (
+    CheckpointStore,
+    DurabilityManager,
+    WriteAheadLog,
+    recover_state,
+)
+from repro.service.faults import FaultInjector, InjectedCrash
+from repro.service.updates import UpdateOp
+
+
+def some_ops():
+    return [
+        UpdateOp.insert_vertex("a"),
+        UpdateOp.insert_vertex("b", in_neighbors=["a"]),
+        UpdateOp.insert_edge("a", "b"),
+        UpdateOp.delete_edge("a", "b"),
+        UpdateOp.delete_vertex("b"),
+    ]
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_consecutive_seqs(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            seqs = [wal.append(op) for op in some_ops()]
+        assert seqs == [1, 2, 3, 4, 5]
+
+    def test_records_round_trip(self, tmp_path):
+        ops = some_ops()
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            for op in ops:
+                wal.append(op)
+            wal.sync()
+        reopened = WriteAheadLog(tmp_path / "wal.log")
+        assert reopened.records() == list(enumerate(ops, start=1))
+        assert reopened.last_seq == len(ops)
+        assert reopened.truncated_bytes == 0
+        reopened.close()
+
+    def test_tuple_vertices_survive_the_wire(self, tmp_path):
+        op = UpdateOp.insert_vertex(("ns", 7), in_neighbors=[("ns", 1)])
+        with WriteAheadLog(tmp_path / "wal.log") as wal:
+            wal.append(op)
+        [(_, back)] = WriteAheadLog(tmp_path / "wal.log").records()
+        assert back == op
+
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for op in some_ops():
+                wal.append(op)
+        # Tear the last record: chop off its final 3 bytes.
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-3])
+        wal = WriteAheadLog(path)
+        assert wal.truncated_bytes > 0
+        assert wal.last_seq == 4
+        assert [s for s, _ in wal.records()] == [1, 2, 3, 4]
+        # The log must be appendable again, continuing the sequence.
+        assert wal.append(UpdateOp.insert_vertex("z")) == 5
+        wal.close()
+
+    def test_bitflip_truncates_from_the_flip(self, tmp_path):
+        path = tmp_path / "wal.log"
+        with WriteAheadLog(path) as wal:
+            for op in some_ops():
+                wal.append(op)
+        blob = bytearray(path.read_bytes())
+        blob[-4] ^= 0xFF  # corrupt the last record's payload
+        path.write_bytes(bytes(blob))
+        wal = WriteAheadLog(path)
+        assert wal.last_seq == 4
+        wal.close()
+
+    def test_injected_torn_write_recovers(self, tmp_path):
+        path = tmp_path / "wal.log"
+        injector = FaultInjector()
+        wal = WriteAheadLog(path, injector=injector)
+        wal.append(UpdateOp.insert_vertex("a"))
+        injector.arm("wal.append.torn", "torn")
+        with pytest.raises(InjectedCrash):
+            wal.append(UpdateOp.insert_vertex("b"))
+        # "Restart": the half-written record must be truncated away.
+        recovered = WriteAheadLog(path)
+        assert recovered.truncated_bytes > 0
+        assert recovered.records() == [(1, UpdateOp.insert_vertex("a"))]
+        recovered.close()
+
+    def test_truncate_through_preserves_seq_monotonicity(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for op in some_ops():
+            wal.append(op)
+        assert wal.truncate_through(3) == 2  # records 4 and 5 survive
+        assert [s for s, _ in wal.records()] == [4, 5]
+        wal.close()
+        # Reopening must not reset the sequence counter.
+        reopened = WriteAheadLog(path)
+        assert reopened.last_seq == 5
+        assert reopened.append(UpdateOp.insert_vertex("z")) == 6
+        reopened.close()
+
+    def test_truncate_through_everything(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog(path)
+        for op in some_ops():
+            wal.append(op)
+        wal.truncate_through(5)
+        assert wal.records() == []
+        wal.close()
+        reopened = WriteAheadLog(path)
+        assert reopened.last_seq == 5  # carried by the header's base seq
+        reopened.close()
+
+    def test_fsync_policies(self, tmp_path):
+        for policy, expect_fsyncs in [("always", 2), ("batch", 1), ("never", 0)]:
+            wal = WriteAheadLog(tmp_path / f"{policy}.log", fsync=policy)
+            wal.append(UpdateOp.insert_vertex("a"))
+            wal.append(UpdateOp.insert_vertex("b"))
+            wal.sync()
+            # "always" syncs per append (the batch-end sync finds nothing
+            # new but still counts); "batch" once; "never" never.
+            assert wal.fsyncs >= expect_fsyncs, policy
+            if policy == "never":
+                assert wal.fsyncs == 0
+            wal.close()
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    def test_not_a_wal_rejected(self, tmp_path):
+        path = tmp_path / "bogus.log"
+        path.write_bytes(b"definitely not a WAL, much longer than a header")
+        with pytest.raises(SerializationError):
+            WriteAheadLog(path)
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        wal.close()
+        with pytest.raises(SerializationError):
+            wal.append(UpdateOp.insert_vertex("a"))
+
+
+class TestCheckpointStore:
+    def graph(self):
+        return DiGraph(edges=[("a", "b"), ("b", "c")])
+
+    def test_write_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.write(self.graph(), {"wal_seq": 7, "epoch": 3})
+        graph, meta, path = store.load_latest()
+        assert graph == self.graph()
+        assert meta["wal_seq"] == 7 and meta["epoch"] == 3
+        assert path.name == "ckpt-000000000007.tolc"
+
+    def test_newest_wins(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        store.write(DiGraph(vertices=["old"]), {"wal_seq": 1})
+        store.write(self.graph(), {"wal_seq": 9})
+        graph, meta, _ = store.load_latest()
+        assert meta["wal_seq"] == 9
+        assert graph == self.graph()
+
+    def test_corrupt_newest_falls_back_to_older(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        store.write(self.graph(), {"wal_seq": 1})
+        newest = store.write(DiGraph(vertices=["new"]), {"wal_seq": 5})
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+        graph, meta, path = store.load_latest()
+        assert meta["wal_seq"] == 1
+        assert graph == self.graph()
+        assert path.name.endswith("000001.tolc")
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        p = store.write(self.graph(), {"wal_seq": 1})
+        p.write_bytes(b"garbage")
+        assert store.load_latest() is None
+
+    def test_crash_before_rename_leaves_old_checkpoint_live(self, tmp_path):
+        injector = FaultInjector()
+        store = CheckpointStore(tmp_path, injector=injector, keep=3)
+        store.write(self.graph(), {"wal_seq": 1})
+        injector.arm("checkpoint.rename")
+        with pytest.raises(InjectedCrash):
+            store.write(DiGraph(vertices=["half"]), {"wal_seq": 5})
+        # The temp file must not shadow the good checkpoint.
+        fresh = CheckpointStore(tmp_path)
+        _, meta, _ = fresh.load_latest()
+        assert meta["wal_seq"] == 1
+        # And the next successful write cleans the stray temp file.
+        fresh.write(self.graph(), {"wal_seq": 6})
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for seq in (1, 2, 3, 4):
+            store.write(self.graph(), {"wal_seq": seq})
+        kept = [CheckpointStore.seq_of(p) for p in store.paths()]
+        assert kept == [3, 4]
+
+
+class TestDurabilityManager:
+    def test_checkpoint_cadence_and_trim(self, tmp_path):
+        mgr = DurabilityManager(tmp_path, checkpoint_every=3, fsync="never")
+        graph = DiGraph()
+        for i in range(5):
+            op = UpdateOp.insert_vertex(i)
+            mgr.wal.append(op)
+            op.apply_to_graph(graph)
+            mgr.maybe_checkpoint(graph, {"wal_seq": mgr.wal.last_seq})
+        # Threshold 3: one checkpoint at seq 3, suffix 4..5 still in WAL.
+        assert mgr.checkpointed_seq == 3
+        assert [s for s, _ in mgr.wal.records()] == [4, 5]
+        assert len(mgr.checkpoints.paths()) == 1
+        mgr.close()
+
+    def test_reopen_reads_checkpoint_coverage(self, tmp_path):
+        mgr = DurabilityManager(tmp_path, checkpoint_every=0, fsync="never")
+        mgr.log_batch([UpdateOp.insert_vertex("a")])
+        mgr.checkpoint(DiGraph(vertices=["a"]), {})
+        mgr.close()
+        again = DurabilityManager(tmp_path, fsync="never")
+        assert again.checkpointed_seq == 1
+        assert again.wal.last_seq == 1
+        again.close()
+
+
+class TestRecoverState:
+    def test_empty_directory_recovers_empty_graph(self, tmp_path):
+        report = recover_state(tmp_path)
+        assert report.graph.num_vertices == 0
+        assert report.replayed == 0
+        assert report.checkpoint_path is None
+
+    def test_checkpoint_plus_wal_suffix(self, tmp_path):
+        mgr = DurabilityManager(tmp_path, checkpoint_every=0, fsync="never")
+        graph = DiGraph()
+        ops = [
+            UpdateOp.insert_vertex("a"),
+            UpdateOp.insert_vertex("b", in_neighbors=["a"]),
+        ]
+        for op in ops:
+            mgr.wal.append(op)
+            op.apply_to_graph(graph)
+        mgr.checkpoint(graph, {})
+        # Two more ops after the checkpoint: the replayed suffix.
+        for op in [UpdateOp.insert_edge("b", "a"), UpdateOp.insert_vertex("c")]:
+            mgr.wal.append(op)
+        mgr.close()
+
+        report = recover_state(tmp_path)
+        assert report.checkpoint_seq == 2
+        assert report.replayed == 2
+        expected = DiGraph(edges=[("a", "b"), ("b", "a")], vertices=["c"])
+        assert report.graph == expected
+        assert report.last_seq == 4
+
+    def test_invalid_replay_records_are_skipped(self, tmp_path):
+        mgr = DurabilityManager(tmp_path, fsync="never")
+        mgr.wal.append(UpdateOp.insert_vertex("a"))
+        mgr.wal.append(UpdateOp.delete_vertex("ghost"))  # never applied live
+        mgr.wal.append(UpdateOp.insert_vertex("b"))
+        mgr.close()
+        report = recover_state(tmp_path)
+        assert report.replayed == 2
+        assert report.skipped == 1
+        assert sorted(report.graph.vertices()) == ["a", "b"]
+
+    def test_recovery_is_idempotent(self, tmp_path):
+        mgr = DurabilityManager(tmp_path, fsync="never")
+        for op in some_ops():
+            mgr.wal.append(op)
+        mgr.close()
+        first = recover_state(tmp_path)
+        second = recover_state(tmp_path)
+        assert first.graph == second.graph
+        assert first.last_seq == second.last_seq
+
+
+class TestWalOsFailures:
+    def test_injected_ioerror_on_sync(self, tmp_path):
+        injector = FaultInjector()
+        wal = WriteAheadLog(tmp_path / "wal.log", injector=injector)
+        wal.append(UpdateOp.insert_vertex("a"))
+        injector.arm("wal.sync", "ioerror")
+        with pytest.raises(OSError):
+            wal.sync()
+        # The record itself is intact.
+        assert len(wal.records()) == 1
+        wal.close()
+
+    def test_directory_created_on_demand(self, tmp_path):
+        nested = tmp_path / "deep" / "state"
+        wal = WriteAheadLog(nested / "wal.log")
+        wal.append(UpdateOp.insert_vertex("a"))
+        wal.close()
+        assert os.path.exists(nested / "wal.log")

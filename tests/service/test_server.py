@@ -10,7 +10,7 @@ import pytest
 from repro.bench.trace import generate_trace
 from repro.bench.workloads import generate_zipfian_queries
 from repro.core.index import ReachabilityIndex
-from repro.errors import VertexNotFoundError
+from repro.errors import UnknownVertexError, VertexNotFoundError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import random_dag
 from repro.service.server import ReachabilityService
@@ -140,9 +140,31 @@ class TestUpdatesAndEpochs:
         service.flush()
         assert service.epoch == 1
 
-    def test_invalid_op_rejected_without_epoch_bump(self):
+    def test_unknown_reference_rejected_at_submit(self):
         service = ReachabilityService(diamond())
-        service.delete_vertex("ghost")
+        with pytest.raises(UnknownVertexError):
+            service.delete_vertex("ghost")
+        with pytest.raises(UnknownVertexError):
+            service.insert_edge("a", "ghost")
+        with pytest.raises(UnknownVertexError):
+            service.insert_vertex("e", in_neighbors=["ghost"])
+        # Nothing was enqueued or applied.
+        assert service.queue_depth == 0
+        assert service.epoch == 0
+        assert service.query("a", "d")
+
+    def test_pending_insert_satisfies_references(self):
+        service = ReachabilityService(diamond(), flush_threshold=10)
+        service.insert_vertex("e")
+        service.insert_edge("d", "e")  # "e" exists only in the queue
+        service.delete_vertex("e")     # coalesces the pair away
+        with pytest.raises(UnknownVertexError):
+            service.insert_edge("d", "e")  # and now it is unknown again
+
+    def test_invalid_op_rejected_at_apply_without_epoch_bump(self):
+        # validate=False falls back to the apply-time rejection path.
+        service = ReachabilityService(diamond())
+        service.submit_update(UpdateOp.delete_vertex("ghost"), validate=False)
         snap = service.snapshot()
         assert snap["counters"]["updates_rejected"] == 1
         assert service.epoch == 0
