@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test faults bench bench-smoke profile ruff reproduce examples serve-demo metrics-demo recover-demo lint-docs clean
+.PHONY: install test faults bench bench-smoke profile ruff reproduce examples serve serve-demo loadgen serve-smoke metrics-demo recover-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,31 @@ examples:
 	$(PYTHON) examples/social_network.py --users 300 --events 50
 	$(PYTHON) examples/citation_analysis.py --papers 800
 	$(PYTHON) examples/trace_replay.py --vertices 400 --ops 200
+
+# Boot the asyncio network front end on a demo graph (see
+# docs/network.md): length-prefixed JSON protocol on 127.0.0.1:7421.
+serve:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro serve .demo/graph.txt --port 7421
+
+# Drive a self-spawned server with 4 Zipfian client processes and write
+# the repo-root BENCH_serve.json headline (qps, p50/p99 latency).
+loadgen:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro loadgen .demo/graph.txt --spawn --clients 4 --verify
+
+# CI gate: a quick verified load run plus an overload run that must
+# shed (structured `overloaded` errors) while admitted answers stay
+# correct against the BFS oracle.
+serve-smoke:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro loadgen .demo/graph.txt --spawn --quick --verify
+	$(PYTHON) -m repro loadgen .demo/graph.txt --spawn --quick --verify \
+		--expect-shed --server-max-pending 24 --server-batch-delay 0.02 \
+		--output BENCH_serve_overload.json
 
 # Replay a mixed query/update trace through the concurrent serving layer
 # (see docs/service.md) and print the metrics snapshot.

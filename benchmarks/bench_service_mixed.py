@@ -12,17 +12,23 @@ query stream (the regime caches are built for) and measures:
 * mixed throughput with one writer thread batching updates through the
   coalescing queue while readers hammer queries;
 * steady-state write-path overhead of the durability layer (WAL off vs
-  each fsync policy), so the crash-safety tax is a measured number.
+  each fsync policy), so the crash-safety tax is a measured number;
+* the protocol/serialization tax of the network front end: the same
+  Zipfian batch stream in-process vs over a loopback socket through
+  :mod:`repro.net`, so "what does the wire cost" is a measured number.
 """
 
 import itertools
 import threading
+import time
 
 import pytest
 
 from repro import datasets as ds
 from repro.bench.trace import generate_trace
 from repro.bench.workloads import generate_zipfian_queries
+from repro.net.client import ReachabilityClient
+from repro.net.server import BackgroundServer
 from repro.service.durability import DurabilityManager
 from repro.service.server import ReachabilityService
 from repro.service.updates import UpdateOp
@@ -183,3 +189,52 @@ def test_write_path_wal_overhead(benchmark, wal, tmp_path):
         benchmark.extra_info["wal_fsyncs"] = snap["wal"]["fsyncs"]
         assert snap["wal"]["records_appended"] > 0
     assert snap["counters"]["updates_applied"] > 0
+
+
+@pytest.mark.parametrize("transport", ["inproc", "socket"])
+def test_network_protocol_overhead(benchmark, transport):
+    """The wire tax: the same query stream in-process vs over loopback.
+
+    ``inproc`` calls :meth:`ReachabilityService.query_batch` directly;
+    ``socket`` sends the same batches through the framed protocol to a
+    :class:`~repro.net.server.BackgroundServer` on 127.0.0.1.  The qps
+    delta between the two rows is the protocol + serialization +
+    event-loop overhead, recorded in ``extra_info`` so the BENCH report
+    can quote it.
+    """
+    service = cached(
+        ("service", DATASET, NUM_VERTICES),
+        lambda: ReachabilityService(_graph(), cache_size=8192),
+    )
+    pairs = list(_queries().pairs)
+    batch = 64
+    batches = [
+        pairs[lo:lo + batch] for lo in range(0, len(pairs), batch)
+    ]
+    if QUICK:
+        batches = batches[: max(1, len(batches) // 4)]
+    num_queries = sum(len(b) for b in batches)
+
+    if transport == "inproc":
+        def run():
+            start = time.perf_counter()
+            for chunk in batches:
+                service.query_batch(chunk)
+            return time.perf_counter() - start
+
+        elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+    else:
+        with BackgroundServer(service) as bs:
+            with ReachabilityClient(bs.host, bs.port) as client:
+                def run():
+                    start = time.perf_counter()
+                    for chunk in batches:
+                        client.query_many(chunk)
+                    return time.perf_counter() - start
+
+                elapsed = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    benchmark.extra_info["transport"] = transport
+    benchmark.extra_info["queries"] = num_queries
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info["qps"] = num_queries / elapsed if elapsed > 0 else 0.0

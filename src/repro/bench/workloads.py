@@ -25,6 +25,7 @@ from ..graph.digraph import DiGraph
 __all__ = [
     "QueryWorkload",
     "UpdateWorkload",
+    "ZipfianPairSource",
     "generate_queries",
     "generate_updates",
     "generate_zipfian_queries",
@@ -119,6 +120,57 @@ def generate_queries(
     return QueryWorkload(tuple(pairs), mode, seed)
 
 
+class ZipfianPairSource:
+    """A seeded, unbounded stream of Zipf-skewed query pairs.
+
+    The load generator's worker processes each own one of these: unlike
+    :func:`generate_zipfian_queries` it needs only a vertex *sequence*
+    (picklable across ``multiprocessing``), precomputes the popularity
+    weights once, and can be drawn from forever — each :meth:`pairs`
+    call continues the same seeded stream.
+
+    Each vertex gets a popularity rank (a seed-determined random
+    permutation) and is drawn with probability proportional to
+    ``1 / rank**skew``; both endpoints are drawn independently from the
+    same distribution.  ``skew=0`` degenerates to uniform; larger values
+    concentrate mass on the head, driving up the repeat rate — and
+    therefore the achievable hit rate of every dedup/cache layer between
+    the client and the index.
+
+    Raises
+    ------
+    WorkloadError
+        On an empty vertex set or a negative skew.
+    """
+
+    def __init__(self, vertices, *, skew: float = 1.0, seed: int = 0) -> None:
+        if skew < 0:
+            raise WorkloadError(f"skew must be >= 0, got {skew}")
+        self._vertices = list(vertices)
+        if not self._vertices:
+            raise WorkloadError("cannot draw queries from an empty vertex set")
+        self.skew = skew
+        self.seed = seed
+        self._rng = random.Random(seed)
+        # Rank assignment is part of the seeded draw.
+        self._rng.shuffle(self._vertices)
+        self._weights = [
+            1.0 / (rank + 1) ** skew for rank in range(len(self._vertices))
+        ]
+
+    def pairs(self, count: int) -> list[tuple[Vertex, Vertex]]:
+        """Draw the next *count* ``(source, target)`` pairs."""
+        if count <= 0:
+            raise WorkloadError(f"query count must be positive, got {count}")
+        sources = self._rng.choices(
+            self._vertices, weights=self._weights, k=count
+        )
+        targets = self._rng.choices(
+            self._vertices, weights=self._weights, k=count
+        )
+        return list(zip(sources, targets))
+
+
 def generate_zipfian_queries(
     graph: DiGraph,
     count: int,
@@ -129,14 +181,10 @@ def generate_zipfian_queries(
     """Generate *count* queries with Zipf-distributed endpoint popularity.
 
     Serving workloads are rarely uniform: a few hot entities dominate the
-    query stream (the assumption behind every result cache).  Here each
-    vertex gets a popularity rank (a seed-determined random permutation)
-    and is drawn with probability proportional to ``1 / rank**skew``;
-    both endpoints are drawn independently from the same distribution.
-    ``skew=0`` degenerates to the uniform workload; larger values
-    concentrate more probability mass on the head, driving up the repeat
-    rate — and therefore the achievable cache hit rate — without changing
-    the query semantics.
+    query stream (the assumption behind every result cache); see
+    :class:`ZipfianPairSource` for the distribution.  This wrapper draws
+    one fixed-size batch from a fresh source and packages it as a
+    reproducible :class:`QueryWorkload`.
 
     Raises
     ------
@@ -145,17 +193,8 @@ def generate_zipfian_queries(
     """
     if count <= 0:
         raise WorkloadError(f"query count must be positive, got {count}")
-    if skew < 0:
-        raise WorkloadError(f"skew must be >= 0, got {skew}")
-    vertices = list(graph.vertices())
-    if not vertices:
-        raise WorkloadError("cannot generate queries on an empty graph")
-    rng = random.Random(seed)
-    rng.shuffle(vertices)  # rank assignment is part of the seeded draw
-    weights = [1.0 / (rank + 1) ** skew for rank in range(len(vertices))]
-    sources = rng.choices(vertices, weights=weights, k=count)
-    targets = rng.choices(vertices, weights=weights, k=count)
-    return QueryWorkload(tuple(zip(sources, targets)), "zipfian", seed)
+    source = ZipfianPairSource(graph.vertices(), skew=skew, seed=seed)
+    return QueryWorkload(tuple(source.pairs(count)), "zipfian", seed)
 
 
 def generate_updates(

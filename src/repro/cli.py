@@ -13,6 +13,8 @@ Usage examples::
     python -m repro serve-replay graph.txt ops.trace --readers 8
     python -m repro serve-replay graph.txt ops.trace --metrics-out metrics.prom
     python -m repro serve-replay graph.txt ops.trace --wal state/ --fsync batch
+    python -m repro serve graph.txt --port 7421 --max-pending 4096
+    python -m repro loadgen graph.txt --spawn --clients 4 --duration 5
     python -m repro recover state/ --checkpoint
     python -m repro metrics graph.txt ops.trace --format json --events ops.jsonl
     python -m repro experiments --only fig7 table4 --chart
@@ -35,10 +37,16 @@ from .core.index import TOLIndex
 from .core.orders import ORDER_STRATEGIES
 from .core.serialize import load_index, save_index
 from .core.stats import labeling_stats, top_label_holders
-from .errors import ReproError
+from .errors import ReproError, SerializationError, UnknownVertexError
 from .graph.io import read_edge_list, write_edge_list
 
 __all__ = ["main", "build_parser"]
+
+#: Distinct nonzero exit codes for the two error families a scripted
+#: caller most wants to tell apart (generic ReproError stays 1, argparse
+#: / usage errors stay 2).
+EXIT_UNKNOWN_VERTEX = 3
+EXIT_SERIALIZATION = 4
 
 
 def _vertex(token: str):
@@ -100,9 +108,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     for s, t in pairs:
         try:
             verdict = index.query(s, t)
+        except UnknownVertexError as exc:
+            print(f"{s} -> {t}: error: {exc}", file=sys.stderr)
+            exit_code = EXIT_UNKNOWN_VERTEX
+            continue
         except ReproError as exc:
             print(f"{s} -> {t}: error: {exc}", file=sys.stderr)
-            exit_code = 1
+            exit_code = exit_code or 1
             continue
         suffix = ""
         if args.witness:
@@ -295,6 +307,7 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     registry = MetricRegistry() if args.metrics_out else None
     if registry is not None:
         obs_trace.enable(registry)
+    restore_handlers = {}
     try:
         service = ReachabilityService(
             graph,
@@ -303,6 +316,29 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             registry=registry,
             durability=durability,
         )
+
+        if args.metrics_out:
+            # An interrupted replay should still leave its metrics
+            # artifact: flush the registry on SIGINT/SIGTERM, then exit
+            # with the conventional 128+signum.  os._exit because the
+            # reader threads are mid-replay and non-daemon — unwinding
+            # the main thread alone would leave the process hanging.
+            import os
+            import signal
+
+            def _flush_and_exit(signum, frame):
+                try:
+                    fmt = write_metrics(service.registry, args.metrics_out)
+                    print(
+                        f"\ninterrupted by signal {signum}; wrote {fmt} "
+                        f"metrics to {args.metrics_out}",
+                        file=sys.stderr, flush=True,
+                    )
+                finally:
+                    os._exit(128 + signum)
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                restore_handlers[sig] = signal.signal(sig, _flush_and_exit)
 
         unknown = [0] * args.readers
 
@@ -334,6 +370,11 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
             t.join()
         elapsed = time.perf_counter() - start
     finally:
+        if restore_handlers:
+            import signal
+
+            for sig, handler in restore_handlers.items():
+                signal.signal(sig, handler)
         if registry is not None:
             obs_trace.disable()
 
@@ -361,6 +402,160 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     if args.metrics_out:
         fmt = write_metrics(service.registry, args.metrics_out)
         print(f"wrote {fmt} metrics to {args.metrics_out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: expose a graph over the TCP wire protocol.
+
+    Builds a :class:`ReachabilityService` over the edge-list file
+    (optionally crash-safe via ``--wal``) and fronts it with the asyncio
+    :class:`~repro.net.server.ReachabilityServer` — cross-connection
+    query batching, admission control (``--max-pending``), structured
+    error replies, and graceful drain on SIGTERM/SIGINT.  See
+    docs/network.md for the protocol.
+    """
+    import asyncio
+
+    from .net.server import ReachabilityServer
+    from .obs import trace as obs_trace
+    from .obs.export import write_metrics
+    from .obs.registry import MetricRegistry
+    from .service.server import ReachabilityService
+
+    durability = None
+    if args.wal:
+        from .service.durability import DurabilityManager
+
+        durability = DurabilityManager(
+            args.wal,
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+    registry = MetricRegistry()
+    if args.metrics_out:
+        obs_trace.enable(registry)
+    try:
+        service = ReachabilityService(
+            read_edge_list(args.graph),
+            cache_size=args.cache_size,
+            flush_threshold=args.flush_threshold,
+            order=args.order,
+            registry=registry,
+            durability=durability,
+        )
+        server = ReachabilityServer(
+            service,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+            batch_delay=args.batch_delay,
+            drain_timeout=args.drain_timeout,
+        )
+
+        async def run() -> None:
+            await server.start()
+            print(
+                f"serving {args.graph} on {server.host}:{server.port} "
+                f"(protocol v1, |V|={service.num_vertices}, "
+                f"|E|={service.num_edges}); SIGTERM drains gracefully",
+                flush=True,
+            )
+            if args.port_file:
+                with open(args.port_file, "w", encoding="utf-8") as fh:
+                    fh.write(f"{server.port}\n")
+            await server.serve_forever()
+
+        asyncio.run(run())
+    finally:
+        if args.metrics_out:
+            obs_trace.disable()
+        if durability is not None:
+            durability.close()
+    print("drained; final metrics snapshot:")
+    print(render_snapshot(service.snapshot()))
+    if args.metrics_out:
+        fmt = write_metrics(registry, args.metrics_out)
+        print(f"wrote {fmt} metrics to {args.metrics_out}")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """`repro loadgen`: drive client processes against a net server.
+
+    Either targets a running server (``--host``/``--port``) or spawns
+    one itself (``--spawn``, which also exercises the SIGTERM drain on
+    the way out).  Writes the qps/latency headline to ``--output``
+    (default ``BENCH_serve.json``).
+    """
+    from .net.loadgen import run_loadgen, spawned_server, write_bench_json
+
+    if args.spawn and args.port is not None:
+        print("error: pass either --spawn or --port, not both",
+              file=sys.stderr)
+        return 2
+    if not args.spawn and args.port is None:
+        print("error: pass --port (running server) or --spawn",
+              file=sys.stderr)
+        return 2
+    duration = 1.5 if args.quick else args.duration
+    graph = read_edge_list(args.graph)
+
+    def drive(host: str, port: int) -> dict:
+        return run_loadgen(
+            host, port, graph,
+            clients=args.clients,
+            duration=duration,
+            batch=args.batch,
+            skew=args.skew,
+            seed=args.seed,
+            verify=args.verify,
+        )
+
+    if args.spawn:
+        server_args = [
+            "--max-pending", str(args.server_max_pending),
+            "--batch-delay", str(args.server_batch_delay),
+        ]
+        with spawned_server(args.graph, server_args=server_args) as server:
+            result = drive(server.host, server.port)
+            exit_code = server.terminate()
+            result["server_exit_code"] = exit_code
+            if exit_code != 0:
+                print(f"warning: server exited with code {exit_code}",
+                      file=sys.stderr)
+    else:
+        result = drive(args.host, args.port)
+
+    totals = result["totals"]
+    lat = result["latency_ms"]
+    lat_text = (
+        f"p50 {lat['p50']:.2f}ms  p99 {lat['p99']:.2f}ms"
+        if lat else "no admitted requests"
+    )
+    print(
+        f"{result['clients']} client processes x {result['duration_s']}s: "
+        f"{totals['queries']} queries, {result['qps']:,.0f} qps aggregate, "
+        f"{lat_text}"
+    )
+    print(
+        f"  shed {totals['shed']} requests, {totals['errors']} errors, "
+        f"{totals['degraded_replies']} degraded replies"
+        + (f", {totals['verify_failures']} oracle disagreements"
+           if args.verify else "")
+    )
+    if args.output:
+        path = write_bench_json(result, args.output)
+        print(f"wrote {path}")
+    if args.verify and totals["verify_failures"]:
+        print("error: admitted answers disagreed with the BFS oracle",
+              file=sys.stderr)
+        return 1
+    if args.expect_shed and totals["shed"] == 0:
+        print("error: --expect-shed was set but nothing was shed",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -581,6 +776,84 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve_replay)
 
     p = sub.add_parser(
+        "serve",
+        help="serve a graph over TCP (length-prefixed JSON protocol)",
+    )
+    p.add_argument("graph", help="edge-list file of the graph to serve")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="write the actually bound port here once listening "
+                        "(for scripts and the load generator)")
+    p.add_argument("--order", default="butterfly-u",
+                   choices=sorted(set(ORDER_STRATEGIES)))
+    p.add_argument("--cache-size", type=int, default=4096,
+                   help="query-result LRU capacity (0 disables)")
+    p.add_argument("--flush-threshold", type=int, default=8,
+                   help="apply queued updates once this many are pending")
+    p.add_argument("--max-pending", type=int, default=4096,
+                   help="admission-control bound on queued query pairs; "
+                        "excess requests get a structured 'overloaded' "
+                        "reply (0 = unbounded)")
+    p.add_argument("--max-batch", type=int, default=1024,
+                   help="most pairs coalesced into one query_batch call")
+    p.add_argument("--batch-delay", type=float, default=0.0,
+                   help="artificial per-batch delay in seconds (testing "
+                        "knob: makes overload reproducible)")
+    p.add_argument("--drain-timeout", type=float, default=10.0,
+                   help="seconds the SIGTERM drain waits for admitted "
+                        "requests")
+    p.add_argument("--wal", default=None, metavar="DIR",
+                   help="durability directory (WAL + checkpoints)")
+    p.add_argument("--fsync", default="batch",
+                   choices=["always", "batch", "never"],
+                   help="WAL fsync policy (with --wal)")
+    p.add_argument("--checkpoint-every", type=int, default=256,
+                   help="checkpoint after this many WAL records (with --wal)")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="export the metric registry after the drain "
+                        "(.json = JSON, else Prometheus text)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive multi-process Zipfian load at a net server",
+    )
+    p.add_argument("graph", help="edge-list file the server was started on")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="port of a running `repro serve` instance")
+    p.add_argument("--spawn", action="store_true",
+                   help="spawn the server subprocess here (and SIGTERM it "
+                        "when done) instead of targeting --port")
+    p.add_argument("--clients", type=int, default=4,
+                   help="number of client worker processes")
+    p.add_argument("--duration", type=float, default=5.0,
+                   help="seconds each client sends load")
+    p.add_argument("--batch", type=int, default=16,
+                   help="query pairs per request frame")
+    p.add_argument("--skew", type=float, default=1.1,
+                   help="Zipf skew of the endpoint popularity")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--verify", action="store_true",
+                   help="check every admitted answer against a BFS oracle "
+                        "in the worker (small graphs only)")
+    p.add_argument("--expect-shed", action="store_true",
+                   help="exit 1 unless at least one request was shed "
+                        "(for overload smoke tests)")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke mode: shrink the duration to ~1.5s")
+    p.add_argument("--output", default="BENCH_serve.json", metavar="PATH",
+                   help="where to write the qps/latency artifact "
+                        "('' disables)")
+    p.add_argument("--server-max-pending", type=int, default=4096,
+                   help="--max-pending for the spawned server (with --spawn)")
+    p.add_argument("--server-batch-delay", type=float, default=0.0,
+                   help="--batch-delay for the spawned server (with --spawn)")
+    p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
         "recover",
         help="rebuild serving state from a WAL + checkpoint directory",
     )
@@ -638,6 +911,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except UnknownVertexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN_VERTEX
+    except SerializationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SERIALIZATION
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -21,6 +21,9 @@ __all__ = [
     "OrderError",
     "DatasetError",
     "WorkloadError",
+    "NetworkError",
+    "ProtocolError",
+    "OverloadedError",
 ]
 
 
@@ -124,3 +127,25 @@ class DatasetError(ReproError):
 
 class WorkloadError(ReproError):
     """A benchmark workload specification is invalid."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the network serving layer."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame violated the protocol (bad length, garbage JSON,
+    unsupported version, malformed request shape)."""
+
+
+class OverloadedError(NetworkError):
+    """The server shed this request under admission control.
+
+    Carries the server's ``retry_after_ms`` hint when it sent one, so a
+    client can back off by the amount the server suggested.
+    """
+
+    def __init__(self, message: str = "server overloaded",
+                 retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms

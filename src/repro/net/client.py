@@ -1,0 +1,159 @@
+"""A blocking client for the :mod:`repro.net` wire protocol.
+
+Deliberately synchronous: the consumers are scripts, tests and the
+load-generator worker *processes* — none of which want an event loop.
+One socket, serial request/response, structured errors re-raised as the
+library's own exception types (:class:`~repro.errors.UnknownVertexError`,
+:class:`~repro.errors.SerializationError`,
+:class:`~repro.errors.OverloadedError`, ...), so calling over the wire
+feels like calling :class:`~repro.service.server.ReachabilityService`
+in-process — just with an ``epoch``/``degraded`` stamp on every batch
+reply.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ProtocolError
+from ..service.updates import UpdateOp
+from .protocol import (
+    PROTOCOL_VERSION,
+    raise_for_error,
+    recv_frame_sync,
+    send_frame_sync,
+)
+
+__all__ = ["BatchReply", "ReachabilityClient"]
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """A query-batch answer plus its consistency metadata.
+
+    ``results`` are booleans in request order; ``epoch`` is the index
+    version they are valid at; ``degraded`` says the server answered
+    from its BFS mirror rather than the index.
+    """
+
+    results: list[bool]
+    epoch: int
+    degraded: bool
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class ReachabilityClient:
+    """Blocking TCP client speaking protocol v1.
+
+    Usable as a context manager; not thread-safe (one socket, serial
+    framing) — give each thread or process its own client.
+
+    Examples
+    --------
+    ::
+
+        with ReachabilityClient("127.0.0.1", 7421) as client:
+            client.query("a", "b")            # bool
+            reply = client.query_many([("a", "b"), ("b", "a")])
+            reply.results, reply.epoch, reply.degraded
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: Optional[float] = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    def query(self, s, t) -> bool:
+        """Answer one reachability query ``s -> t``."""
+        return self.query_many([(s, t)]).results[0]
+
+    def query_many(self, pairs) -> BatchReply:
+        """Answer a batch of ``(source, target)`` pairs in one frame."""
+        payload = self._call(
+            {"op": "query", "pairs": [[s, t] for s, t in pairs]}
+        )
+        return BatchReply(
+            results=list(payload["results"]),
+            epoch=payload["epoch"],
+            degraded=payload.get("degraded", False),
+        )
+
+    def update(self, ops) -> int:
+        """Apply :class:`~repro.service.updates.UpdateOp` values; return
+        the number accepted."""
+        wire_ops = [
+            op.to_wire() if isinstance(op, UpdateOp) else op for op in ops
+        ]
+        return self._call({"op": "update", "ops": wire_ops})["applied"]
+
+    def insert_edge(self, tail, head) -> int:
+        """Convenience single-op update."""
+        return self.update([UpdateOp.insert_edge(tail, head)])
+
+    def delete_edge(self, tail, head) -> int:
+        """Convenience single-op update."""
+        return self.update([UpdateOp.delete_edge(tail, head)])
+
+    def ping(self) -> dict:
+        """Round-trip liveness probe; returns the pong envelope."""
+        return self._call({"op": "ping"})
+
+    def stats(self) -> dict:
+        """The server's :meth:`ReachabilityService.snapshot` dict."""
+        return self._call({"op": "stats"})["stats"]
+
+    def net_stats(self) -> dict:
+        """The front end's own counters (requests, batches, shed, ...)."""
+        return self._call({"op": "stats"})["net"]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _call(self, fields: dict) -> dict:
+        self._next_id += 1
+        request = {"v": PROTOCOL_VERSION, "id": self._next_id}
+        request.update(fields)
+        send_frame_sync(self._sock, request)
+        response = recv_frame_sync(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if response.get("id") not in (None, self._next_id):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            raise_for_error(response.get("error", {}))
+        return response
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReachabilityClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.host!r}, {self.port})"

@@ -1,0 +1,366 @@
+"""Multi-process load generator for the network serving subsystem.
+
+Drives N independent **client processes** (real processes, not threads —
+the point is to stress the server from outside its GIL) against a
+running :mod:`repro.net` server.  Each worker owns one socket and one
+seeded :class:`~repro.bench.workloads.ZipfianPairSource` and sends
+query batches back-to-back until its deadline; the parent merges the
+per-worker reports into one headline — aggregate qps, p50/p99 request
+latency, shed/error counts — and can write it as the repo-root
+``BENCH_serve.json`` artifact.
+
+Two extras make the harness a correctness tool, not just a stopwatch:
+
+* ``verify=True`` checks every admitted answer against a bidirectional
+  BFS oracle over the same graph inside the worker, so an overload run
+  demonstrates the admission-control contract: shed requests get a
+  structured ``overloaded`` error while *admitted* ones stay correct;
+* :func:`spawned_server` boots ``repro serve`` as a real subprocess
+  (fresh interpreter, own signal handling) and tears it down with
+  SIGTERM — which is also how the graceful-drain path gets exercised
+  end-to-end in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+from ..errors import NetworkError, OverloadedError, ReproError
+from .protocol import PROTOCOL_VERSION
+
+__all__ = [
+    "run_loadgen",
+    "spawned_server",
+    "SpawnedServer",
+    "write_bench_json",
+    "percentile",
+]
+
+#: Per-worker cap on retained latency samples (reservoir-free: beyond
+#: this, new samples stop being recorded and the count is flagged).
+MAX_LATENCY_SAMPLES = 200_000
+
+
+def percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sample")
+    if not 0 < q <= 1:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    rank = max(1, int(q * len(sorted_values) + 0.999999))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+# ----------------------------------------------------------------------
+# The worker (runs in a child process; keep everything picklable)
+# ----------------------------------------------------------------------
+
+def _worker_main(cfg: dict, out_queue) -> None:
+    """One client process: Zipfian batches until the deadline."""
+    from ..bench.workloads import ZipfianPairSource
+    from .client import ReachabilityClient
+
+    report = {
+        "worker": cfg["worker"],
+        "queries": 0,
+        "requests": 0,
+        "shed": 0,
+        "errors": 0,
+        "degraded_replies": 0,
+        "verify_failures": 0,
+        "latencies": [],
+        "elapsed": 0.0,
+        "fatal": None,
+    }
+    oracle = None
+    oracle_cache: dict = {}
+    if cfg.get("verify_edges") is not None:
+        from ..graph.digraph import DiGraph
+        from ..graph.traversal import bidirectional_reachable
+
+        graph = DiGraph()
+        for v in cfg["vertices"]:
+            graph.add_vertex(v)
+        for tail, head in cfg["verify_edges"]:
+            graph.add_edge(tail, head)
+
+        def oracle(s, t):
+            key = (s, t)
+            if key not in oracle_cache:
+                oracle_cache[key] = bidirectional_reachable(graph, s, t)
+            return oracle_cache[key]
+
+    try:
+        source = ZipfianPairSource(
+            cfg["vertices"], skew=cfg["skew"], seed=cfg["seed"]
+        )
+        client = ReachabilityClient(
+            cfg["host"], cfg["port"], timeout=cfg["timeout"]
+        )
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        report["fatal"] = f"{type(exc).__name__}: {exc}"
+        out_queue.put(report)
+        return
+
+    latencies = report["latencies"]
+    start = time.monotonic()
+    deadline = start + cfg["duration"]
+    try:
+        with client:
+            while time.monotonic() < deadline:
+                pairs = source.pairs(cfg["batch"])
+                report["requests"] += 1
+                t0 = time.perf_counter()
+                try:
+                    reply = client.query_many(pairs)
+                except OverloadedError as exc:
+                    report["shed"] += 1
+                    # Back off by the server's hint, capped so the
+                    # flood keeps flooding during overload runs.
+                    time.sleep(min(exc.retry_after_ms / 1e3, 0.02))
+                    continue
+                except ReproError:
+                    report["errors"] += 1
+                    continue
+                if len(latencies) < MAX_LATENCY_SAMPLES:
+                    latencies.append(time.perf_counter() - t0)
+                report["queries"] += len(reply.results)
+                if reply.degraded:
+                    report["degraded_replies"] += 1
+                if oracle is not None:
+                    for (s, t), got in zip(pairs, reply.results):
+                        if got != oracle(s, t):
+                            report["verify_failures"] += 1
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        report["fatal"] = f"{type(exc).__name__}: {exc}"
+    report["elapsed"] = time.monotonic() - start
+    out_queue.put(report)
+
+
+# ----------------------------------------------------------------------
+# The parent orchestration
+# ----------------------------------------------------------------------
+
+def run_loadgen(
+    host: str,
+    port: int,
+    graph,
+    *,
+    clients: int = 4,
+    duration: float = 5.0,
+    batch: int = 16,
+    skew: float = 1.1,
+    seed: int = 0,
+    verify: bool = False,
+    timeout: float = 30.0,
+) -> dict:
+    """Drive *clients* worker processes against ``host:port``.
+
+    *graph* is the :class:`~repro.graph.digraph.DiGraph` the server was
+    started on — the workers draw query endpoints from its vertex set
+    (and, with ``verify=True``, check answers against BFS over it).
+
+    Returns the merged result dict (see :func:`write_bench_json` for the
+    artifact shape).  Raises :class:`~repro.errors.NetworkError` if any
+    worker died before completing its run.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    vertices = list(graph.vertices())
+    edges = list(graph.edges()) if verify else None
+
+    ctx = multiprocessing.get_context("spawn")
+    out_queue = ctx.Queue()
+    procs = []
+    wall_start = time.monotonic()
+    for i in range(clients):
+        cfg = {
+            "worker": i,
+            "host": host,
+            "port": port,
+            "seed": seed * 10_007 + i,
+            "duration": duration,
+            "batch": batch,
+            "skew": skew,
+            "vertices": vertices,
+            "verify_edges": edges,
+            "timeout": timeout,
+        }
+        proc = ctx.Process(
+            target=_worker_main, args=(cfg, out_queue), daemon=True
+        )
+        proc.start()
+        procs.append(proc)
+
+    reports = []
+    join_deadline = time.monotonic() + duration + max(60.0, timeout)
+    try:
+        for _ in procs:
+            remaining = join_deadline - time.monotonic()
+            if remaining <= 0:
+                raise NetworkError("load-generator workers timed out")
+            reports.append(out_queue.get(timeout=remaining))
+    finally:
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+    wall = time.monotonic() - wall_start
+
+    fatal = [r for r in reports if r["fatal"]]
+    if fatal:
+        details = "; ".join(
+            f"worker {r['worker']}: {r['fatal']}" for r in fatal
+        )
+        raise NetworkError(f"load-generator worker(s) failed: {details}")
+
+    merged_latencies = sorted(
+        lat for r in reports for lat in r["latencies"]
+    )
+    totals = {
+        key: sum(r[key] for r in reports)
+        for key in (
+            "queries", "requests", "shed", "errors",
+            "degraded_replies", "verify_failures",
+        )
+    }
+    # Workers run concurrently for the same window, so the aggregate
+    # rate is the sum of per-worker rates (not total / parent wall,
+    # which would charge process-spawn overhead to the server).
+    qps = sum(
+        r["queries"] / r["elapsed"] for r in reports if r["elapsed"] > 0
+    )
+    latency_ms = None
+    if merged_latencies:
+        latency_ms = {
+            "p50": 1e3 * percentile(merged_latencies, 0.50),
+            "p99": 1e3 * percentile(merged_latencies, 0.99),
+            "mean": 1e3 * sum(merged_latencies) / len(merged_latencies),
+            "max": 1e3 * merged_latencies[-1],
+        }
+    return {
+        "benchmark": "serve",
+        "protocol_version": PROTOCOL_VERSION,
+        "host": host,
+        "port": port,
+        "clients": clients,
+        "duration_s": duration,
+        "batch": batch,
+        "skew": skew,
+        "seed": seed,
+        "verified": verify,
+        "graph": {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+        },
+        "totals": totals,
+        "qps": qps,
+        "latency_ms": latency_ms,
+        "wall_s": wall,
+        "per_client": [
+            {k: v for k, v in r.items() if k not in ("latencies", "fatal")}
+            for r in reports
+        ],
+    }
+
+
+def write_bench_json(result: dict, path) -> Path:
+    """Write the loadgen result as the ``BENCH_serve.json`` artifact."""
+    path = Path(path)
+    path.write_text(json.dumps(result, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Spawning a real server subprocess
+# ----------------------------------------------------------------------
+
+class SpawnedServer:
+    """Handle on a ``repro serve`` subprocess started by :func:`spawned_server`."""
+
+    def __init__(self, proc: subprocess.Popen, host: str, port: int) -> None:
+        self.proc = proc
+        self.host = host
+        self.port = port
+
+    def terminate(self, timeout: float = 15.0) -> int:
+        """SIGTERM the server (graceful drain) and return its exit code."""
+        import signal
+
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            return self.proc.wait()
+
+
+@contextmanager
+def spawned_server(
+    graph_path,
+    *,
+    server_args=(),
+    startup_timeout: float = 60.0,
+    env: Optional[dict] = None,
+):
+    """Boot ``repro serve`` on *graph_path* as a subprocess; yield a handle.
+
+    The server binds an ephemeral port and writes it to a temp
+    ``--port-file``; this waits for the file, then yields a
+    :class:`SpawnedServer`.  On exit the server gets SIGTERM — the
+    graceful-drain path — and is killed only if it ignores it.
+    """
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    child_env = dict(os.environ if env is None else env)
+    existing = child_env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        child_env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        port_file = Path(tmp) / "port"
+        cmd = [
+            sys.executable, "-m", "repro", "serve", str(graph_path),
+            "--host", "127.0.0.1", "--port", "0",
+            "--port-file", str(port_file),
+            *server_args,
+        ]
+        proc = subprocess.Popen(cmd, env=child_env)
+        handle = None
+        try:
+            deadline = time.monotonic() + startup_timeout
+            while time.monotonic() < deadline:
+                if proc.poll() is not None:
+                    raise NetworkError(
+                        f"server exited with code {proc.returncode} "
+                        "during startup"
+                    )
+                if port_file.exists():
+                    text = port_file.read_text().strip()
+                    if text:
+                        handle = SpawnedServer(proc, "127.0.0.1", int(text))
+                        break
+                time.sleep(0.05)
+            else:
+                raise NetworkError(
+                    f"server did not report a port within {startup_timeout}s"
+                )
+            yield handle
+        finally:
+            if proc.poll() is None:
+                SpawnedServer(proc, "127.0.0.1", 0).terminate()

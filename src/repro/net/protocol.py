@@ -1,0 +1,280 @@
+"""Wire protocol: length-prefixed JSON frames and typed error codes.
+
+Framing
+-------
+
+Every message — request or response — is one *frame*::
+
+    +----------------+----------------------------------+
+    | length (4B !I) | UTF-8 JSON payload (length bytes)|
+    +----------------+----------------------------------+
+
+The length prefix is an unsigned big-endian 32-bit integer counting the
+payload bytes only.  Frames above :data:`MAX_FRAME_BYTES` are rejected
+before any allocation, so a garbage prefix cannot make the server
+allocate gigabytes.
+
+Envelopes
+---------
+
+Requests carry ``{"v": 1, "op": ..., "id": ...}`` plus op-specific
+fields (``pairs`` for ``query``, ``ops`` for ``update``).  Responses
+echo ``v`` and ``id`` and carry either ``"ok": true`` with result fields
+— queries additionally report the ``epoch`` the answers are valid at and
+whether the server answered in ``degraded`` mode — or ``"ok": false``
+with a structured ``error`` object::
+
+    {"v": 1, "id": 7, "ok": false,
+     "error": {"code": "unknown_vertex", "message": "...", "vertex": 99}}
+
+Error codes are stable strings (:data:`ERROR_CODES`); the client maps
+them back onto the library's exception hierarchy with
+:func:`raise_for_error`, so ``UnknownVertexError`` thrown inside the
+index surfaces as ``UnknownVertexError`` in the caller's process — a
+structured response, not a connection teardown.
+
+JSON round-trips tuple vertices as lists; :func:`wire_vertex` restores
+them on the way in, mirroring the WAL convention in
+:mod:`repro.service.updates`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional
+
+from ..errors import (
+    OverloadedError,
+    ProtocolError,
+    ReproError,
+    SerializationError,
+    UnknownVertexError,
+    VertexNotFoundError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ERROR_CODES",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "send_frame_sync",
+    "recv_frame_sync",
+    "ok_response",
+    "error_response",
+    "error_fields_for",
+    "raise_for_error",
+    "wire_vertex",
+    "wire_pairs",
+]
+
+#: Version tag every frame carries; bumped on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's JSON payload (16 MiB).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct("!I")
+
+#: code -> human description.  ``retryable`` codes are transient
+#: conditions a client may retry; the rest are caller mistakes or
+#: persistent server-side failures.
+ERROR_CODES = {
+    "bad_request": "malformed request envelope or fields",
+    "unsupported_version": "protocol version not spoken by this server",
+    "unknown_op": "request op not recognized",
+    "unknown_vertex": "a queried or updated vertex is not indexed",
+    "serialization": "a persisted artifact failed to decode server-side",
+    "overloaded": "request shed by admission control; retry later",
+    "internal": "unexpected server-side failure",
+}
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize *payload* as one length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload is {len(body)} bytes; max {MAX_FRAME_BYTES}"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse one frame's JSON payload into a dict."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+async def read_frame(reader) -> Optional[dict]:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`~repro.errors.ProtocolError` on a truncated frame or an
+    oversized length prefix.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError("connection closed mid-header") from None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds max {MAX_FRAME_BYTES}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_payload(body)
+
+
+def send_frame_sync(sock, payload: dict) -> None:
+    """Blocking-socket counterpart of :func:`read_frame` (send side)."""
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame_sync(sock) -> Optional[dict]:
+    """Read one frame from a blocking socket (``None`` on clean EOF)."""
+    header = _recv_exact(sock, _HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds max {MAX_FRAME_BYTES}"
+        )
+    body = _recv_exact(sock, length)
+    return decode_payload(body)
+
+
+def _recv_exact(sock, n: int, *, allow_eof: bool = False):
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+
+def ok_response(request_id, **fields) -> dict:
+    """A success envelope echoing *request_id*."""
+    out = {"v": PROTOCOL_VERSION, "id": request_id, "ok": True}
+    out.update(fields)
+    return out
+
+
+def error_response(request_id, code: str, message: str, **extra) -> dict:
+    """A structured-error envelope echoing *request_id*."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    error: dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error,
+    }
+
+
+def error_fields_for(exc: BaseException) -> dict:
+    """Map an exception onto ``{"code": ..., "message": ..., ...}``.
+
+    The inverse of :func:`raise_for_error`: whatever the service layer
+    throws becomes a structured, connection-preserving error reply.
+    """
+    # UnknownVertexError comes from the index/service layers,
+    # VertexNotFoundError from graph-backed paths (the condensation
+    # front-end, the degraded BFS mirror); on the wire they are the
+    # same condition.
+    if isinstance(exc, (UnknownVertexError, VertexNotFoundError)):
+        return {
+            "code": "unknown_vertex",
+            "message": str(exc),
+            "vertex": exc.vertex,
+        }
+    if isinstance(exc, SerializationError):
+        return {"code": "serialization", "message": str(exc)}
+    if isinstance(exc, OverloadedError):
+        return {
+            "code": "overloaded",
+            "message": str(exc),
+            "retry_after_ms": exc.retry_after_ms,
+        }
+    if isinstance(exc, ProtocolError):
+        return {"code": "bad_request", "message": str(exc)}
+    return {"code": "internal", "message": f"{type(exc).__name__}: {exc}"}
+
+
+def raise_for_error(error: dict) -> None:
+    """Re-raise the exception a response's ``error`` object encodes."""
+    code = error.get("code", "internal")
+    message = error.get("message", "")
+    if code == "unknown_vertex":
+        raise UnknownVertexError(wire_vertex(error.get("vertex")))
+    if code == "serialization":
+        raise SerializationError(message)
+    if code == "overloaded":
+        raise OverloadedError(message, error.get("retry_after_ms", 0.0))
+    if code in ("bad_request", "unsupported_version", "unknown_op"):
+        raise ProtocolError(f"{code}: {message}")
+    raise ReproError(f"{code}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Vertex coding
+# ----------------------------------------------------------------------
+
+def wire_vertex(v):
+    """Restore a JSON-round-tripped vertex (lists become tuples)."""
+    return tuple(wire_vertex(x) for x in v) if isinstance(v, list) else v
+
+
+def wire_pairs(raw) -> list:
+    """Validate and decode a request's ``pairs`` field.
+
+    Raises
+    ------
+    ProtocolError
+        When *raw* is not a list of two-element ``[source, target]``
+        entries.
+    """
+    if not isinstance(raw, list):
+        raise ProtocolError(
+            f"'pairs' must be a list, got {type(raw).__name__}"
+        )
+    pairs = []
+    for entry in raw:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ProtocolError(
+                f"each pair must be [source, target], got {entry!r}"
+            )
+        pairs.append((wire_vertex(entry[0]), wire_vertex(entry[1])))
+    return pairs

@@ -1,0 +1,532 @@
+"""The asyncio TCP front end over :class:`ReachabilityService`.
+
+Architecture
+------------
+
+::
+
+    conn 1 ──┐                       ┌────────────────────────────┐
+    conn 2 ──┼─► admission control ─►│ pending queue (micro-batch)│
+    conn N ──┘   (bounded pairs;     └──────────────┬─────────────┘
+                  excess answered                   │ one batcher task
+                  `overloaded`)                     ▼
+                               executor thread: service.query_batch(...)
+                                                    │
+                  futures fan results back ◄────────┘
+
+Query requests from *all* connections are coalesced by a single batcher
+task into calls to the service's deduplicating
+:meth:`~repro.service.server.ReachabilityService.query_batch_with_epoch`
+— so while one batch is being answered on an executor thread (the
+service API is blocking: it takes the read lock), every request that
+arrives in the meantime piles into the next batch.  Under load the
+batch size grows and the per-query lock/dedup cost amortizes; when idle
+a lone request is answered immediately.  Duplicate pairs across
+connections cost one index probe per epoch (batch dedup within a call,
+the epoch-stamped cache across calls).
+
+Admission control is a bound on *queued pairs* (``max_pending``): a
+query request that would push the backlog past the bound is answered
+right away with a structured ``overloaded`` error (plus a
+``retry_after_ms`` hint) instead of being buffered without bound —
+shedding is counted in the shared metric registry under ``net.shed``,
+and admitted requests keep their latency.  Replies also surface the
+service's degraded mode (``"degraded": true``) so clients know an
+answer came from the BFS mirror rather than the index.
+
+Lifecycle: :meth:`ReachabilityServer.serve_forever` installs SIGTERM /
+SIGINT handlers that trigger a graceful drain — stop accepting, answer
+everything already admitted, flush the service (and its WAL/durability
+stack, when configured), then return.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from ..errors import (
+    ProtocolError,
+    ReproError,
+    UnknownVertexError,
+    VertexNotFoundError,
+)
+from ..service.metrics import ScopedMetrics
+from ..service.updates import UpdateOp
+from .protocol import (
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_fields_for,
+    error_response,
+    ok_response,
+    read_frame,
+    wire_pairs,
+)
+
+__all__ = ["ReachabilityServer", "BackgroundServer"]
+
+
+class _PendingBatch:
+    """One admitted query request waiting for the batcher."""
+
+    __slots__ = ("pairs", "future")
+
+    def __init__(self, pairs, future):
+        self.pairs = pairs
+        self.future = future
+
+
+class ReachabilityServer:
+    """Serve a :class:`ReachabilityService` over length-prefixed JSON TCP.
+
+    Parameters
+    ----------
+    service:
+        The (thread-safe, blocking) service to front.  All blocking
+        calls run on the event loop's default executor.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    max_pending:
+        Admission-control bound on queued query *pairs*.  A request that
+        would push the backlog past this bound is shed with a structured
+        ``overloaded`` response.  ``0`` disables shedding (unbounded).
+    max_batch:
+        Most pairs handed to one ``query_batch`` call; a bigger backlog
+        is split across successive calls.
+    batch_delay:
+        Artificial seconds of executor-side delay per batch.  A testing
+        and demo knob (it makes overload reproducible on a fast
+        machine); leave at ``0.0`` in production.
+    drain_timeout:
+        Seconds the graceful drain waits for admitted requests before
+        failing the stragglers and shutting down anyway.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 4096,
+        max_batch: int = 1024,
+        batch_delay: float = 0.0,
+        drain_timeout: float = 10.0,
+    ) -> None:
+        if max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0, got {max_pending}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_delay < 0:
+            raise ValueError(f"batch_delay must be >= 0, got {batch_delay}")
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.batch_delay = batch_delay
+        self.drain_timeout = drain_timeout
+
+        self._metrics = ScopedMetrics(service.registry, prefix="net.")
+        for name in (
+            "connections",
+            "requests",
+            "queries",
+            "shed",
+            "shed_pairs",
+            "errors",
+            "batches",
+            "updates_applied",
+        ):
+            self._metrics.registry.counter("net." + name)
+        self._request_latency = self._metrics.histogram("request_latency")
+        self._batch_pairs = self._metrics.stats("batch_pairs")
+        self._metrics.registry.register_callback(
+            "net.pending_pairs", lambda: self._pending_pairs
+        )
+
+        self._queue: deque[_PendingBatch] = deque()
+        self._pending_pairs = 0
+        self._work_available: Optional[asyncio.Event] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batch_task: Optional[asyncio.Task] = None
+        self._stopping: Optional[asyncio.Event] = None
+        self._connections: set[asyncio.Task] = set()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (valid after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind the socket and launch the batcher task."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._work_available = asyncio.Event()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        self._batch_task = asyncio.ensure_future(self._batch_loop())
+        self._started = True
+
+    async def serve_forever(self, *, install_signal_handlers: bool = True):
+        """Run until :meth:`shutdown` is requested (e.g. by SIGTERM).
+
+        With *install_signal_handlers*, SIGTERM and SIGINT trigger the
+        graceful drain instead of killing the process mid-request.
+        """
+        import signal
+
+        if not self._started:
+            await self.start()
+        loop = asyncio.get_event_loop()
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self._stopping.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-main thread / platforms without support
+        await self._stopping.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish admitted work, flush.
+
+        The order matters: close the listening socket first (no new
+        admissions), wait for the pending queue and in-flight
+        connections to drain (bounded by ``drain_timeout``), then stop
+        the batcher and flush the service so queued updates — and the
+        WAL behind them, when durability is configured — are applied
+        before the process exits.
+        """
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.drain_timeout
+        while self._pending_pairs and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        # Admitted work is settled (or timed out); give the connection
+        # tasks a beat to write their last replies, then cut them off —
+        # an idle keep-alive connection must not hold up the drain.
+        await asyncio.sleep(0.05)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        if self._batch_task is not None:
+            self._batch_task.cancel()
+            try:
+                await self._batch_task
+            except asyncio.CancelledError:
+                pass
+        # Fail anything still parked in the queue (drain timeout hit).
+        while self._queue:
+            item = self._queue.popleft()
+            self._pending_pairs -= len(item.pairs)
+            if not item.future.done():
+                item.future.set_exception(
+                    ProtocolError("server shut down before answering")
+                )
+        await asyncio.get_event_loop().run_in_executor(
+            None, self.service.flush
+        )
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (what the signal handlers call)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self._metrics.incr("connections")
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Tell the peer what was wrong with its bytes, then
+                    # close: framing is gone, resync is impossible.
+                    await self._send(
+                        writer,
+                        error_response(None, "bad_request", str(exc)),
+                    )
+                    self._metrics.incr("errors")
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await self._send(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer, payload: dict) -> None:
+        writer.write(encode_frame(payload))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, request: dict) -> dict:
+        start = time.perf_counter()
+        request_id = request.get("id")
+        self._metrics.incr("requests")
+        try:
+            version = request.get("v", PROTOCOL_VERSION)
+            if version != PROTOCOL_VERSION:
+                return error_response(
+                    request_id,
+                    "unsupported_version",
+                    f"server speaks v{PROTOCOL_VERSION}, got v{version!r}",
+                )
+            op = request.get("op")
+            if op == "query":
+                return await self._handle_query(request_id, request)
+            if op == "update":
+                return await self._handle_update(request_id, request)
+            if op == "ping":
+                return ok_response(
+                    request_id,
+                    pong=True,
+                    epoch=self.service.epoch,
+                    degraded=self.service.degraded,
+                )
+            if op == "stats":
+                return ok_response(
+                    request_id,
+                    stats=self.service.snapshot(),
+                    net=self._metrics.scoped_counters(),
+                )
+            return error_response(
+                request_id, "unknown_op", f"unknown op {op!r}"
+            )
+        except ProtocolError as exc:
+            self._metrics.incr("errors")
+            return error_response(request_id, "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the wire boundary
+            self._metrics.incr("errors")
+            fields = error_fields_for(exc)
+            return error_response(request_id, **fields)
+        finally:
+            self._request_latency.record(time.perf_counter() - start)
+
+    async def _handle_query(self, request_id, request: dict) -> dict:
+        pairs = wire_pairs(request.get("pairs"))
+        if not pairs:
+            return ok_response(
+                request_id,
+                results=[],
+                epoch=self.service.epoch,
+                degraded=self.service.degraded,
+            )
+        if self.max_pending and (
+            self._pending_pairs + len(pairs) > self.max_pending
+        ):
+            self._metrics.incr("shed")
+            self._metrics.incr("shed_pairs", len(pairs))
+            # Rough hint: current backlog at the rate one batch clears.
+            retry_ms = max(1.0, 1e3 * self.batch_delay) * (
+                1 + self._pending_pairs // max(1, self.max_batch)
+            )
+            return error_response(
+                request_id,
+                "overloaded",
+                f"{self._pending_pairs} pairs queued (max {self.max_pending})",
+                retry_after_ms=retry_ms,
+            )
+        future = asyncio.get_event_loop().create_future()
+        self._queue.append(_PendingBatch(pairs, future))
+        self._pending_pairs += len(pairs)
+        self._work_available.set()
+        try:
+            results, epoch, degraded = await future
+        except ReproError as exc:
+            return error_response(request_id, **error_fields_for(exc))
+        self._metrics.incr("queries", len(pairs))
+        return ok_response(
+            request_id, results=results, epoch=epoch, degraded=degraded
+        )
+
+    async def _handle_update(self, request_id, request: dict) -> dict:
+        raw_ops = request.get("ops")
+        if not isinstance(raw_ops, list) or not raw_ops:
+            raise ProtocolError("'ops' must be a non-empty list")
+        try:
+            ops = [UpdateOp.from_wire(o) for o in raw_ops]
+        except ReproError as exc:
+            raise ProtocolError(f"malformed update op: {exc}") from None
+
+        def apply_ops() -> int:
+            for op in ops:
+                self.service.submit_update(op)
+            self.service.flush()
+            return len(ops)
+
+        applied = await asyncio.get_event_loop().run_in_executor(
+            None, apply_ops
+        )
+        self._metrics.incr("updates_applied", applied)
+        return ok_response(
+            request_id, applied=applied, epoch=self.service.epoch
+        )
+
+    # ------------------------------------------------------------------
+    # The batcher
+    # ------------------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Coalesce admitted query requests into ``query_batch`` calls.
+
+        Single consumer: batches run strictly one after another, which
+        is what makes "one index probe per distinct pair per epoch" hold
+        across connections — concurrent arrivals meet in one call (batch
+        dedup) or in consecutive calls (the epoch-stamped cache).
+        """
+        loop = asyncio.get_event_loop()
+        while True:
+            await self._work_available.wait()
+            batch: list[_PendingBatch] = []
+            total = 0
+            while self._queue and total < self.max_batch:
+                item = self._queue.popleft()
+                batch.append(item)
+                total += len(item.pairs)
+            if not self._queue:
+                self._work_available.clear()
+            if not batch:
+                continue
+            combined = [p for item in batch for p in item.pairs]
+            self._metrics.incr("batches")
+            self._batch_pairs.record(len(combined))
+            try:
+                outcome = await loop.run_in_executor(
+                    None, self._run_batch, combined
+                )
+            except (UnknownVertexError, VertexNotFoundError):
+                # One poisoned pair must not fail every coalesced
+                # waiter: fall back to per-request calls so only the
+                # requests that named the unknown vertex see the error.
+                await self._settle_individually(loop, batch)
+            except Exception as exc:  # noqa: BLE001 - fan the failure out
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+            else:
+                results, epoch, degraded = outcome
+                offset = 0
+                for item in batch:
+                    chunk = results[offset:offset + len(item.pairs)]
+                    offset += len(item.pairs)
+                    if not item.future.done():
+                        item.future.set_result((chunk, epoch, degraded))
+            finally:
+                for item in batch:
+                    self._pending_pairs -= len(item.pairs)
+
+    def _run_batch(self, pairs):
+        if self.batch_delay:
+            time.sleep(self.batch_delay)
+        return self.service.query_batch_with_epoch(pairs)
+
+    async def _settle_individually(self, loop, batch) -> None:
+        for item in batch:
+            try:
+                outcome = await loop.run_in_executor(
+                    None, self.service.query_batch_with_epoch, item.pairs
+                )
+            except Exception as exc:  # noqa: BLE001 - per-request verdict
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            else:
+                if not item.future.done():
+                    item.future.set_result(outcome)
+
+
+class BackgroundServer:
+    """Run a :class:`ReachabilityServer` on a daemon thread.
+
+    For tests, benchmarks and the in-process half of the network-tax
+    comparison: ``with BackgroundServer(service) as bs:`` yields a
+    started server whose ``bs.host`` / ``bs.port`` a blocking client can
+    connect to, and tears it down (graceful drain included) on exit.
+    """
+
+    def __init__(self, service, **server_kwargs) -> None:
+        self._service = service
+        self._kwargs = server_kwargs
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[ReachabilityServer] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="reachability-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._loop is not None and self.server is not None:
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.server = ReachabilityServer(self._service, **self._kwargs)
+        try:
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surfaced in __enter__
+            self._error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_until_complete(
+                self.server.serve_forever(install_signal_handlers=False)
+            )
+        finally:
+            loop.close()

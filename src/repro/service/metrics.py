@@ -22,13 +22,64 @@ from typing import Optional
 
 from ..obs.registry import LatencyHistogram, MetricRegistry, RunningStats
 
-__all__ = ["LatencyHistogram", "RunningStats", "ServiceMetrics"]
+__all__ = ["LatencyHistogram", "RunningStats", "ScopedMetrics", "ServiceMetrics"]
 
 #: Registry prefix for every metric owned by the serving layer.
 _PREFIX = "service."
 
 
-class ServiceMetrics:
+class ScopedMetrics:
+    """A prefix-scoped naming layer over one :class:`MetricRegistry`.
+
+    Each subsystem claims a dotted prefix (``service.``, ``net.``) and
+    records through short local names; the registry — and therefore the
+    Prometheus/JSON exporters — sees the fully qualified ones.  Sharing
+    one registry across scopes is the point: the network front end, the
+    service and the core spans all land in a single snapshot.
+    """
+
+    def __init__(
+        self, registry: Optional[MetricRegistry] = None, *, prefix: str
+    ) -> None:
+        if not prefix.endswith("."):
+            raise ValueError(f"metric prefix must end with '.', got {prefix!r}")
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        """The dotted namespace every local name is registered under."""
+        return self._prefix
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        self.registry.incr(self._prefix + name, amount)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self.registry.counter(self._prefix + name).value
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Get-or-create the scoped latency histogram *name*."""
+        return self.registry.histogram(self._prefix + name)
+
+    def stats(self, name: str) -> RunningStats:
+        """Get-or-create the scoped running-stats recorder *name*."""
+        return self.registry.stats(self._prefix + name)
+
+    def scoped_counters(self) -> dict:
+        """All counters under this prefix, with the prefix stripped."""
+        return {
+            name[len(self._prefix):]: value
+            for name, value in self.registry.snapshot()["counters"].items()
+            if name.startswith(self._prefix)
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(prefix={self._prefix!r})"
+
+
+class ServiceMetrics(ScopedMetrics):
     """Counters and histograms for :class:`ReachabilityService`.
 
     Parameters
@@ -46,25 +97,13 @@ class ServiceMetrics:
     """
 
     def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
-        self.registry = registry if registry is not None else MetricRegistry()
+        super().__init__(registry, prefix=_PREFIX)
         #: Per-query service time (cache hits and misses alike).
-        self.query_latency = self.registry.histogram(
-            _PREFIX + "query_latency"
-        )
+        self.query_latency = self.histogram("query_latency")
         #: Wall time of one write-lock critical section (whole batch).
-        self.batch_apply_latency = self.registry.histogram(
-            _PREFIX + "batch_apply_latency"
-        )
+        self.batch_apply_latency = self.histogram("batch_apply_latency")
         #: Number of index mutations applied per drained batch.
-        self.batch_size = self.registry.stats(_PREFIX + "batch_size")
-
-    def incr(self, name: str, amount: int = 1) -> None:
-        """Add *amount* to counter *name* (creating it at zero)."""
-        self.registry.incr(_PREFIX + name, amount)
-
-    def counter(self, name: str) -> int:
-        """Current value of counter *name* (0 if never incremented)."""
-        return self.registry.counter(_PREFIX + name).value
+        self.batch_size = self.stats("batch_size")
 
     def snapshot(self) -> dict:
         """Counters (namespaced) plus the three recorder summaries.
@@ -73,13 +112,8 @@ class ServiceMetrics:
         "batch_apply_latency": {...}, "batch_size": {...}}`` — counter
         names have the ``service.`` prefix stripped back off.
         """
-        counters = {
-            name[len(_PREFIX):]: value
-            for name, value in self.registry.snapshot()["counters"].items()
-            if name.startswith(_PREFIX)
-        }
         return {
-            "counters": counters,
+            "counters": self.scoped_counters(),
             "query_latency": self.query_latency.snapshot(),
             "batch_apply_latency": self.batch_apply_latency.snapshot(),
             "batch_size": self.batch_size.snapshot(),

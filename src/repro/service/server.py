@@ -375,13 +375,28 @@ class ReachabilityService:
         mode and deadline expiry fall back to the mirror, one mirror-lock
         hold for the whole batch.
         """
+        return self.query_batch_with_epoch(pairs)[0]
+
+    def query_batch_with_epoch(
+        self, pairs: Iterable[Pair]
+    ) -> tuple[list[bool], int, bool]:
+        """:meth:`query_batch` plus the consistency metadata.
+
+        Returns ``(answers, epoch, degraded)``: the answers in input
+        order, the epoch they are valid at, and whether they came from
+        the degraded mirror-BFS path instead of the index.  The network
+        front end uses this to stamp every reply envelope.
+        """
         pairs = list(pairs)
         unique: dict[Pair, bool] = dict.fromkeys(pairs)  # insertion-ordered
         start = time.perf_counter()
+        degraded = False
         if self._degraded.is_set() or not self._rwlock.acquire_read(
             timeout=self._query_deadline
         ):
+            degraded = True
             with self._mirror_lock:
+                epoch = self._epoch.value
                 for pair in unique:
                     unique[pair] = bidirectional_reachable(
                         self._mirror, pair[0], pair[1]
@@ -398,7 +413,7 @@ class ReachabilityService:
         self._metrics.incr("queries", len(pairs))
         self._metrics.incr("batch_calls")
         self._metrics.incr("batch_dedup_saved", len(pairs) - len(unique))
-        return [unique[pair] for pair in pairs]
+        return [unique[pair] for pair in pairs], epoch, degraded
 
     def _answer_locked(self, s: Vertex, t: Vertex, epoch: int) -> bool:
         """Cache-through lookup; caller must hold the read lock."""

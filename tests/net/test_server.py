@@ -1,0 +1,310 @@
+"""Integration tests for the asyncio front end.
+
+Every test runs a real server (:class:`BackgroundServer` on a daemon
+thread) and talks to it over real sockets with the blocking client —
+the same path production traffic takes, minus the network.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import (
+    OverloadedError,
+    ProtocolError,
+    UnknownVertexError,
+)
+from repro.graph.generators import random_dag
+from repro.graph.traversal import bidirectional_reachable
+from repro.net.client import ReachabilityClient
+from repro.net.protocol import recv_frame_sync
+from repro.net.server import BackgroundServer
+from repro.service.server import ReachabilityService
+from repro.service.updates import UpdateOp
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return random_dag(80, 200, seed=7)
+
+
+@pytest.fixture()
+def service(dag):
+    return ReachabilityService(dag.copy(), cache_size=4096)
+
+
+@pytest.fixture()
+def running(service):
+    with BackgroundServer(service) as bs:
+        yield bs
+
+
+def oracle(graph, pairs):
+    return [bidirectional_reachable(graph, s, t) for s, t in pairs]
+
+
+class TestQueries:
+    def test_single_query_matches_oracle(self, dag, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            for s, t in [(0, 1), (5, 40), (79, 0)]:
+                assert client.query(s, t) == bidirectional_reachable(
+                    dag, s, t
+                )
+
+    def test_batch_matches_oracle_in_order_with_duplicates(
+        self, dag, running
+    ):
+        pairs = [(0, 40), (40, 0), (0, 40), (3, 3), (12, 60)]
+        with ReachabilityClient(running.host, running.port) as client:
+            reply = client.query_many(pairs)
+        assert reply.results == oracle(dag, pairs)
+        assert reply.epoch == 0
+        assert reply.degraded is False
+
+    def test_empty_batch(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            assert client.query_many([]).results == []
+
+    def test_degraded_mode_is_surfaced_in_the_envelope(
+        self, dag, service, running
+    ):
+        service.enter_degraded()
+        try:
+            with ReachabilityClient(running.host, running.port) as client:
+                reply = client.query_many([(0, 40)])
+            assert reply.degraded is True
+            assert reply.results == oracle(dag, [(0, 40)])
+        finally:
+            service.exit_degraded()
+
+    def test_ping_and_stats(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            pong = client.ping()
+            assert pong["pong"] is True and pong["epoch"] == 0
+            client.query(0, 1)
+            stats = client.stats()
+            assert stats["counters"]["queries"] >= 1
+            assert stats["epoch"] == 0
+            net = client.net_stats()
+            assert net["requests"] >= 3
+            assert net["queries"] >= 1
+
+
+class TestUpdates:
+    def test_update_applies_and_bumps_epoch(self, dag, service, running):
+        # Pick a pair with no edge and no path, then connect it.
+        tail, head = None, None
+        for s in dag.vertices():
+            for t in dag.vertices():
+                if s != t and not bidirectional_reachable(dag, s, t) \
+                        and not bidirectional_reachable(dag, t, s):
+                    tail, head = s, t
+                    break
+            if tail is not None:
+                break
+        assert tail is not None
+        with ReachabilityClient(running.host, running.port) as client:
+            assert client.query(tail, head) is False
+            assert client.insert_edge(tail, head) == 1
+            reply = client.query_many([(tail, head)])
+            assert reply.results == [True]
+            assert reply.epoch == 1
+
+    def test_update_with_unknown_vertex_is_a_structured_error(
+        self, running
+    ):
+        with ReachabilityClient(running.host, running.port) as client:
+            with pytest.raises(UnknownVertexError) as info:
+                client.update([UpdateOp.insert_edge(0, "never-seen")])
+            assert info.value.vertex == "never-seen"
+            # The connection is still usable afterwards.
+            assert client.ping()["pong"] is True
+
+    def test_malformed_update_op_is_bad_request(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            with pytest.raises(ProtocolError):
+                client._call({"op": "update", "ops": [{"kind": "wat"}]})
+            assert client.ping()["pong"] is True
+
+
+class TestProtocolErrors:
+    def test_unknown_vertex_query_keeps_the_connection(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            with pytest.raises(UnknownVertexError):
+                client.query(123456, 0)
+            assert client.ping()["pong"] is True
+
+    def test_unknown_op(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            with pytest.raises(ProtocolError, match="unknown_op"):
+                client._call({"op": "frobnicate"})
+
+    def test_unsupported_version(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            client._next_id += 1
+            from repro.net.protocol import send_frame_sync
+
+            send_frame_sync(
+                client._sock,
+                {"v": 99, "id": client._next_id, "op": "ping"},
+            )
+            response = recv_frame_sync(client._sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "unsupported_version"
+
+    def test_bad_pairs_shape(self, running):
+        with ReachabilityClient(running.host, running.port) as client:
+            with pytest.raises(ProtocolError):
+                client._call({"op": "query", "pairs": [[1, 2, 3]]})
+
+    def test_garbage_bytes_get_an_error_then_close(self, running):
+        sock = socket.create_connection(
+            (running.host, running.port), timeout=10
+        )
+        try:
+            # A length prefix far beyond MAX_FRAME_BYTES.
+            sock.sendall(struct.pack("!I", 0xFFFFFFFF))
+            response = recv_frame_sync(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad_request"
+            # Server closes after a framing error (resync is impossible).
+            assert recv_frame_sync(sock) is None
+        finally:
+            sock.close()
+
+
+class TestCoalescing:
+    """Concurrent submitters coalesce into one probe per pair per epoch."""
+
+    def _count_probes(self, service):
+        counts = {}
+        lock = threading.Lock()
+        real_query = service._index.query
+
+        def counting_query(s, t):
+            with lock:
+                counts[(s, t)] = counts.get((s, t), 0) + 1
+            return real_query(s, t)
+
+        service._index.query = counting_query
+        return counts
+
+    def test_one_probe_per_distinct_pair_per_epoch(self, dag):
+        service = ReachabilityService(dag.copy(), cache_size=4096)
+        counts = self._count_probes(service)
+        # Slow batches force concurrent requests to pile into the queue
+        # while a batch is in flight.
+        with BackgroundServer(service, batch_delay=0.02) as bs:
+            pairs_a = [(0, 10), (10, 20), (20, 30), (0, 10)]
+            pairs_b = [(10, 20), (30, 40), (0, 10)]
+            pairs_c = [(20, 30), (30, 40), (40, 50)]
+            replies = {}
+
+            def worker(name, pairs):
+                with ReachabilityClient(bs.host, bs.port) as client:
+                    for _ in range(3):  # repeats stress the dedup layers
+                        replies[name] = client.query_many(pairs)
+
+            threads = [
+                threading.Thread(target=worker, args=(n, p))
+                for n, p in [("a", pairs_a), ("b", pairs_b), ("c", pairs_c)]
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            # Fan-out: every waiter got its own answers, in its own order.
+            assert replies["a"].results == oracle(dag, pairs_a)
+            assert replies["b"].results == oracle(dag, pairs_b)
+            assert replies["c"].results == oracle(dag, pairs_c)
+
+            # 9 requests, 30 pairs, 7 distinct — but the single-consumer
+            # batcher + batch dedup + the epoch-stamped cache mean the
+            # index was probed exactly once per distinct pair.
+            distinct = set(pairs_a) | set(pairs_b) | set(pairs_c)
+            assert set(counts) == distinct
+            assert all(n == 1 for n in counts.values()), counts
+
+            # A new epoch invalidates the cache: the same pairs probe
+            # exactly once more each.
+            with ReachabilityClient(bs.host, bs.port) as client:
+                client.update([UpdateOp.insert_vertex("fresh")])
+                reply = client.query_many(sorted(distinct))
+            assert reply.epoch == 1
+            assert all(
+                counts[p] == 2 for p in distinct
+            ), {p: counts[p] for p in distinct}
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_structured_error_and_serves_the_rest(
+        self, dag
+    ):
+        service = ReachabilityService(dag.copy(), cache_size=4096)
+        with BackgroundServer(
+            service, max_pending=8, batch_delay=0.02, max_batch=8
+        ) as bs:
+            shed = []
+            answered = []
+            failures = []
+
+            def flood(seed):
+                pairs = [(seed % 80, (seed * 7 + i) % 80) for i in range(8)]
+                try:
+                    with ReachabilityClient(bs.host, bs.port) as client:
+                        for _ in range(6):
+                            try:
+                                reply = client.query_many(pairs)
+                            except OverloadedError as exc:
+                                assert exc.retry_after_ms >= 0
+                                shed.append(1)
+                                continue
+                            if reply.results != oracle(dag, pairs):
+                                failures.append(pairs)
+                            answered.append(len(reply.results))
+                except Exception as exc:  # noqa: BLE001
+                    failures.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=flood, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            assert not failures
+            assert shed, "expected at least one shed under overload"
+            assert answered, "admitted queries must still be served"
+            assert service.registry.counter("net.shed").value == len(shed)
+
+    def test_shedding_disabled_when_max_pending_is_zero(self, dag):
+        service = ReachabilityService(dag.copy(), cache_size=4096)
+        with BackgroundServer(service, max_pending=0) as bs:
+            with ReachabilityClient(bs.host, bs.port) as client:
+                reply = client.query_many([(0, 1)] * 64)
+                assert len(reply.results) == 64
+
+
+class TestLifecycle:
+    def test_shutdown_flushes_queued_updates(self, dag):
+        service = ReachabilityService(
+            dag.copy(), cache_size=0, flush_threshold=1000
+        )
+        with BackgroundServer(service) as bs:
+            with ReachabilityClient(bs.host, bs.port) as client:
+                client.update([UpdateOp.insert_vertex("queued-v")])
+        # flush_threshold was never reached server-side per submit, but
+        # the update handler flushes; the drain flushes again on exit.
+        assert "queued-v" in service
+        assert service.queue_depth == 0
+
+    def test_port_zero_binds_an_ephemeral_port(self, dag):
+        service = ReachabilityService(dag.copy())
+        with BackgroundServer(service, port=0) as bs:
+            assert bs.port > 0
+            with ReachabilityClient(bs.host, bs.port) as client:
+                assert client.ping()["pong"] is True

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_SERIALIZATION, EXIT_UNKNOWN_VERTEX, main
 from repro.core.serialize import load_index
 from repro.graph.io import read_edge_list
 
@@ -72,8 +72,14 @@ class TestQuery:
     def test_odd_vertex_count_rejected(self, index_file, capsys):
         assert main(["query", str(index_file), "1"]) == 2
 
-    def test_unknown_vertex_reports_error(self, index_file, capsys):
-        assert main(["query", str(index_file), "424242", "0"]) == 1
+    def test_unknown_vertex_exit_code(self, index_file, capsys):
+        assert main(["query", str(index_file), "424242", "0"]) == EXIT_UNKNOWN_VERTEX
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_index_serialization_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "corrupt.tolx"
+        bad.write_bytes(b"definitely not an index artifact")
+        assert main(["query", str(bad), "0", "1"]) == EXIT_SERIALIZATION
         assert "error" in capsys.readouterr().err
 
 
@@ -180,3 +186,65 @@ class TestServeReplay:
         assert "# TYPE service_queries_total counter" in text
         assert "span_tol_build_seconds_count 1" in text
         assert "wrote prometheus metrics" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_sigint_flushes_metrics_out(self, graph_file, trace_file, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        src_root = str(
+            __import__("pathlib").Path(repro.__file__).resolve().parent.parent
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = tmp_path / "interrupted.prom"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve-replay",
+                str(graph_file), str(trace_file),
+                "--rounds", "200000", "--metrics-out", str(out),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            time.sleep(2.5)
+            proc.send_signal(signal.SIGINT)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 130, stdout
+        assert "interrupted by signal" in stdout
+        assert out.exists(), "metrics must be flushed on SIGINT"
+        assert "service_queries_total" in out.read_text()
+
+
+class TestServeAndLoadgenParsing:
+    """Argument plumbing for the network subcommands.
+
+    End-to-end serving runs live in tests/net/test_loadgen.py; these
+    only cover CLI-level validation and error codes.
+    """
+
+    def test_serve_missing_graph_file(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "missing.txt")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_loadgen_requires_spawn_or_port(self, graph_file, capsys):
+        assert main(["loadgen", str(graph_file)]) == 2
+        assert "--spawn" in capsys.readouterr().err
+
+    def test_loadgen_rejects_spawn_with_port(self, graph_file, capsys):
+        code = main(["loadgen", str(graph_file), "--spawn", "--port", "1"])
+        assert code == 2
