@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test faults bench bench-smoke profile ruff reproduce examples serve serve-demo loadgen serve-smoke metrics-demo recover-demo lint-docs clean
+.PHONY: install test faults bench bench-smoke bench-update profile ruff reproduce examples serve serve-demo loadgen serve-smoke metrics-demo recover-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,11 @@ bench:
 # graphs (numbers are meaningless; the point is nothing is broken).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/ --quick -q
+
+# Update-kernel headline at full scale: refreshes BENCH_update.json and
+# gates the flat engine at >= 1.5x the object engine on churn throughput.
+bench-update:
+	$(PYTHON) -m pytest benchmarks/bench_update_kernels.py -q
 
 # cProfile of butterfly_build on random_dag(5000, 20000), top 25 by
 # cumulative time (see benchmarks/profile_build.py for --engine/--prune).

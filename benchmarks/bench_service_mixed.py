@@ -146,6 +146,55 @@ def test_mixed_readers_plus_writer(benchmark, flush_threshold):
     assert snap["counters"]["updates_applied"] > 0
 
 
+def test_writer_throughput_by_engine(benchmark):
+    """Pure-writer throughput through the service, flat vs object engine.
+
+    The same mutation trace is batched through the coalescing queue of
+    one service per engine; ``extra_info`` records writer ops/s for both
+    and their ratio.  This is the serving-layer view of the
+    ``BENCH_update.json`` kernel gate: the flat engine must be visibly
+    faster end-to-end, queue and service bookkeeping included.
+    """
+    graph = _graph()
+    num_ops = 40 if QUICK else 200
+    trace = generate_trace(graph, num_ops, seed=16, query_fraction=0.0)
+    mutations = [UpdateOp.from_trace_op(op) for op in trace]
+
+    def drive(engine):
+        service = ReachabilityService(
+            graph, cache_size=0, flush_threshold=16, engine=engine
+        )
+        start = time.perf_counter()
+        for op in mutations:
+            service.submit_update(op)
+        service.flush()
+        elapsed = time.perf_counter() - start
+        applied = service.snapshot()["counters"]["updates_applied"]
+        assert applied > 0
+        return len(mutations) / elapsed
+
+    # Warm both (service construction, caches), then time interleaved.
+    best = {"csr": 0.0, "object": 0.0}
+    rounds = 2 if QUICK else 3
+    for engine in best:
+        drive(engine)
+    for _ in range(rounds):
+        for engine in best:
+            best[engine] = max(best[engine], drive(engine))
+    benchmark.pedantic(lambda: drive("csr"), rounds=1, iterations=1)
+    benchmark.extra_info["writer_ops_per_second_csr"] = round(best["csr"], 1)
+    benchmark.extra_info["writer_ops_per_second_object"] = round(
+        best["object"], 1
+    )
+    benchmark.extra_info["writer_speedup_vs_object"] = round(
+        best["csr"] / best["object"], 3
+    )
+    assert best["csr"] > best["object"], (
+        "flat engine must beat the object engine on the service write "
+        f"path: {best['csr']:.1f} vs {best['object']:.1f} ops/s"
+    )
+
+
 @pytest.mark.parametrize("wal", ["off", "never", "batch", "always"])
 def test_write_path_wal_overhead(benchmark, wal, tmp_path):
     """Update throughput with the WAL off vs each fsync policy.

@@ -267,7 +267,7 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
     from .obs.export import write_metrics
     from .obs.registry import MetricRegistry
     from .service.server import ReachabilityService
-    from .service.updates import UpdateOp
+    from .core.ops import UpdateOp
 
     if args.readers < 1:
         print(f"error: --readers must be >= 1, got {args.readers}",
@@ -355,7 +355,7 @@ def cmd_serve_replay(args: argparse.Namespace) -> int:
 
         def writer() -> None:
             for op in mutations:
-                service.submit_update(UpdateOp.from_trace_op(op))
+                service.apply(UpdateOp.from_trace_op(op))
             service.flush()
 
         threads = [
@@ -606,7 +606,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import JsonlSink, render_json, render_prometheus, trace
     from .obs.registry import MetricRegistry
     from .service.server import ReachabilityService
-    from .service.updates import UpdateOp
+    from .core.ops import UpdateOp
 
     graph = read_edge_list(args.graph)
     trace_ops = read_trace(args.trace)
@@ -625,7 +625,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                     except ReproError:
                         pass  # the trace may query a deleted endpoint
                 else:
-                    service.submit_update(UpdateOp.from_trace_op(op))
+                    service.apply(UpdateOp.from_trace_op(op))
             service.flush()
             if args.reduce_rounds:
                 service.reduce_labels(max_rounds=args.reduce_rounds)

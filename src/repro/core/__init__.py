@@ -7,6 +7,7 @@ from .index import ReachabilityIndex, TOLIndex
 from .insertion import LevelChoice, Placement, choose_level, insert_vertex
 from .intern import VertexInterner
 from .labeling import TOLLabeling
+from .ops import UpdateOp
 from .order import LevelOrder
 from .protocols import ReachabilityQuerier
 from .orders import (
@@ -45,6 +46,7 @@ __all__ = [
     "VertexInterner",
     "ReachabilityQuerier",
     "LevelOrder",
+    "UpdateOp",
     "butterfly_build",
     "insert_vertex",
     "delete_vertex",

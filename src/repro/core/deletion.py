@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Hashable
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import IndexStateError
 from ..graph.digraph import DiGraph
@@ -54,12 +55,22 @@ from ..graph.traversal import (
 )
 from .labeling import TOLLabeling
 
+if TYPE_CHECKING:
+    from ..graph.csr import CSRGraph
+
 __all__ = ["delete_vertex"]
 
 Vertex = Hashable
 
 
-def delete_vertex(graph: DiGraph, labeling: TOLLabeling, v: Vertex) -> None:
+def delete_vertex(
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    v: Vertex,
+    *,
+    engine: str = "csr",
+    snapshot: Optional[CSRGraph] = None,
+) -> None:
     """Delete *v* from the index (Algorithm 4).
 
     Parameters
@@ -69,14 +80,33 @@ def delete_vertex(graph: DiGraph, labeling: TOLLabeling, v: Vertex) -> None:
         it as its final step, keeping graph and labeling in lockstep.
     labeling:
         The live TOL index; updated in place (order included).
+    engine:
+        ``"csr"`` (default) runs the flat scratch-backed kernels — the
+        repair-frontier BFS, the local toposort and the rebuild loops all
+        use the labeling's :class:`~repro.core.scratch.UpdateScratch`
+        instead of per-op sets/deques.  ``"object"`` is the legacy
+        allocating path, kept for differential testing.
+    snapshot:
+        Optional :class:`~repro.graph.csr.CSRGraph` describing *graph*'s
+        exact current state (``v`` included); with ``engine="csr"`` the
+        two frontier BFS passes then walk the snapshot's flat int arrays
+        instead of the dict adjacency.  Edge ops pack one snapshot before
+        the delete half of their round trip and reuse it for the
+        re-insert half (see :mod:`repro.core.insertion`).  Ignored by the
+        object engine.
 
     Raises
     ------
     IndexStateError
-        If *v* is not indexed.
+        If *v* is not indexed or *engine* is unknown.
     """
     if v not in labeling:
         raise IndexStateError(f"vertex {v!r} is not indexed")
+    if engine == "csr":
+        _delete_vertex_flat(graph, labeling, v, snapshot)
+        return
+    if engine != "object":
+        raise IndexStateError(f"unknown update engine {engine!r}")
 
     with trace.span("tol.delete") as sp:
         if sp:
@@ -251,6 +281,369 @@ def _covered(
         if suspect_witnesses is not None and x in suspect_witnesses:
             # w's label set may predate the deletion; confirm the w -> x
             # (resp. x -> w) leg still exists before trusting the witness.
+            src, dst = (w, x) if incoming else (x, w)
+            if not bidirectional_reachable(graph, table[src], table[dst]):
+                continue
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Flat kernels (engine="csr"): Algorithm 4 on reusable scratch
+# ----------------------------------------------------------------------
+#
+# Same algorithm as above, pinned by the differential tests; the frontier
+# sets, the Kahn toposort and the per-vertex rebuilds run on the
+# labeling's UpdateScratch (generation-stamped marks + cursor buffers)
+# instead of allocating sets/deques/lists per op.
+
+def _delete_vertex_flat(
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    v: Vertex,
+    snapshot: Optional[CSRGraph],
+) -> None:
+    with trace.span("tol.delete") as sp:
+        if sp:
+            sp.set("vertex", str(v))
+            sp.set("engine", "csr")
+            size_before = labeling.size()
+
+        interner = labeling.interner
+        ids = interner.ids
+        scratch = labeling.update_scratch()
+        cap = interner.capacity
+        if snapshot is not None and snapshot.num_vertices > cap:
+            cap = snapshot.num_vertices
+        scratch.begin(cap)
+        mem_fwd = scratch.mem_a
+        mem_bwd = scratch.mem_b
+        mark_fwd = scratch.mark_a
+        mark_bwd = scratch.mark_b
+
+        # The affected sets must be taken while v is still present.  The
+        # member marks (by labeling id) survive drop_vertex: survivors
+        # keep their ids, and v's own id — though recycled onto the free
+        # list — never appears in a surviving label set.
+        if snapshot is None:
+            g_fwd = scratch.next_gen()
+            n_fwd = _frontier_flat(
+                graph.iter_out, ids, v, mark_fwd, g_fwd, mem_fwd,
+                scratch.queue,
+            )
+            g_bwd = scratch.next_gen()
+            n_bwd = _frontier_flat(
+                graph.iter_in, ids, v, mark_bwd, g_bwd, mem_bwd,
+                scratch.queue,
+            )
+        else:
+            n_fwd = _frontier_flat_csr(snapshot, v, True, scratch, mem_fwd)
+            n_bwd = _frontier_flat_csr(snapshot, v, False, scratch, mem_bwd)
+            g_fwd = scratch.next_gen()
+            for i in range(n_fwd):
+                mark_fwd[ids[mem_fwd[i]]] = g_fwd
+            g_bwd = scratch.next_gen()
+            for i in range(n_bwd):
+                mark_bwd[ids[mem_bwd[i]]] = g_bwd
+
+        graph.remove_vertex(v)
+        labeling.drop_vertex(v)  # lines 1–4: purge v from all label sets
+        labeling.order.remove(v)
+
+        # Level-order tags are stable for the whole delete (only order
+        # *insertions* can relabel; ``remove`` never does), so one key
+        # generation makes scratch.keys an exact cache across every
+        # rebuild below.
+        g_key = scratch.next_gen()
+
+        topo = scratch.topo
+        m = _topo_flat(graph, ids, mem_fwd, n_fwd, mark_fwd, g_fwd, True,
+                       scratch)
+        for i in range(m):
+            _rebuild_labels_flat(
+                graph, labeling, topo[i], True, g_bwd, g_fwd, g_key, scratch
+            )
+        m = _topo_flat(graph, ids, mem_bwd, n_bwd, mark_bwd, g_bwd, False,
+                       scratch)
+        for i in range(m):
+            _rebuild_labels_flat(
+                graph, labeling, topo[i], False, 0, 0, g_key, scratch
+            )
+
+        if sp:
+            sp.set("frontier_fwd", n_fwd)
+            sp.set("frontier_bwd", n_bwd)
+            sp.set("labels_removed", size_before - labeling.size())
+
+
+def _frontier_flat(
+    neighbors, ids: dict, v: Vertex, mark: list, gen: int, members: list,
+    queue: list,
+) -> int:
+    """BFS from *v* over the dict adjacency; stamp and collect survivors.
+
+    Marks every reached vertex's labeling id with *gen* in *mark* (v's
+    own id included, as the visited guard) and writes the reached
+    vertices — excluding v — into *members*.  Returns the member count.
+    """
+    mark[ids[v]] = gen
+    queue[0] = v
+    head, tail = 0, 1
+    n = 0
+    while head < tail:
+        x = queue[head]
+        head += 1
+        for u in neighbors(x):
+            uid = ids[u]
+            if mark[uid] == gen:
+                continue
+            mark[uid] = gen
+            members[n] = u
+            n += 1
+            queue[tail] = u
+            tail += 1
+    return n
+
+
+def _frontier_flat_csr(
+    snap: CSRGraph, v: Vertex, forward: bool, scratch, members: list
+) -> int:
+    """:func:`_frontier_flat` over a CSR snapshot's int rows.
+
+    The snapshot must describe the graph exactly (it is taken immediately
+    before the delete); visited stamps are keyed by *snapshot* id, and
+    members are collected as vertex objects for the later id translation.
+    """
+    offsets = snap.out_offsets if forward else snap.in_offsets
+    targets = snap.out_targets if forward else snap.in_targets
+    table = snap.interner.table
+    gen = scratch.next_gen()
+    seen = scratch.seen
+    queue = scratch.queue
+    start = snap.id_of(v)
+    seen[start] = gen
+    queue[0] = start
+    head, tail = 0, 1
+    n = 0
+    while head < tail:
+        x = queue[head]
+        head += 1
+        for s in targets[offsets[x]:offsets[x + 1]]:
+            if seen[s] == gen:
+                continue
+            seen[s] = gen
+            members[n] = table[s]
+            n += 1
+            queue[tail] = s
+            tail += 1
+    return n
+
+
+def _topo_flat(
+    graph: DiGraph,
+    ids: dict,
+    members: list,
+    n: int,
+    mark: list,
+    gen: int,
+    forward: bool,
+    scratch,
+) -> int:
+    """:func:`_local_topological` with stamped membership and flat counts.
+
+    Writes the order into ``scratch.topo`` and returns its length.
+    Membership in the induced subgraph is ``mark[id] == gen``; pending
+    in-degrees live in ``scratch.counts``, indexed by labeling id.
+    """
+    if n == 0:
+        return 0
+    upstream = graph.iter_in if forward else graph.iter_out
+    downstream = graph.iter_out if forward else graph.iter_in
+    counts = scratch.counts
+    queue = scratch.queue
+    topo = scratch.topo
+    tail = 0
+    for i in range(n):
+        u = members[i]
+        c = 0
+        for z in upstream(u):
+            if mark[ids[z]] == gen:
+                c += 1
+        counts[ids[u]] = c
+        if c == 0:
+            queue[tail] = u
+            tail += 1
+    head = 0
+    m = 0
+    while head < tail:
+        u = queue[head]
+        head += 1
+        topo[m] = u
+        m += 1
+        for w in downstream(u):
+            wid = ids[w]
+            if mark[wid] == gen:
+                c = counts[wid] - 1
+                counts[wid] = c
+                if c == 0:
+                    queue[tail] = w
+                    tail += 1
+    if m != n:
+        raise IndexStateError("affected region is not acyclic")
+    return m
+
+
+def _rebuild_labels_flat(
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    u: Vertex,
+    incoming: bool,
+    g_holders: int,
+    g_witnesses: int,
+    g_key: int,
+    scratch,
+) -> None:
+    """:func:`_rebuild_labels` on scratch buffers.
+
+    *g_holders* / *g_witnesses* are the generation stamps marking
+    ``B-(v)`` (in ``scratch.mark_b``) and ``B+(v)`` (``scratch.mark_a``)
+    for the stale-witness guard; ``0`` disables the guard (the second,
+    outgoing pass — every ``Lin`` it consults is already rebuilt).
+
+    The hot loops diverge from the object path in three flat-only ways:
+    level tags come from the per-delete key cache (*g_key*), candidates
+    are sorted as pre-decorated ``(tag, id)`` pairs (no per-element key
+    callback), and the rebuilt label set is tracked as generation marks
+    during admission and bulk-filled once at the end (no per-label
+    ``bisect.insort``).
+    """
+    interner = labeling.interner
+    ids = interner.ids
+    table = interner.table
+    uid = ids[u]
+    okey = labeling.order.key
+    keys = scratch.keys
+    key_mark = scratch.key_mark
+    if key_mark[uid] == g_key:
+        ukey = keys[uid]
+    else:
+        ukey = keys[uid] = okey(u)
+        key_mark[uid] = g_key
+    if incoming:
+        neighbors = graph.iter_in(u)
+        their_labels = labeling.in_ids
+        cover_labels = labeling.out_ids
+        inv_other = labeling.out_holders
+        clear = labeling.clear_in_ids
+        fill = labeling.fill_in_ids
+        remove_mirror = labeling.remove_out_id
+    else:
+        neighbors = graph.iter_out(u)
+        their_labels = labeling.out_ids
+        cover_labels = labeling.in_ids
+        inv_other = labeling.in_holders
+        clear = labeling.clear_out_ids
+        fill = labeling.fill_out_ids
+        remove_mirror = labeling.remove_in_id
+
+    # Candidate collection with stamped dedup, fused with the Level
+    # Constraint prefilter and the key fetch: survivors land in *deco*
+    # already decorated for a C-speed tuple sort.
+    gen = scratch.next_gen()
+    seen = scratch.seen
+    deco = []
+    for z in neighbors:
+        zid = ids[z]
+        if seen[zid] != gen:
+            seen[zid] = gen
+            if key_mark[zid] == g_key:
+                k = keys[zid]
+            else:
+                k = keys[zid] = okey(z)
+                key_mark[zid] = g_key
+            if k < ukey:
+                deco.append((k, zid))
+        for w in their_labels[zid]:
+            if seen[w] != gen:
+                seen[w] = gen
+                if key_mark[w] == g_key:
+                    k = keys[w]
+                else:
+                    k = keys[w] = okey(table[w])
+                    key_mark[w] = g_key
+                if k < ukey:
+                    deco.append((k, w))
+    clear(uid)
+    deco.sort()
+
+    # Re-admit from the highest level down.  Membership of the growing
+    # label set is a generation mark (g_own); the sorted array is built
+    # once from the admitted buffer after the loop.
+    g_own = scratch.next_gen()
+    admitted = scratch.cand
+    a = 0
+    holder_mark = scratch.mark_b
+    witness_mark = scratch.mark_a
+    doomed = scratch.buf_b
+    holders_u = inv_other[uid]
+    for _, w in deco:
+        if g_holders != 0 and holder_mark[w] == g_holders:
+            covered = _covered_flat_suspect(
+                graph, table, cover_labels[w], seen, g_own, w, incoming,
+                witness_mark, g_witnesses,
+            )
+        else:
+            covered = False
+            for x in cover_labels[w]:
+                if seen[x] == g_own:
+                    covered = True
+                    break
+        if covered:
+            continue  # Path Constraint: covered by a higher label
+        seen[w] = g_own
+        admitted[a] = w
+        a += 1
+        # Prune: any s holding w on the opposite side connects to u
+        # through w, so u may no longer label s.  The affected s are
+        # exactly inv_other[w] ∩ inv_other[u]; iterate the smaller side.
+        holders_w = inv_other[w]
+        if holders_u and holders_w:
+            d = 0
+            if len(holders_u) <= len(holders_w):
+                for s in holders_u:
+                    if s in holders_w:
+                        doomed[d] = s
+                        d += 1
+            else:
+                for s in holders_w:
+                    if s in holders_u:
+                        doomed[d] = s
+                        d += 1
+            for j in range(d):
+                remove_mirror(doomed[j], uid)
+    fill(uid, sorted(admitted[:a]))
+
+
+def _covered_flat_suspect(
+    graph: DiGraph,
+    table: list,
+    cover,
+    seen: list,
+    g_own: int,
+    w: int,
+    incoming: bool,
+    witness_mark: list,
+    g_witnesses: int,
+) -> bool:
+    """:func:`_covered` for a suspect *w*: re-verify stale witnesses.
+
+    Membership of the label set being rebuilt is ``seen[x] == g_own``
+    (the admission marks of :func:`_rebuild_labels_flat`).
+    """
+    for x in cover:
+        if seen[x] != g_own:
+            continue
+        if witness_mark[x] == g_witnesses:
             src, dst = (w, x) if incoming else (x, w)
             if not bidirectional_reachable(graph, table[src], table[dst]):
                 continue

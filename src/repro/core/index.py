@@ -23,7 +23,6 @@ from typing import Optional, Union
 
 from ..errors import IndexStateError, NotADagError
 from ..graph.condensation import CondensationDelta, DynamicCondensation
-from ..graph.dag import ensure_dag
 from ..graph.digraph import DiGraph
 from .butterfly import butterfly_build
 from .insertion import Placement, choose_level, insert_vertex
@@ -57,10 +56,20 @@ class TOLIndex:
     >>> index.delete_vertex("z")
     """
 
-    def __init__(self, graph: DiGraph, labeling: TOLLabeling) -> None:
-        """Wrap an existing (graph, labeling) pair; prefer :meth:`build`."""
+    def __init__(
+        self, graph: DiGraph, labeling: TOLLabeling, *, engine: str = "csr"
+    ) -> None:
+        """Wrap an existing (graph, labeling) pair; prefer :meth:`build`.
+
+        *engine* selects the update kernels: ``"csr"`` (default) runs the
+        flat scratch-backed insertion/deletion, ``"object"`` the legacy
+        allocating path (kept for differential testing).
+        """
+        if engine not in ("csr", "object"):
+            raise IndexStateError(f"unknown update engine {engine!r}")
         self._graph = graph
         self._labeling = labeling
+        self._engine = engine
 
     # ------------------------------------------------------------------
     # Construction
@@ -91,10 +100,13 @@ class TOLIndex:
             Use the pruned Butterfly traversal (see
             :mod:`repro.core.butterfly`).
         engine:
-            Construction engine, passed to
-            :func:`~repro.core.butterfly.butterfly_build`: ``"csr"``
-            (default, flat-array kernel) or ``"object"`` (legacy
-            dict-walking build, kept for differential testing).
+            Kernel engine for both construction and updates: ``"csr"``
+            (default, flat-array kernels) or ``"object"`` (legacy
+            dict-walking/allocating path, kept for differential
+            testing).  Passed to
+            :func:`~repro.core.butterfly.butterfly_build` and remembered
+            for :meth:`insert_vertex` / :meth:`delete_vertex` / the edge
+            ops.
 
         Raises
         ------
@@ -109,7 +121,7 @@ class TOLIndex:
         else:
             level_order = resolve_order_strategy(order)(own)
         labeling = butterfly_build(own, level_order, prune=prune, engine=engine)
-        return cls(own, labeling)
+        return cls(own, labeling, engine=engine)
 
     # ------------------------------------------------------------------
     # Queries and introspection
@@ -156,6 +168,11 @@ class TOLIndex:
     def size_bytes(self) -> int:
         """Index size in bytes (4 bytes per label, as in Figure 5)."""
         return self._labeling.size_bytes()
+
+    @property
+    def engine(self) -> str:
+        """The update-kernel engine (``"csr"`` or ``"object"``)."""
+        return self._engine
 
     @property
     def order(self) -> LevelOrder:
@@ -208,23 +225,41 @@ class TOLIndex:
             raise IndexStateError(f"vertex {v!r} is already indexed")
         ins = list(dict.fromkeys(in_neighbors))
         outs = list(dict.fromkeys(out_neighbors))
+        # Cycle pre-check via the index itself: the only new paths go
+        # through v, so the insertion creates a cycle iff some
+        # out-neighbor already reaches some in-neighbor.  O(|ins|·|outs|)
+        # label intersections instead of a full-graph toposort — the same
+        # trick insert_edge uses.  (Skipped when a neighbor is unindexed;
+        # insert_vertex below raises IndexStateError for that before
+        # touching the labeling.)
+        labeling = self._labeling
+        if all(u in labeling for u in ins) and all(w in labeling for w in outs):
+            for w in outs:
+                for u in ins:
+                    if labeling.query(w, u):
+                        raise NotADagError(
+                            f"inserting {v!r} would create a cycle "
+                            f"({u!r} -> {v!r} -> {w!r} -> ... -> {u!r})"
+                        )
         self._graph.add_vertex(v)
         try:
             for u in ins:
                 self._graph.add_edge(u, v)
             for w in outs:
                 self._graph.add_edge(v, w)
-            ensure_dag(self._graph)
         except Exception:
             self._graph.discard_vertex(v)
             raise
-        insert_vertex(self._graph, self._labeling, v, placement=placement)
+        insert_vertex(
+            self._graph, self._labeling, v,
+            placement=placement, engine=self._engine,
+        )
 
     def delete_vertex(self, v: Vertex) -> None:
         """Delete vertex *v* and its incident edges (Algorithm 4)."""
         if v not in self._labeling:
             raise IndexStateError(f"vertex {v!r} is not indexed")
-        delete_vertex(self._graph, self._labeling, v)
+        delete_vertex(self._graph, self._labeling, v, engine=self._engine)
 
     def insert_edge(self, tail: Vertex, head: Vertex) -> None:
         """Insert the edge ``tail -> head`` between indexed vertices.
@@ -276,10 +311,23 @@ class TOLIndex:
         so every vertex whose labels depended on paths through ``v`` (via
         old edges) is inside ``B+(v)``/``B-(v)`` and gets rebuilt; the
         re-insertion then introduces the *new* adjacency exactly.
+
+        With the flat engine, **one** CSR snapshot — packed here, while
+        graph and snapshot still agree exactly — serves both halves of
+        the round trip: the delete's frontier BFS walks it as-is, and the
+        re-insert's spread tolerates its staleness around ``v`` (the flat
+        spread seeds from the live neighbor lists and never reads rows of
+        ``v``; see :mod:`repro.core.insertion`).  The object engine keeps
+        its snapshot-free dict traversals: its spread reads ``v``'s own
+        snapshot rows, which are exactly what the round trip changes.
         """
         order = self._labeling.order
         successor = order.successor(v)
-        delete_vertex(self._graph, self._labeling, v)
+        engine = self._engine
+        snap = self._graph.csr() if engine == "csr" else None
+        delete_vertex(
+            self._graph, self._labeling, v, engine=engine, snapshot=snap
+        )
         self._graph.add_vertex(v)
         for u in new_ins:
             self._graph.add_edge(u, v)
@@ -288,7 +336,10 @@ class TOLIndex:
         placement: Placement = (
             "bottom" if successor is None else ("above", successor)
         )
-        insert_vertex(self._graph, self._labeling, v, placement=placement)
+        insert_vertex(
+            self._graph, self._labeling, v,
+            placement=placement, snapshot=snap, engine=engine,
+        )
 
     def descendants(self, v: Vertex) -> set[Vertex]:
         """All vertices reachable from *v* (excluding *v*), via the graph."""
@@ -320,7 +371,7 @@ class TOLIndex:
         """
         self.insert_vertex(v, in_neighbors, out_neighbors, placement="bottom")
         try:
-            return choose_level(self._labeling, v)
+            return choose_level(self._labeling, v, engine=self._engine)
         finally:
             self.delete_vertex(v)
 
@@ -373,6 +424,7 @@ class ReachabilityIndex:
         # error, exactly as TOLIndex.build does (uniform across facades).
         self._order_strategy = resolve_order_strategy(order)
         self._prune = prune
+        self._engine = engine
         self._tol = TOLIndex.build(
             self._condensation.dag,
             order=self._order_strategy,
@@ -426,6 +478,11 @@ class ReachabilityIndex:
     def size_bytes(self) -> int:
         """Size in bytes of the underlying TOL index."""
         return self._tol.size_bytes()
+
+    @property
+    def engine(self) -> str:
+        """The update-kernel engine (``"csr"`` or ``"object"``)."""
+        return self._engine
 
     @property
     def tol(self) -> TOLIndex:

@@ -49,6 +49,32 @@ All label reads and writes go through the interned-id representation: the
 sweep's Δk accounting, the cover checks, and the crossings operate on
 sorted ``array('i')`` buffers and ``set[int]`` inverted lists, mapping back
 to user vertex objects only at the :class:`Placement` boundary.
+
+Engines
+-------
+Every step exists twice.  The default ``engine="csr"`` kernels run on the
+labeling's reusable :class:`~repro.core.scratch.UpdateScratch`:
+generation-stamped mark arrays replace per-op ``set`` objects, cursor
+buffers replace per-op lists/deques/tuples, so a steady-state insert
+allocates almost nothing (the remaining allocations are ``sorted()`` calls
+over label-sized candidate lists, documented where they occur).  The
+legacy ``engine="object"`` path builds fresh containers per op and is
+retained for differential testing — both are pinned against each other
+and against the Definition-1 reference by
+``tests/core/test_update_differential.py``.
+
+Snapshot reuse
+--------------
+With ``engine="csr"`` the spread may run over a CSR snapshot whose rows
+*touching v* are stale: the flat spread seeds its BFS from the caller's
+live neighbor lists and marks ``v``'s snapshot id visited up front, so
+``v``'s own (possibly stale) rows are never read, and stale entries of
+``v`` in other rows are skipped as already-visited.  Rows not involving
+``v`` must match the live graph.  This is what lets one snapshot, packed
+before an edge-op's delete half, serve the re-insert half too
+(:meth:`TOLIndex.insert_edge` / :meth:`~TOLIndex.delete_edge`).  The
+object engine still requires an exact snapshot (its spread starts from
+``v``'s snapshot rows).
 """
 
 from __future__ import annotations
@@ -104,6 +130,7 @@ def insert_vertex(
     *,
     placement: Optional[Placement] = None,
     snapshot: Optional[CSRGraph] = None,
+    engine: str = "csr",
 ) -> None:
     """Insert vertex *v* into the index (Section 5.1).
 
@@ -121,64 +148,82 @@ def insert_vertex(
         ``"bottom"`` gives ``v`` the lowest level (the cheap choice
         discussed in Section 5.1.2); ``("above", u)`` places it explicitly.
     snapshot:
-        Optional :class:`~repro.graph.csr.CSRGraph` describing *graph*'s
-        current state (``v`` included).  When given, the materialization
-        traverses the flat snapshot arrays instead of the dict adjacency —
-        the Section-6 reduction passes one snapshot for a whole sweep of
-        delete/re-insert round trips (each trip restores the snapshotted
-        state; see the snapshot reuse contract in ``docs/api.md``).
+        Optional :class:`~repro.graph.csr.CSRGraph` over which the label
+        spread traverses flat arrays instead of the dict adjacency.  The
+        Section-6 reduction passes one snapshot for a whole sweep of
+        delete/re-insert round trips; the edge ops of
+        :class:`~repro.core.index.TOLIndex` reuse the snapshot packed for
+        the delete half.  With ``engine="csr"`` rows touching ``v`` may be
+        stale (the spread seeds from the live neighbor lists; see module
+        docstring); with ``engine="object"`` the snapshot must describe
+        *graph* exactly.
+    engine:
+        ``"csr"`` (default) runs the flat scratch-backed kernels;
+        ``"object"`` the legacy per-op-allocating path (kept for
+        differential testing).
 
     Raises
     ------
     IndexStateError
-        If *v* is already indexed, missing from the graph, or a neighbor
-        is not indexed.
+        If *v* is already indexed, missing from the graph, a neighbor is
+        not indexed, or *engine* is unknown.
     """
+    if engine not in ("csr", "object"):
+        raise IndexStateError(f"unknown update engine {engine!r}")
     if v in labeling:
         raise IndexStateError(f"vertex {v!r} is already indexed")
     if v not in graph:
         raise IndexStateError(f"vertex {v!r} is not in the graph")
-    if snapshot is not None:
-        ins = snapshot.in_neighbors(v)
-        outs = snapshot.out_neighbors(v)
-    else:
-        ins = list(graph.in_neighbors(v))
-        outs = list(graph.out_neighbors(v))
-    for u in ins + outs:
+    # Neighbor lists come from the live graph — the one source of truth
+    # even when a (possibly v-stale) snapshot drives the traversal.
+    ins = list(graph.in_neighbors(v))
+    outs = list(graph.out_neighbors(v))
+    for u in ins:
         if u not in labeling:
             raise IndexStateError(f"neighbor {u!r} is not indexed")
+    for u in outs:
+        if u not in labeling:
+            raise IndexStateError(f"neighbor {u!r} is not indexed")
+    flat = engine == "csr"
+    materialize = _materialize_flat if flat else _materialize
 
     with trace.span("tol.insert") as sp:
         if sp:
             sp.set("vertex", str(v))
             sp.set("in_degree", len(ins))
             sp.set("out_degree", len(outs))
+            sp.set("engine", engine)
             size_before = labeling.size()
 
         if placement is not None:
-            _materialize(graph, labeling, v, placement, ins, outs, snapshot)
+            materialize(graph, labeling, v, placement, ins, outs, snapshot)
             if sp:
                 sp.set("labels_added", labeling.size() - size_before)
                 sp.set("placement", "explicit")
             return
 
         # Step 1 (Algorithm 3): bottom-place, sweep, relocate if profitable.
-        _materialize(graph, labeling, v, "bottom", ins, outs, snapshot)
+        materialize(graph, labeling, v, "bottom", ins, outs, snapshot)
         with trace.span("tol.insert.choose_level") as level_sp:
-            choice = choose_level(labeling, v)
+            choice = choose_level(labeling, v, engine=engine)
             if level_sp:
                 level_sp.set("candidates_scanned", choice.candidates_scanned)
                 level_sp.set("theta", choice.theta)
         if choice.placement != "bottom":
             _, anchor = choice.placement
-            _relocate_upward(labeling, v, anchor)
+            if flat:
+                _relocate_upward_flat(labeling, v, anchor)
+            else:
+                _relocate_upward(labeling, v, anchor)
         if sp:
             sp.set("labels_added", labeling.size() - size_before)
             sp.set("relocated", int(choice.placement != "bottom"))
             sp.set("theta", choice.theta)
 
 
-def choose_level(labeling: TOLLabeling, v: Vertex) -> LevelChoice:
+def choose_level(
+    labeling: TOLLabeling, v: Vertex, *, engine: str = "csr"
+) -> LevelChoice:
     """Algorithm-3 sweep: find the upward move of *v* that minimizes ``|L|``.
 
     *v* must already be indexed; the sweep simulates sliding it upward from
@@ -198,6 +243,10 @@ def choose_level(labeling: TOLLabeling, v: Vertex) -> LevelChoice:
 
     Ties prefer the lowest position (least disruption, cheapest to apply).
     """
+    if engine == "csr":
+        return _choose_level_flat(labeling, v)
+    if engine != "object":
+        raise IndexStateError(f"unknown update engine {engine!r}")
     vid = labeling.interner.ids[v]
     in_ids = labeling.in_ids
     out_ids = labeling.out_ids
@@ -566,3 +615,514 @@ def _arr_meets_set(arr, ids: set) -> bool:
         if x in ids:
             return True
     return False
+
+
+# ----------------------------------------------------------------------
+# Flat kernels (engine="csr"): the same algorithms on reusable scratch
+# ----------------------------------------------------------------------
+#
+# Semantics are pinned to the object path above by the differential tests;
+# the only intentional behavioral difference is allocation: per-op sets,
+# deques and tuples become generation-stamped mark arrays and cursor
+# buffers on the labeling's UpdateScratch.  The few remaining allocations
+# are the sorted() calls over label-sized candidate lists (each feeds a
+# level-ordered admission scan, which needs an actually-sorted sequence).
+
+def _materialize_flat(
+    graph: DiGraph,
+    labeling: TOLLabeling,
+    v: Vertex,
+    placement: Placement,
+    ins: list,
+    outs: list,
+    snapshot: Optional[CSRGraph],
+) -> None:
+    """:func:`_materialize` on the labeling's reusable scratch."""
+    order = labeling.order
+    if placement == "bottom":
+        order.insert_last(v)
+    else:
+        kind, anchor = placement
+        if kind != "above":
+            raise IndexStateError(f"unknown placement {placement!r}")
+        order.insert_before(v, anchor)
+    labeling.add_vertex(v)
+
+    scratch = labeling.update_scratch()
+    cap = labeling.interner.capacity
+    if snapshot is not None and snapshot.num_vertices > cap:
+        cap = snapshot.num_vertices
+    scratch.begin(cap)
+
+    _build_own_labels_flat(labeling, v, ins, outs, scratch)
+    if snapshot is not None:
+        _spread_flat_csr(snapshot, labeling, v, outs, True, scratch)
+        _spread_flat_csr(snapshot, labeling, v, ins, False, scratch)
+    else:
+        _spread_flat(graph, labeling, v, True, scratch)
+        _spread_flat(graph, labeling, v, False, scratch)
+    _prune_through_flat(labeling, labeling.interner.ids[v], scratch)
+    _repair_other_labels_flat(labeling, v, scratch)
+
+
+def _build_own_labels_flat(
+    labeling: TOLLabeling, v: Vertex, ins: list, outs: list, scratch
+) -> None:
+    """:func:`_build_own_labels` with stamped dedup and a cursor buffer."""
+    ids = labeling.interner.ids
+    table = labeling.interner.table
+    okey = labeling.order.key
+    vid = ids[v]
+    vkey = okey(v)
+    seen = scratch.seen
+    cand = scratch.cand
+    for incoming in (True, False):
+        neighbors = ins if incoming else outs
+        neighbor_labels = labeling.in_ids if incoming else labeling.out_ids
+        covering = labeling.out_ids if incoming else labeling.in_ids
+        add = labeling.add_in_id if incoming else labeling.add_out_id
+        own = neighbor_labels[vid]  # live: grows as labels are admitted
+        gen = scratch.next_gen()
+        n = 0
+        for u in neighbors:
+            uid = ids[u]
+            if seen[uid] != gen:
+                seen[uid] = gen
+                cand[n] = uid
+                n += 1
+            for w in neighbor_labels[uid]:
+                if seen[w] != gen:
+                    seen[w] = gen
+                    cand[n] = w
+                    n += 1
+        # Level Constraint prefilter fused with key decoration, then a
+        # tuple sort and an admission scan from the highest level down.
+        deco = []
+        for i in range(n):
+            u = cand[i]
+            k = okey(table[u])
+            if k < vkey:
+                deco.append((k, u))
+        deco.sort()
+        for _, u in deco:
+            if ids_intersect(covering[u], own):
+                continue
+            add(vid, u)
+
+
+def _spread_flat(
+    graph: DiGraph, labeling: TOLLabeling, v: Vertex, forward: bool, scratch
+) -> None:
+    """:func:`_spread_new_labels` with a stamped seen array and flat queue."""
+    ids = labeling.interner.ids
+    okey = labeling.order.key
+    vkey = okey(v)
+    vid = ids[v]
+    if forward:
+        neighbors = graph.iter_out
+        my_labels = labeling.out_ids[vid]
+        their_labels = labeling.in_ids
+        add_label = labeling.add_in_id
+    else:
+        neighbors = graph.iter_in
+        my_labels = labeling.in_ids[vid]
+        their_labels = labeling.out_ids
+        add_label = labeling.add_out_id
+
+    gen = scratch.next_gen()
+    seen = scratch.seen
+    queue = scratch.queue
+    seen[vid] = gen
+    queue[0] = v
+    head, tail = 0, 1
+    intersect = ids_intersect
+    while head < tail:
+        x = queue[head]
+        head += 1
+        for u in neighbors(x):
+            uid = ids[u]
+            if seen[uid] == gen:
+                continue
+            seen[uid] = gen
+            if okey(u) < vkey:
+                continue  # higher level: never receives v
+            if intersect(my_labels, their_labels[uid]):
+                continue  # covered: prune this branch
+            add_label(uid, vid)
+            queue[tail] = u
+            tail += 1
+
+
+def _spread_flat_csr(
+    snap: CSRGraph,
+    labeling: TOLLabeling,
+    v: Vertex,
+    seeds: list,
+    forward: bool,
+    scratch,
+) -> None:
+    """:func:`_spread_flat` over a CSR snapshot's flat arrays.
+
+    The BFS is seeded from the caller's *live* neighbor list rather than
+    ``v``'s snapshot rows, and ``v``'s snapshot id is pre-marked visited —
+    together these make the traversal exact even when the snapshot's rows
+    touching ``v`` are stale (the snapshot reuse contract for edge ops;
+    see module docstring).
+    """
+    ids = labeling.interner.ids
+    table = snap.interner.table
+    okey = labeling.order.key
+    vid = ids[v]
+    vkey = okey(v)
+    if forward:
+        offsets = snap.out_offsets
+        targets = snap.out_targets
+        my_labels = labeling.out_ids[vid]
+        their_labels = labeling.in_ids
+        add_label = labeling.add_in_id
+    else:
+        offsets = snap.in_offsets
+        targets = snap.in_targets
+        my_labels = labeling.in_ids[vid]
+        their_labels = labeling.out_ids
+        add_label = labeling.add_out_id
+
+    gen = scratch.next_gen()
+    seen = scratch.seen
+    queue = scratch.queue
+    seen[snap.id_of(v)] = gen  # never read v's (possibly stale) rows
+    head = tail = 0
+    intersect = ids_intersect
+    for u in seeds:
+        s = snap.id_of(u)
+        if seen[s] == gen:
+            continue
+        seen[s] = gen
+        if okey(u) < vkey:
+            continue
+        uid = ids[u]
+        if intersect(my_labels, their_labels[uid]):
+            continue
+        add_label(uid, vid)
+        queue[tail] = s
+        tail += 1
+    while head < tail:
+        x = queue[head]
+        head += 1
+        for s in targets[offsets[x]:offsets[x + 1]]:
+            if seen[s] == gen:
+                continue
+            seen[s] = gen
+            u = table[s]
+            if okey(u) < vkey:
+                continue
+            uid = ids[u]
+            if intersect(my_labels, their_labels[uid]):
+                continue
+            add_label(uid, vid)
+            queue[tail] = s
+            tail += 1
+
+
+def _repair_other_labels_flat(
+    labeling: TOLLabeling, v: Vertex, scratch
+) -> None:
+    """:func:`_repair_other_labels` on scratch buffers.
+
+    Labels are pre-decorated with their level tags and tuple-sorted (one
+    C-level sort, no per-element key callback); the decorated lists feed
+    :func:`_repair_direction_flat` so sink keys are computed once, not
+    once per (source, sink) pair.
+    """
+    vid = labeling.interner.ids[v]
+    okey = labeling.order.key
+    table = labeling.interner.table
+    own_in = sorted((okey(table[u]), u) for u in labeling.in_ids[vid])
+    own_out = sorted((okey(table[u]), u) for u in labeling.out_ids[vid])
+    _repair_direction_flat(labeling, vid, own_in, own_out, True, scratch)
+    _repair_direction_flat(labeling, vid, own_out, own_in, False, scratch)
+
+
+def _repair_direction_flat(
+    labeling: TOLLabeling,
+    vid: int,
+    sources: list,
+    sinks: list,
+    incoming: bool,
+    scratch,
+) -> None:
+    """:func:`_repair_direction` on level-decorated ``(key, id)`` pairs.
+
+    *sources* and *sinks* arrive as sorted ``(level tag, id)`` tuples, so
+    the Level Constraint compares cached ints instead of calling
+    ``level_key`` per (source, sink) pair (the order does not mutate
+    during a repair, so the tags stay valid throughout).
+    """
+    if incoming:
+        their_labels = labeling.in_ids
+        cover_labels = labeling.out_ids
+        inv = labeling.in_holders
+        add = labeling.add_in_id
+    else:
+        their_labels = labeling.out_ids
+        cover_labels = labeling.in_ids
+        inv = labeling.out_holders
+        add = labeling.add_out_id
+
+    intersect = ids_intersect
+    for u_key, u in sources:  # ascending level value == highest first
+        u_cover = cover_labels[u]
+        # Iterating inv[w] live is safe: the only mutation inside this
+        # loop is add(x, u), which touches inv[u] — and a source u is
+        # never among the sinks (disjoint label sets of a DAG vertex).
+        for w_key, w in sinks:
+            if w_key < u_key:
+                continue  # Level Constraint: only lower-level sinks
+            their_w = their_labels[w]
+            if u not in their_w and not intersect(u_cover, their_w):
+                add(w, u)
+            for x in inv[w]:
+                their_x = their_labels[x]
+                if u not in their_x and not intersect(u_cover, their_x):
+                    add(x, u)
+        their_v = their_labels[vid]
+        if u not in their_v and not intersect(u_cover, their_v):
+            add(vid, u)
+        for x in inv[vid]:
+            their_x = their_labels[x]
+            if u not in their_x and not intersect(u_cover, their_x):
+                add(x, u)
+        _prune_through_flat(labeling, u, scratch)
+
+
+def _prune_through_flat(labeling: TOLLabeling, uid: int, scratch) -> None:
+    """:func:`_prune_through` on interned ids with stamped holder sets.
+
+    The object path tests ``b in Lout(a)`` by scanning the sorted label
+    array — O(|holders| x |labels|) per direction.  Here each holder set
+    is stamped into a generation-marked array once, so every label array
+    is scanned exactly once with O(1) membership probes; the listcomp
+    copies stay (C-speed bulk ops — Python-level cursor loops measured
+    *slower*, the scratch contract's documented allocation compromise).
+    """
+    holders_out = labeling.out_holders[uid]  # a with u ∈ Lout(a)
+    holders_in = labeling.in_holders[uid]  # b with u ∈ Lin(b)
+    if not holders_out or not holders_in:
+        return
+    out_ids = labeling.out_ids
+    in_ids = labeling.in_ids
+    remove_out = labeling.remove_out_id
+    discard_in = labeling.discard_in_id
+    remove_in = labeling.remove_in_id
+    discard_out = labeling.discard_out_id
+    marks = scratch.seen
+    g_in = scratch.next_gen()
+    for b in holders_in:
+        marks[b] = g_in
+    for a in list(holders_out):
+        doomed = [b for b in out_ids[a] if marks[b] == g_in]
+        for b in doomed:
+            remove_out(a, b)
+            discard_in(b, a)
+    g_out = scratch.next_gen()
+    for a in holders_out:
+        marks[a] = g_out
+    for b in list(holders_in):
+        doomed = [a for a in in_ids[b] if marks[a] == g_out]
+        for a in doomed:
+            remove_in(b, a)
+            discard_out(a, b)
+
+
+def _choose_level_flat(labeling: TOLLabeling, v: Vertex) -> LevelChoice:
+    """The Algorithm-3 sweep on stamped mark arrays.
+
+    One mark array holds both simulated label sets (``sim_in`` under one
+    generation, ``sim_out`` under another — disjoint in a DAG, so the
+    stamps never collide), a second holds both simulated inverted sets;
+    the inverted sets' members are additionally kept in append-only
+    cursor buffers because the ``-1`` accounting iterates them (they only
+    ever grow during the sweep).
+    """
+    interner = labeling.interner
+    vid = interner.ids[v]
+    table = interner.table
+    in_ids = labeling.in_ids
+    out_ids = labeling.out_ids
+    in_holders = labeling.in_holders
+    out_holders = labeling.out_holders
+    okey = labeling.order.key
+
+    scratch = labeling.update_scratch()
+    scratch.begin(interner.capacity)
+    g_sim_in = scratch.next_gen()
+    g_sim_out = scratch.next_gen()
+    g_inv_in = scratch.next_gen()
+    g_inv_out = scratch.next_gen()
+    sim = scratch.mark_a
+    invm = scratch.mark_b
+    cand = scratch.cand
+    n = 0
+    for u in in_ids[vid]:
+        sim[u] = g_sim_in
+        cand[n] = u
+        n += 1
+    for u in out_ids[vid]:
+        sim[u] = g_sim_out
+        cand[n] = u
+        n += 1
+    deco = sorted(((okey(table[cand[i]]), cand[i]) for i in range(n)),
+                  reverse=True)
+    candidates = [u for _, u in deco]
+    inv_in = scratch.buf_a
+    n_iin = 0
+    for w in in_holders[vid]:
+        invm[w] = g_inv_in
+        inv_in[n_iin] = w
+        n_iin += 1
+    inv_out = scratch.buf_b
+    n_iout = 0
+    for w in out_holders[vid]:
+        invm[w] = g_inv_out
+        inv_out[n_iout] = w
+        n_iout += 1
+
+    best_placement: Placement = "bottom"
+    best_theta = 0
+    theta = 0
+    # The meets-marks probes are inlined (for/else) — they run once per
+    # inverted-set neighbor and the call overhead dominated the scan.
+    for u in candidates:
+        delta = 0
+        if sim[u] == g_sim_in:
+            sim[u] = 0
+            invm[u] = g_inv_out
+            inv_out[n_iout] = u
+            n_iout += 1
+            for i in range(n_iin):
+                w = inv_in[i]
+                if u in in_ids[w]:
+                    delta -= 1
+            for w in out_holders[u]:
+                if invm[w] != g_inv_out:
+                    for y in out_ids[w]:
+                        if sim[y] == g_sim_in:
+                            break
+                    else:
+                        delta += 1
+                        invm[w] = g_inv_out
+                        inv_out[n_iout] = w
+                        n_iout += 1
+        else:
+            sim[u] = 0
+            invm[u] = g_inv_in
+            inv_in[n_iin] = u
+            n_iin += 1
+            for i in range(n_iout):
+                w = inv_out[i]
+                if u in out_ids[w]:
+                    delta -= 1
+            for w in in_holders[u]:
+                if invm[w] != g_inv_in:
+                    for y in in_ids[w]:
+                        if sim[y] == g_sim_out:
+                            break
+                    else:
+                        delta += 1
+                        invm[w] = g_inv_in
+                        inv_in[n_iin] = w
+                        n_iin += 1
+        theta += delta
+        if theta < best_theta:
+            best_theta = theta
+            best_placement = ("above", table[u])
+    return LevelChoice(best_placement, best_theta, len(candidates))
+
+
+def _relocate_upward_flat(
+    labeling: TOLLabeling, v: Vertex, anchor: Vertex
+) -> None:
+    """:func:`_relocate_upward` with cursor copies instead of tuples."""
+    order = labeling.order
+    ids = labeling.interner.ids
+    vid = ids[v]
+    anchor_id = ids[anchor]
+    in_ids = labeling.in_ids
+    out_ids = labeling.out_ids
+    in_holders = labeling.in_holders
+    out_holders = labeling.out_holders
+    add_in = labeling.add_in_id
+    add_out = labeling.add_out_id
+    remove_in = labeling.remove_in_id
+    remove_out = labeling.remove_out_id
+    intersect = ids_intersect
+    own_in = in_ids[vid]  # live: shrinks as candidates are crossed
+    own_out = out_ids[vid]
+
+    scratch = labeling.update_scratch()
+    scratch.begin(labeling.interner.capacity)
+    okey = order.key
+    table = labeling.interner.table
+    deco = sorted(
+        ((okey(table[u]), u) for a in (own_in, own_out) for u in a),
+        reverse=True,
+    )
+    candidates = [u for _, u in deco]
+    buf = scratch.buf_a
+    crossed_anchor = False
+    for u in candidates:
+        if u in own_in:
+            remove_in(vid, u)
+            add_out(u, vid)
+            m = 0
+            for w in in_holders[vid]:
+                buf[m] = w
+                m += 1
+            for i in range(m):
+                w = buf[i]
+                if u in in_ids[w]:
+                    remove_in(w, u)
+            m = 0
+            for w in out_holders[u]:
+                buf[m] = w
+                m += 1
+            for i in range(m):
+                w = buf[i]
+                if (
+                    w != vid
+                    and vid not in out_ids[w]
+                    and not intersect(out_ids[w], own_in)
+                ):
+                    add_out(w, vid)
+        else:
+            remove_out(vid, u)
+            add_in(u, vid)
+            m = 0
+            for w in out_holders[vid]:
+                buf[m] = w
+                m += 1
+            for i in range(m):
+                w = buf[i]
+                if u in out_ids[w]:
+                    remove_out(w, u)
+            m = 0
+            for w in in_holders[u]:
+                buf[m] = w
+                m += 1
+            for i in range(m):
+                w = buf[i]
+                if (
+                    w != vid
+                    and vid not in in_ids[w]
+                    and not intersect(in_ids[w], own_out)
+                ):
+                    add_in(w, vid)
+        if u == anchor_id:
+            crossed_anchor = True
+            break
+    if not crossed_anchor:
+        raise IndexStateError(
+            f"relocation anchor {anchor!r} is not a label of {v!r}"
+        )
+    order.remove(v)
+    order.insert_before(v, anchor)

@@ -166,6 +166,16 @@ class VertexInterner:
             raise UnknownVertexError(i)
         return v
 
+    def is_live(self, i: int) -> bool:
+        """``True`` iff id *i* is currently assigned to a live vertex.
+
+        The scratch-backed update kernels size their mark arrays to
+        :attr:`capacity`, holes included; this predicate lets callers
+        (tests, invariant checks) distinguish live slots from free-listed
+        holes without touching the private table.
+        """
+        return 0 <= i < len(self._table) and self._table[i] is not _EMPTY
+
     # ------------------------------------------------------------------
     # Raw views (hot paths index these directly; treat as read-only)
     # ------------------------------------------------------------------

@@ -214,6 +214,7 @@ class TOLLabeling:
         "label_out",
         "inv_in",
         "inv_out",
+        "scratch",
     )
 
     def __init__(
@@ -241,6 +242,9 @@ class TOLLabeling:
         self.label_out = _SideView(self, self.out_ids)
         self.inv_in = _SideView(self, self.in_holders)
         self.inv_out = _SideView(self, self.out_holders)
+        #: Lazily-created :class:`~repro.core.scratch.UpdateScratch` the
+        #: flat update kernels reuse across ops (see update_scratch()).
+        self.scratch = None
         if interner is None:
             # Bulk path: a fresh interner has no free ids, and a LevelOrder
             # holds distinct vertices, so the whole order interns densely in
@@ -348,6 +352,20 @@ class TOLLabeling:
         """Order sort key of the vertex with id *i* (smaller == higher)."""
         return self.order.key(self.interner.table[i])
 
+    def update_scratch(self):
+        """The labeling's reusable update-kernel scratch (created lazily).
+
+        One :class:`~repro.core.scratch.UpdateScratch` per labeling, shared
+        by every flat insertion/deletion; buffer identity is stable across
+        ops, which is what makes steady-state updates allocation-free.
+        """
+        s = self.scratch
+        if s is None:
+            from .scratch import UpdateScratch
+
+            s = self.scratch = UpdateScratch()
+        return s
+
     # ------------------------------------------------------------------
     # Label mutation — id level (inverted lists stay in sync)
     # ------------------------------------------------------------------
@@ -426,6 +444,34 @@ class TOLLabeling:
         for uid in a:
             self.out_holders[uid].remove(vid)
         del a[:]
+        self.out_sets[vid] = None
+
+    def fill_in_ids(self, vid: int, uids) -> None:
+        """Bulk-set ``Lin(vid)`` from *uids* (sorted ascending, distinct).
+
+        The batch counterpart of repeated :meth:`add_in_id` for a label
+        set that was just cleared: one C-speed ``extend`` instead of a
+        ``bisect.insort`` per label.  ``Lin(vid)`` must currently be
+        empty; the deletion rebuild kernel is the intended caller.
+        """
+        a = self.in_ids[vid]
+        if a:
+            raise IndexStateError(f"fill_in_ids: Lin({vid}) is not empty")
+        a.extend(uids)
+        holders = self.in_holders
+        for uid in a:
+            holders[uid].add(vid)
+        self.in_sets[vid] = None
+
+    def fill_out_ids(self, vid: int, uids) -> None:
+        """Bulk-set ``Lout(vid)`` (mirror of :meth:`fill_in_ids`)."""
+        a = self.out_ids[vid]
+        if a:
+            raise IndexStateError(f"fill_out_ids: Lout({vid}) is not empty")
+        a.extend(uids)
+        holders = self.out_holders
+        for uid in a:
+            holders[uid].add(vid)
         self.out_sets[vid] = None
 
     # ------------------------------------------------------------------

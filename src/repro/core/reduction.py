@@ -119,7 +119,7 @@ def reduce_labels(
                 outs = snap.out_neighbors(v)
                 anchor_above = labeling.order.predecessor(v)
                 anchor_below = labeling.order.successor(v)
-                delete_vertex(graph, labeling, v)
+                delete_vertex(graph, labeling, v, snapshot=snap)
                 graph.add_vertex_if_absent(v)
                 for u in ins:
                     graph.add_edge(u, v)

@@ -17,10 +17,11 @@ import socket
 from dataclasses import dataclass
 from typing import Optional
 
+from ..core.ops import UpdateOp
 from ..errors import ProtocolError
-from ..service.updates import UpdateOp
 from .protocol import (
     PROTOCOL_VERSION,
+    encode_update_ops,
     raise_for_error,
     recv_frame_sync,
     send_frame_sync,
@@ -93,21 +94,40 @@ class ReachabilityClient:
             degraded=payload.get("degraded", False),
         )
 
-    def update(self, ops) -> int:
-        """Apply :class:`~repro.service.updates.UpdateOp` values; return
-        the number accepted."""
-        wire_ops = [
-            op.to_wire() if isinstance(op, UpdateOp) else op for op in ops
-        ]
-        return self._call({"op": "update", "ops": wire_ops})["applied"]
+    def apply(self, op: UpdateOp) -> int:
+        """Apply one :class:`~repro.core.ops.UpdateOp`; return ops accepted."""
+        return self.apply_batch([op])
+
+    def apply_batch(self, ops) -> int:
+        """Apply :class:`~repro.core.ops.UpdateOp` values in one frame;
+        return the number accepted.
+
+        This is the unified update entry point, mirroring
+        :meth:`ReachabilityService.apply_batch` server-side.  Passing
+        raw pre-encoded wire dicts still works but is deprecated —
+        construct :class:`UpdateOp` values instead.
+        """
+        ops = encode_update_ops(ops)
+        return self._call({"op": "update", "ops": ops})["applied"]
+
+    # Historical name for apply_batch.
+    update = apply_batch
+
+    def insert_vertex(self, v, in_neighbors=(), out_neighbors=()) -> int:
+        """Convenience single-op update (routes through :meth:`apply`)."""
+        return self.apply(UpdateOp.insert_vertex(v, in_neighbors, out_neighbors))
+
+    def delete_vertex(self, v) -> int:
+        """Convenience single-op update."""
+        return self.apply(UpdateOp.delete_vertex(v))
 
     def insert_edge(self, tail, head) -> int:
         """Convenience single-op update."""
-        return self.update([UpdateOp.insert_edge(tail, head)])
+        return self.apply(UpdateOp.insert_edge(tail, head))
 
     def delete_edge(self, tail, head) -> int:
         """Convenience single-op update."""
-        return self.update([UpdateOp.delete_edge(tail, head)])
+        return self.apply(UpdateOp.delete_edge(tail, head))
 
     def ping(self) -> dict:
         """Round-trip liveness probe; returns the pong envelope."""

@@ -34,8 +34,12 @@ index surfaces as ``UnknownVertexError`` in the caller's process — a
 structured response, not a connection teardown.
 
 JSON round-trips tuple vertices as lists; :func:`wire_vertex` restores
-them on the way in, mirroring the WAL convention in
-:mod:`repro.service.updates`.
+them on the way in.
+
+The ``update`` envelope's ``ops`` field carries
+:meth:`repro.core.ops.UpdateOp.to_dict` dicts — the same encoding WAL
+records use — via :func:`encode_update_ops` / :func:`decode_update_ops`,
+so the queue, the log, and the wire all speak one format.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ import json
 import struct
 from typing import Any, Optional
 
+from ..core.ops import UpdateOp
 from ..errors import (
     OverloadedError,
     ProtocolError,
@@ -68,6 +73,8 @@ __all__ = [
     "raise_for_error",
     "wire_vertex",
     "wire_pairs",
+    "encode_update_ops",
+    "decode_update_ops",
 ]
 
 #: Version tag every frame carries; bumped on incompatible changes.
@@ -255,6 +262,39 @@ def raise_for_error(error: dict) -> None:
 def wire_vertex(v):
     """Restore a JSON-round-tripped vertex (lists become tuples)."""
     return tuple(wire_vertex(x) for x in v) if isinstance(v, list) else v
+
+
+def encode_update_ops(ops) -> list:
+    """Encode an ``update`` envelope's ``ops`` field.
+
+    Each element must be an :class:`~repro.core.ops.UpdateOp`; the
+    result is a list of its canonical :meth:`to_dict` dicts.  (Raw
+    pre-encoded dicts are deprecated — construct ``UpdateOp`` values.)
+    """
+    out = []
+    for op in ops:
+        out.append(op.to_dict() if isinstance(op, UpdateOp) else op)
+    return out
+
+
+def decode_update_ops(raw) -> list:
+    """Validate and decode a request's ``ops`` field into UpdateOps.
+
+    Accepts legacy short-kind dicts (versioned
+    :meth:`~repro.core.ops.UpdateOp.from_dict`), so older clients keep
+    working.
+
+    Raises
+    ------
+    ProtocolError
+        When *raw* is not a non-empty list of decodable op dicts.
+    """
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("'ops' must be a non-empty list of update dicts")
+    try:
+        return [UpdateOp.from_dict(o) for o in raw]
+    except ReproError as exc:
+        raise ProtocolError(f"bad update op: {exc}") from None
 
 
 def wire_pairs(raw) -> list:

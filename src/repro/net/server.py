@@ -55,9 +55,9 @@ from ..errors import (
     VertexNotFoundError,
 )
 from ..service.metrics import ScopedMetrics
-from ..service.updates import UpdateOp
 from .protocol import (
     PROTOCOL_VERSION,
+    decode_update_ops,
     encode_frame,
     error_fields_for,
     error_response,
@@ -375,22 +375,9 @@ class ReachabilityServer:
         )
 
     async def _handle_update(self, request_id, request: dict) -> dict:
-        raw_ops = request.get("ops")
-        if not isinstance(raw_ops, list) or not raw_ops:
-            raise ProtocolError("'ops' must be a non-empty list")
-        try:
-            ops = [UpdateOp.from_wire(o) for o in raw_ops]
-        except ReproError as exc:
-            raise ProtocolError(f"malformed update op: {exc}") from None
-
-        def apply_ops() -> int:
-            for op in ops:
-                self.service.submit_update(op)
-            self.service.flush()
-            return len(ops)
-
+        ops = decode_update_ops(request.get("ops"))
         applied = await asyncio.get_event_loop().run_in_executor(
-            None, apply_ops
+            None, self.service.apply_batch, ops
         )
         self._metrics.incr("updates_applied", applied)
         return ok_response(

@@ -49,7 +49,7 @@ from ..core.serialize import load_checkpoint, save_checkpoint
 from ..errors import ReproError, SerializationError
 from ..graph.digraph import DiGraph
 from .faults import NULL_INJECTOR, FaultInjector, InjectedCrash
-from .updates import UpdateOp
+from ..core.ops import UpdateOp
 
 __all__ = [
     "FSYNC_POLICIES",
@@ -75,7 +75,7 @@ _WAL_HEADER_LEN = len(_WAL_MAGIC) + _WAL_BASE.size
 
 def _encode_record(seq: int, op: UpdateOp) -> bytes:
     payload = json.dumps(
-        {"seq": seq, "op": op.to_wire()}, separators=(",", ":"), sort_keys=True
+        {"seq": seq, "op": op.to_dict()}, separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
     return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
@@ -104,7 +104,7 @@ def _scan_records(blob: bytes) -> tuple[int, list[tuple[int, UpdateOp]], int]:
         try:
             body = json.loads(payload.decode("utf-8"))
             seq = body["seq"]
-            op = UpdateOp.from_wire(body["op"])
+            op = UpdateOp.from_dict(body["op"])
         except (ValueError, KeyError, TypeError, ReproError):
             break
         if seq != prev + 1:

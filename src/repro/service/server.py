@@ -105,6 +105,10 @@ class ReachabilityService:
         A ready :class:`ReachabilityIndex` to serve.  The service becomes
         its owner: mutating it from outside afterwards breaks the epoch
         bookkeeping.
+    engine:
+        Update-kernel engine for the internal index (``"csr"`` flat
+        kernels by default; ``"object"`` legacy path).  Ignored when
+        ``index=`` is passed.
     cache_size:
         Capacity of the query-result LRU (0 disables caching).
     flush_threshold:
@@ -163,6 +167,7 @@ class ReachabilityService:
         cache_size: int = 4096,
         flush_threshold: int = 1,
         order: Union[str, object] = "butterfly-u",
+        engine: str = "csr",
         record_applied: bool = False,
         registry: Optional[MetricRegistry] = None,
         durability: Optional[DurabilityManager] = None,
@@ -189,9 +194,10 @@ class ReachabilityService:
         self._index = (
             index
             if index is not None
-            else ReachabilityIndex(graph, order=order)
+            else ReachabilityIndex(graph, order=order, engine=engine)
         )
         self._order = order
+        self._engine = engine
         self._rwlock = RWLock()
         self._epoch = EpochCounter()
         self._cache = EpochLRUCache(cache_size)
@@ -464,8 +470,8 @@ class ReachabilityService:
 
         The membership view is the mirror (all applied ops) adjusted by
         the pending queue in submission order, so a queued-but-unapplied
-        ``addv`` already satisfies references and a queued ``delv``
-        already invalidates them.
+        ``insert_vertex`` already satisfies references and a queued
+        ``delete_vertex`` already invalidates them.
         """
         refs = op.referenced_vertices()
         if not refs:
@@ -473,10 +479,10 @@ class ReachabilityService:
         added: set[Vertex] = set()
         removed: set[Vertex] = set()
         for pending in self._queue.pending_ops():
-            if pending.kind == "addv":
+            if pending.kind == "insert_vertex":
                 added.add(pending.vertex)
                 removed.discard(pending.vertex)
-            elif pending.kind == "delv":
+            elif pending.kind == "delete_vertex":
                 removed.add(pending.vertex)
                 added.discard(pending.vertex)
         with self._mirror_lock:
@@ -486,26 +492,54 @@ class ReachabilityService:
                 ):
                     raise UnknownVertexError(v)
 
+    def apply(self, op: UpdateOp, *, validate: bool = True) -> None:
+        """Queue one :class:`~repro.core.ops.UpdateOp`.
+
+        The unified write entry point: the named convenience methods
+        (:meth:`insert_vertex` …) all construct an :class:`UpdateOp` and
+        route through here, and :meth:`apply_batch` loops over it.
+        Equivalent to :meth:`submit_update` (kept as the historical
+        name); passing anything other than an :class:`UpdateOp` — raw
+        tuples or wire dicts — is not supported.
+        """
+        self.submit_update(op, validate=validate)
+
+    def apply_batch(
+        self, ops: Iterable[UpdateOp], *, validate: bool = True
+    ) -> int:
+        """Queue every op in *ops*, then flush; return ops accepted.
+
+        Validation failures (:class:`~repro.errors.UnknownVertexError`)
+        raise on the offending op, leaving earlier ops queued — call
+        :meth:`flush` (or submit more ops) to land them.
+        """
+        accepted = 0
+        for op in ops:
+            self.apply(op, validate=validate)
+            accepted += 1
+        self.flush()
+        return accepted
+
     def insert_vertex(
         self,
         v: Vertex,
         in_neighbors: Iterable[Vertex] = (),
         out_neighbors: Iterable[Vertex] = (),
     ) -> None:
-        """Queue a vertex insertion (convenience for :meth:`submit_update`)."""
-        self.submit_update(UpdateOp.insert_vertex(v, in_neighbors, out_neighbors))
+        """Queue a vertex insertion (convenience for :meth:`apply`)."""
+        self.apply(UpdateOp.insert_vertex(v, in_neighbors, out_neighbors))
 
     def delete_vertex(self, v: Vertex) -> None:
         """Queue a vertex deletion."""
-        self.submit_update(UpdateOp.delete_vertex(v))
+        self.apply(UpdateOp.delete_vertex(v))
 
     def insert_edge(self, tail: Vertex, head: Vertex) -> None:
         """Queue an edge insertion."""
-        self.submit_update(UpdateOp.insert_edge(tail, head))
+        self.apply(UpdateOp.insert_edge(tail, head))
 
     def delete_edge(self, tail: Vertex, head: Vertex) -> None:
         """Queue an edge deletion."""
-        self.submit_update(UpdateOp.delete_edge(tail, head))
+        self.apply(UpdateOp.delete_edge(tail, head))
 
     def flush(self) -> int:
         """Drain the queue and apply the batch; return ops applied.
@@ -730,7 +764,9 @@ class ReachabilityService:
         with self._flush_mutex:
             with self._mirror_lock:
                 snapshot = self._mirror.copy()
-            new_index = ReachabilityIndex(snapshot, order=self._order)
+            new_index = ReachabilityIndex(
+                snapshot, order=self._order, engine=self._engine
+            )
             with self._rwlock.write_locked():
                 self._index = new_index
                 with self._mirror_lock:

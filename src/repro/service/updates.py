@@ -25,197 +25,25 @@ Draining is all-or-nothing under the writer lock
 (:meth:`CoalescingUpdateQueue.drain`), which is what turns k queued
 updates into one write-lock critical section in
 :class:`~repro.service.server.ReachabilityService`.
+
+:class:`UpdateOp` itself lives in :mod:`repro.core.ops` (it is the one
+representation shared by this queue, WAL records, the net protocol's
+update envelope, and trace replay); it is re-exported here for
+backwards compatibility.  Submitting raw tuples or dicts to the queue
+was never supported and the legacy short kind names (``addv`` etc.) are
+deprecated — construct :class:`UpdateOp` values via its classmethods.
 """
 
 from __future__ import annotations
 
 import threading
-from collections.abc import Hashable, Iterable
-from dataclasses import dataclass
+from collections.abc import Hashable
 
-from ..errors import WorkloadError
+from ..core.ops import UpdateOp
 
 __all__ = ["UpdateOp", "CoalescingUpdateQueue"]
 
 Vertex = Hashable
-
-#: Update kinds, mirroring the trace grammar of :mod:`repro.bench.trace`
-#: minus ``query`` (queries never enter the write path).
-_KINDS = ("addv", "delv", "adde", "dele")
-
-
-def _unwire(v):
-    """JSON round-trips tuple vertices as lists; make them hashable again."""
-    return tuple(_unwire(x) for x in v) if isinstance(v, list) else v
-
-
-@dataclass(frozen=True)
-class UpdateOp:
-    """One pending index mutation.
-
-    ``kind`` is one of ``addv`` (vertex, ins, outs), ``delv`` (vertex),
-    ``adde`` / ``dele`` (tail, head).  Use the classmethod constructors;
-    they normalize arguments and keep the unused fields ``None``.
-    """
-
-    kind: str
-    vertex: Vertex = None
-    ins: tuple[Vertex, ...] = ()
-    outs: tuple[Vertex, ...] = ()
-    tail: Vertex = None
-    head: Vertex = None
-
-    def __post_init__(self) -> None:
-        if self.kind not in _KINDS:
-            raise WorkloadError(f"unknown update kind {self.kind!r}")
-
-    # ------------------------------------------------------------------
-    # Constructors
-    # ------------------------------------------------------------------
-
-    @classmethod
-    def insert_vertex(
-        cls,
-        v: Vertex,
-        in_neighbors: Iterable[Vertex] = (),
-        out_neighbors: Iterable[Vertex] = (),
-    ) -> "UpdateOp":
-        """A pending ``insert_vertex(v, ins, outs)``."""
-        return cls(
-            "addv", vertex=v, ins=tuple(in_neighbors), outs=tuple(out_neighbors)
-        )
-
-    @classmethod
-    def delete_vertex(cls, v: Vertex) -> "UpdateOp":
-        """A pending ``delete_vertex(v)``."""
-        return cls("delv", vertex=v)
-
-    @classmethod
-    def insert_edge(cls, tail: Vertex, head: Vertex) -> "UpdateOp":
-        """A pending ``insert_edge(tail, head)``."""
-        return cls("adde", tail=tail, head=head)
-
-    @classmethod
-    def delete_edge(cls, tail: Vertex, head: Vertex) -> "UpdateOp":
-        """A pending ``delete_edge(tail, head)``."""
-        return cls("dele", tail=tail, head=head)
-
-    @classmethod
-    def from_wire(cls, payload: dict) -> "UpdateOp":
-        """Decode a :meth:`to_wire` dict (the WAL record payload).
-
-        Raises
-        ------
-        WorkloadError
-            On an unknown kind or missing fields.
-        """
-        try:
-            kind = payload["kind"]
-            if kind == "addv":
-                return cls.insert_vertex(
-                    _unwire(payload["vertex"]),
-                    [_unwire(v) for v in payload.get("ins", ())],
-                    [_unwire(v) for v in payload.get("outs", ())],
-                )
-            if kind == "delv":
-                return cls.delete_vertex(_unwire(payload["vertex"]))
-            if kind in ("adde", "dele"):
-                return cls(
-                    kind,
-                    tail=_unwire(payload["tail"]),
-                    head=_unwire(payload["head"]),
-                )
-        except (KeyError, TypeError) as exc:
-            raise WorkloadError(
-                f"malformed wire-format update: {exc!r}"
-            ) from None
-        raise WorkloadError(f"unknown wire update kind {payload.get('kind')!r}")
-
-    def to_wire(self) -> dict:
-        """JSON-compatible encoding (inverse of :meth:`from_wire`).
-
-        Vertices must be JSON-serializable; tuples round-trip back to
-        tuples (the same convention :mod:`repro.core.serialize` uses).
-        """
-        if self.kind == "addv":
-            return {
-                "kind": "addv",
-                "vertex": self.vertex,
-                "ins": list(self.ins),
-                "outs": list(self.outs),
-            }
-        if self.kind == "delv":
-            return {"kind": "delv", "vertex": self.vertex}
-        return {"kind": self.kind, "tail": self.tail, "head": self.head}
-
-    @classmethod
-    def from_trace_op(cls, op) -> "UpdateOp":
-        """Adapt a mutation :class:`~repro.bench.trace.TraceOp`."""
-        if op.kind == "addv":
-            return cls.insert_vertex(op.vertex, op.ins, op.outs)
-        if op.kind == "delv":
-            return cls.delete_vertex(op.vertex)
-        if op.kind == "adde":
-            return cls.insert_edge(op.tail, op.head)
-        if op.kind == "dele":
-            return cls.delete_edge(op.tail, op.head)
-        raise WorkloadError(f"trace op {op.kind!r} is not an update")
-
-    # ------------------------------------------------------------------
-    # Application
-    # ------------------------------------------------------------------
-
-    def apply(self, index) -> None:
-        """Execute this op against any index with the vertex/edge API."""
-        if self.kind == "addv":
-            index.insert_vertex(self.vertex, self.ins, self.outs)
-        elif self.kind == "delv":
-            index.delete_vertex(self.vertex)
-        elif self.kind == "adde":
-            index.insert_edge(self.tail, self.head)
-        else:
-            index.delete_edge(self.tail, self.head)
-
-    def apply_to_graph(self, graph) -> None:
-        """Mirror this op onto a plain :class:`~repro.graph.digraph.DiGraph`.
-
-        Used by the service's shadow graph (degraded-mode BFS serving),
-        WAL replay during recovery, and the oracle tests — all of which
-        need the *graph* effect of an op without touching any index.
-        """
-        if self.kind == "addv":
-            graph.add_vertex(self.vertex)
-            for u in self.ins:
-                graph.add_edge(u, self.vertex)
-            for w in self.outs:
-                graph.add_edge(self.vertex, w)
-        elif self.kind == "delv":
-            graph.remove_vertex(self.vertex)
-        elif self.kind == "adde":
-            graph.add_edge(self.tail, self.head)
-        else:
-            graph.remove_edge(self.tail, self.head)
-
-    def referenced_vertices(self) -> tuple[Vertex, ...]:
-        """Vertices this op requires to already exist.
-
-        For ``addv`` that is the neighbor lists (the inserted vertex
-        itself is new); for the other kinds, every named vertex.
-        """
-        if self.kind == "addv":
-            return self.ins + self.outs
-        if self.kind == "delv":
-            return (self.vertex,)
-        return (self.tail, self.head)
-
-    def __str__(self) -> str:
-        if self.kind == "addv":
-            return (
-                f"addv {self.vertex} in={list(self.ins)} out={list(self.outs)}"
-            )
-        if self.kind == "delv":
-            return f"delv {self.vertex}"
-        return f"{self.kind} {self.tail} {self.head}"
 
 
 class CoalescingUpdateQueue:
@@ -252,9 +80,9 @@ class CoalescingUpdateQueue:
         with self._lock:
             self._submitted += 1
             cancelled = 0
-            if op.kind == "delv":
+            if op.kind == "delete_vertex":
                 cancelled = self._cancel_vertex(op.vertex)
-            elif op.kind == "dele":
+            elif op.kind == "delete_edge":
                 cancelled = self._cancel_edge(op.tail, op.head)
             if cancelled:
                 self._coalesced += cancelled + 1
@@ -263,11 +91,11 @@ class CoalescingUpdateQueue:
             return 0
 
     def _cancel_vertex(self, v: Vertex) -> int:
-        """Cancel a pending ``addv v`` (plus its dependent edge ops).
+        """Cancel a pending ``insert_vertex v`` (plus its dependent edge ops).
 
         Scans newest-to-oldest.  Edge ops incident to *v* seen on the way
         are dependents of the pending insertion and get dropped with it; a
-        pending ``addv w`` that names *v* as a neighbor depends on *v*
+        pending ``insert_vertex w`` that names *v* as a neighbor depends on *v*
         staying inserted, so the scan aborts.  Returns the number of
         pending ops removed (0 if no cancellation happened).
         """
@@ -275,14 +103,14 @@ class CoalescingUpdateQueue:
         dependents: list[int] = []
         for i in range(len(pending) - 1, -1, -1):
             o = pending[i]
-            if o.kind == "addv":
+            if o.kind == "insert_vertex":
                 if o.vertex == v:
                     for j in sorted(dependents + [i], reverse=True):
                         del pending[j]
                     return 1 + len(dependents)
                 if v in o.ins or v in o.outs:
                     return 0
-            elif o.kind == "delv":
+            elif o.kind == "delete_vertex":
                 if o.vertex == v:
                     return 0
             elif v in (o.tail, o.head):
@@ -290,16 +118,19 @@ class CoalescingUpdateQueue:
         return 0
 
     def _cancel_edge(self, tail: Vertex, head: Vertex) -> int:
-        """Cancel a pending ``adde (tail, head)``; 0 if not possible."""
+        """Cancel a pending ``insert_edge (tail, head)``; 0 if not possible."""
         pending = self._pending
         for i in range(len(pending) - 1, -1, -1):
             o = pending[i]
-            if o.kind == "adde" and o.tail == tail and o.head == head:
+            if o.kind == "insert_edge" and o.tail == tail and o.head == head:
                 del pending[i]
                 return 1
-            if o.kind == "dele" and o.tail == tail and o.head == head:
+            if o.kind == "delete_edge" and o.tail == tail and o.head == head:
                 return 0
-            if o.kind in ("addv", "delv") and o.vertex in (tail, head):
+            if o.kind in ("insert_vertex", "delete_vertex") and o.vertex in (
+                tail,
+                head,
+            ):
                 return 0
         return 0
 
@@ -311,8 +142,9 @@ class CoalescingUpdateQueue:
         """Snapshot of the pending batch, oldest first (non-draining).
 
         The service's up-front update validation reads this to treat a
-        queued-but-unapplied ``addv`` as an existing vertex (and a queued
-        ``delv`` as a removal) when checking later references.
+        queued-but-unapplied ``insert_vertex`` as an existing vertex (and
+        a queued ``delete_vertex`` as a removal) when checking later
+        references.
         """
         with self._lock:
             return tuple(self._pending)

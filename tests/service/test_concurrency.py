@@ -28,18 +28,7 @@ READERS = 8
 
 def apply_to_graph(graph: DiGraph, op: UpdateOp) -> None:
     """Mirror one applied service op onto a plain graph (oracle state)."""
-    if op.kind == "addv":
-        graph.add_vertex(op.vertex)
-        for u in op.ins:
-            graph.add_edge(u, op.vertex)
-        for w in op.outs:
-            graph.add_edge(op.vertex, w)
-    elif op.kind == "delv":
-        graph.remove_vertex(op.vertex)
-    elif op.kind == "adde":
-        graph.add_edge(op.tail, op.head)
-    else:
-        graph.remove_edge(op.tail, op.head)
+    op.apply_to_graph(graph)
 
 
 @pytest.mark.parametrize("flush_threshold", [1, 6])

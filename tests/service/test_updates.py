@@ -13,9 +13,9 @@ class TestUpdateOp:
     def test_constructors(self):
         op = UpdateOp.insert_vertex("v", ["a"], ["b"])
         assert (op.kind, op.vertex, op.ins, op.outs) == (
-            "addv", "v", ("a",), ("b",)
+            "insert_vertex", "v", ("a",), ("b",)
         )
-        assert UpdateOp.delete_vertex("v").kind == "delv"
+        assert UpdateOp.delete_vertex("v").kind == "delete_vertex"
         assert UpdateOp.insert_edge(1, 2).tail == 1
         assert UpdateOp.delete_edge(1, 2).head == 2
 
@@ -23,9 +23,17 @@ class TestUpdateOp:
         with pytest.raises(WorkloadError):
             UpdateOp("query", tail=1, head=2)
 
+    def test_legacy_short_kinds_normalize(self):
+        # v1 encodings (WAL files, old wire clients) used trace-style
+        # short kinds; constructing with one must yield the canonical op.
+        assert UpdateOp("addv", vertex="v") == UpdateOp.insert_vertex("v")
+        assert UpdateOp("delv", vertex="v").kind == "delete_vertex"
+        assert UpdateOp("adde", tail=1, head=2) == UpdateOp.insert_edge(1, 2)
+        assert UpdateOp("dele", tail=1, head=2).kind == "delete_edge"
+
     def test_from_trace_op(self):
         op = UpdateOp.from_trace_op(TraceOp("addv", vertex="x", ins=(1,)))
-        assert op.kind == "addv" and op.ins == (1,)
+        assert op.kind == "insert_vertex" and op.ins == (1,)
         with pytest.raises(WorkloadError):
             UpdateOp.from_trace_op(TraceOp("query", tail=1, head=2))
 
@@ -71,12 +79,14 @@ class TestCoalescing:
         assert queue.drain() == [UpdateOp.insert_edge("a", "b")]
 
     def test_pending_neighbor_reference_pins_the_insertion(self):
-        # addv w depends on v existing: the pair must NOT cancel.
+        # insert_vertex w depends on v existing: the pair must NOT cancel.
         queue = CoalescingUpdateQueue()
         queue.submit(UpdateOp.insert_vertex("v"))
         queue.submit(UpdateOp.insert_vertex("w", in_neighbors=["v"]))
         assert queue.submit(UpdateOp.delete_vertex("v")) == 0
-        assert [op.kind for op in queue.drain()] == ["addv", "addv", "delv"]
+        assert [op.kind for op in queue.drain()] == [
+            "insert_vertex", "insert_vertex", "delete_vertex"
+        ]
 
     def test_earlier_pending_delete_blocks_cancellation(self):
         queue = CoalescingUpdateQueue()
@@ -85,7 +95,7 @@ class TestCoalescing:
         assert len(queue) == 2
 
     def test_delete_then_insert_vertex_not_coalesced(self):
-        # delv then addv is NOT a no-op (the new vertex has no edges).
+        # delete then insert vertex is NOT a no-op (the new vertex has no edges).
         queue = CoalescingUpdateQueue()
         queue.submit(UpdateOp.delete_vertex("v"))
         assert queue.submit(UpdateOp.insert_vertex("v")) == 0
@@ -98,7 +108,7 @@ class TestCoalescing:
         assert len(queue) == 0
 
     def test_edge_cancel_blocked_by_endpoint_vertex_op(self):
-        # delv 2 between adde and dele already removed the edge; the
+        # delete_vertex 2 between the edge pair already removed the edge; the
         # stream is only valid if left alone, so no cancellation.
         queue = CoalescingUpdateQueue()
         queue.submit(UpdateOp.insert_edge(1, 2))
