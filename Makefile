@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test faults bench bench-smoke bench-update profile ruff reproduce examples serve serve-demo loadgen serve-smoke metrics-demo recover-demo lint-docs clean
+.PHONY: install test faults bench bench-smoke bench-update profile ruff reproduce examples serve serve-demo loadgen serve-smoke metrics-demo health-demo recover-demo lint-docs clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -96,6 +96,15 @@ metrics-demo:
 		--ops 600 --query-fraction 0.6
 	$(PYTHON) -m repro metrics .demo/graph.txt .demo/ops.trace \
 		--events .demo/ops.jsonl
+
+# Build an index on a generated graph and print its health report:
+# label-size distribution, order-quality score, cache/scratch state
+# (see docs/observability.md; use `repro health --connect HOST:PORT`
+# against a live `repro serve`).
+health-demo:
+	mkdir -p .demo
+	$(PYTHON) -m repro generate citeseerx .demo/graph.txt --vertices 400
+	$(PYTHON) -m repro health .demo/graph.txt
 
 # Replay a trace with the write-ahead log on, then recover the service
 # from the durability directory alone and self-audit it against BFS

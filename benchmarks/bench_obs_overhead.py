@@ -18,6 +18,11 @@ than a hope:
 * ``test_service_query_overhead_disabled`` runs the serving layer's
   query path with tracing off, the regime a production deployment sits
   in almost all the time.
+* ``test_query_timings_path_equivalent`` pins the request-tracing tier's
+  contract: ``query_batch_with_epoch(timings=...)`` is a *separate*
+  instrumented twin, so the default call never pays for the stage
+  clocks — the two paths must agree on every answer, and the timed
+  path's cost is reported for the record.
 
 Unlike the rest of the benchmark suite this file keeps the acceptance
 scale (|V|=2000, |E|=8000) even under ``--quick``: the budget assertion
@@ -43,8 +48,8 @@ NUM_EDGES = 8000
 #: Maximum allowed (instrumented, tracing off) / (uninstrumented) ratio.
 OVERHEAD_BUDGET = 1.03
 
-#: Min-of-N repetitions per variant (doubled once on a failed first try).
-REPS = 3 if QUICK else 7
+#: Min-of-N repetitions per variant (doubled on each failed try).
+REPS = 5 if QUICK else 7
 
 
 def _graph_and_order():
@@ -148,20 +153,35 @@ def _min_time(fn, reps):
 
 
 def _measure_ratio(reps):
-    """(ratio, instrumented_s, baseline_s) with interleaved min-of-N."""
+    """(ratio, instrumented_s, baseline_s) with interleaved min-of-N.
+
+    The variants alternate within one loop rather than running as two
+    back-to-back phases: on a loaded (or single-core) box, load that
+    drifts between phases would bias the ratio even though min-of-N
+    absorbs spikes *within* each variant's reps.
+    """
     graph, order = _graph_and_order()
     assert not trace.active()
-    baseline = _min_time(lambda: _uninstrumented_build(graph, order), reps)
-    instrumented = _min_time(lambda: butterfly_build(graph, order), reps)
+    baseline = instrumented = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        _uninstrumented_build(graph, order)
+        baseline = min(baseline, time.perf_counter() - start)
+        start = time.perf_counter()
+        butterfly_build(graph, order)
+        instrumented = min(instrumented, time.perf_counter() - start)
     return instrumented / baseline, instrumented, baseline
 
 
 def test_disabled_overhead_within_budget(benchmark):
-    ratio, instrumented, baseline = _measure_ratio(REPS)
-    if ratio >= OVERHEAD_BUDGET:
-        # One retry at doubled reps: a page fault or CPU migration in a
-        # single rep can inflate the first estimate on loaded CI boxes.
-        ratio, instrumented, baseline = _measure_ratio(2 * REPS)
+    # Up to two retries, doubling reps each time: a page fault or CPU
+    # migration in a single rep can inflate an estimate on loaded
+    # (especially single-core) CI boxes, and min-of-N converges as N
+    # grows.  The budget itself never loosens.
+    for attempt in range(3):
+        ratio, instrumented, baseline = _measure_ratio(REPS << attempt)
+        if ratio < OVERHEAD_BUDGET:
+            break
     graph, order = _graph_and_order()
     benchmark.pedantic(
         lambda: butterfly_build(graph, order), rounds=1, iterations=1
@@ -212,3 +232,32 @@ def test_service_query_overhead_disabled(benchmark):
     benchmark.extra_info["queries"] = len(pairs)
     snap = service.snapshot()
     assert snap["counters"]["queries"] > 0
+
+
+def test_query_timings_path_equivalent(benchmark):
+    """The timed query path agrees with the untimed one and stays cheap."""
+    graph, _ = _graph_and_order()
+    service = ReachabilityService(graph, cache_size=0)
+    vertices = list(graph.vertices())
+    pairs = [
+        (vertices[i % len(vertices)], vertices[(i * 7 + 3) % len(vertices)])
+        for i in range(200 if QUICK else 2000)
+    ]
+    plain = service.query_batch_with_epoch(pairs)[0]
+    timings: dict = {}
+    timed = benchmark.pedantic(
+        lambda: service.query_batch_with_epoch(pairs, timings=timings),
+        rounds=3, iterations=1,
+    )[0]
+    assert timed == plain
+    assert timings["cache_hits"] + timings["cache_misses"] > 0
+    assert timings["probe_ms"] >= 0.0 and timings["lock_ms"] >= 0.0
+    untimed_s = _min_time(
+        lambda: service.query_batch_with_epoch(pairs), REPS
+    )
+    timed_s = _min_time(
+        lambda: service.query_batch_with_epoch(pairs, timings={}), REPS
+    )
+    benchmark.extra_info["untimed_s"] = round(untimed_s, 6)
+    benchmark.extra_info["timed_s"] = round(timed_s, 6)
+    benchmark.extra_info["timed_ratio"] = round(timed_s / untimed_s, 3)

@@ -26,6 +26,7 @@ edge-list file format); everything else stays a string.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections.abc import Sequence
@@ -416,11 +417,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     docs/network.md for the protocol.
     """
     import asyncio
+    import signal
 
+    from .net.protocol import PROTOCOL_VERSION
     from .net.server import ReachabilityServer
     from .obs import trace as obs_trace
     from .obs.export import write_metrics
+    from .obs.flight import FlightRecorder
+    from .obs.health import bind_health_gauges
     from .obs.registry import MetricRegistry
+    from .obs.slowlog import SlowQueryLog
     from .service.server import ReachabilityService
 
     durability = None
@@ -435,6 +441,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
     registry = MetricRegistry()
     if args.metrics_out:
         obs_trace.enable(registry)
+    flight = None
+    if args.flight_dir:
+        flight = FlightRecorder(
+            registry,
+            capacity=args.flight_capacity,
+            interval=args.flight_interval,
+            dump_dir=args.flight_dir,
+        )
+    slowlog = None
+    if args.slowlog:
+        slowlog = SlowQueryLog(
+            args.slowlog,
+            threshold_ms=args.slow_ms,
+            sample_rate=args.slowlog_sample,
+        )
     try:
         service = ReachabilityService(
             read_edge_list(args.graph),
@@ -443,7 +464,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             order=args.order,
             registry=registry,
             durability=durability,
+            flight=flight,
         )
+        bind_health_gauges(registry, service)
         server = ReachabilityServer(
             service,
             host=args.host,
@@ -452,13 +475,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             batch_delay=args.batch_delay,
             drain_timeout=args.drain_timeout,
+            slowlog=slowlog,
         )
+        if flight is not None:
+            flight.start()
 
         async def run() -> None:
             await server.start()
+            loop = asyncio.get_event_loop()
+            if flight is not None:
+                # SIGQUIT (ctrl-\) dumps the metric timeline without
+                # stopping the server — the "what just happened" probe.
+                try:
+                    loop.add_signal_handler(
+                        signal.SIGQUIT,
+                        lambda: flight.auto_dump("sigquit"),
+                    )
+                except (NotImplementedError, RuntimeError, AttributeError):
+                    pass
             print(
                 f"serving {args.graph} on {server.host}:{server.port} "
-                f"(protocol v1, |V|={service.num_vertices}, "
+                f"(protocol v{PROTOCOL_VERSION}, "
+                f"|V|={service.num_vertices}, "
                 f"|E|={service.num_edges}); SIGTERM drains gracefully",
                 flush=True,
             )
@@ -469,12 +507,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         asyncio.run(run())
     finally:
+        if flight is not None:
+            flight.stop()
+        if slowlog is not None:
+            slowlog.close()
         if args.metrics_out:
             obs_trace.disable()
         if durability is not None:
             durability.close()
     print("drained; final metrics snapshot:")
     print(render_snapshot(service.snapshot()))
+    if slowlog is not None:
+        slow_stats = slowlog.stats()
+        print(
+            f"slow-query log: {slow_stats['written']} lines written "
+            f"({slow_stats['seen']} requests seen, threshold "
+            f"{slow_stats['threshold_ms']}ms) -> {args.slowlog}"
+        )
     if args.metrics_out:
         fmt = write_metrics(registry, args.metrics_out)
         print(f"wrote {fmt} metrics to {args.metrics_out}")
@@ -591,16 +640,23 @@ def cmd_recover(args: argparse.Namespace) -> int:
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
-    """`repro metrics`: replay a trace with full tracing, export the registry.
+    """`repro metrics`: export a metric registry — replayed or live.
 
-    Single-threaded replay of a trace through a
-    :class:`ReachabilityService` with core-span tracing enabled from
-    *before* index construction — so the exported registry carries the
-    whole telemetry story in one snapshot: the `tol.build` span, every
-    `tol.insert`/`tol.delete` with Δk-sweep and repair-frontier sizes,
-    the optional `tol.reduction` rounds, cache hit-rate and
-    query-latency percentiles.  See docs/observability.md for the
-    metric names and span taxonomy.
+    Two modes:
+
+    * **Replay** (positional ``graph trace``): single-threaded replay of
+      a trace through a :class:`ReachabilityService` with core-span
+      tracing enabled from *before* index construction — so the exported
+      registry carries the whole telemetry story in one snapshot: the
+      `tol.build` span, every `tol.insert`/`tol.delete` with Δk-sweep
+      and repair-frontier sizes, the optional `tol.reduction` rounds,
+      cache hit-rate and query-latency percentiles.
+    * **Live scrape** (``--connect HOST:PORT``): fetch the running
+      server's registry snapshot over the ``stats`` wire op and render
+      it — counters, gauges (including the ``health.*`` family), and
+      histogram summaries.
+
+    See docs/observability.md for the metric names and span taxonomy.
     """
     from .bench.trace import read_trace
     from .obs import JsonlSink, render_json, render_prometheus, trace
@@ -608,6 +664,15 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from .service.server import ReachabilityService
     from .core.ops import UpdateOp
 
+    if args.connect:
+        return _metrics_connect(args)
+    if not args.graph or not args.trace:
+        print(
+            "error: pass `graph trace` positionals (replay mode) or "
+            "--connect HOST:PORT (live scrape)",
+            file=sys.stderr,
+        )
+        return 2
     graph = read_edge_list(args.graph)
     trace_ops = read_trace(args.trace)
 
@@ -649,6 +714,100 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             f"wrote {sink.records_written} JSONL events to {args.events}",
             file=sys.stderr,
         )
+    return 0
+
+
+def _parse_connect(spec: str) -> tuple:
+    """Split a ``HOST:PORT`` spec (port required)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(f"--connect expects HOST:PORT, got {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _metrics_connect(args: argparse.Namespace) -> int:
+    """Live-scrape mode of `repro metrics`."""
+    import json as json_mod
+
+    from .net.client import ReachabilityClient
+    from .obs.export import render_prometheus_snapshot
+
+    host, port = _parse_connect(args.connect)
+    with ReachabilityClient(host, port) as client:
+        snapshot = client.registry_snapshot()
+    rendered = (
+        json_mod.dumps(snapshot, indent=2, sort_keys=True)
+        if args.format == "json"
+        else render_prometheus_snapshot(snapshot)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        print(f"wrote {args.format} metrics to {args.out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """`repro health`: live index-health introspection.
+
+    Either scrapes a running server's ``health`` wire op
+    (``--connect HOST:PORT``) or builds a service over a local edge-list
+    file and reports the same payload — label-size distribution (mean /
+    p95 / max Lin and Lout), where in the total order the label mass
+    sits (decile coverage + the order-quality score), scratch-buffer
+    high-water marks, WAL lag and checkpoint age.
+    """
+    import json as json_mod
+
+    from .obs.health import render_health
+
+    if args.connect:
+        from .net.client import ReachabilityClient
+
+        host, port = _parse_connect(args.connect)
+        with ReachabilityClient(host, port) as client:
+            payload = client.health()
+    elif args.graph:
+        from .service.server import ReachabilityService
+
+        service = ReachabilityService(
+            read_edge_list(args.graph), order=args.order
+        )
+        payload = service.health()
+    else:
+        print(
+            "error: pass a graph edge-list file or --connect HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_health(payload))
+    return 0
+
+
+def cmd_slowlog(args: argparse.Namespace) -> int:
+    """`repro slowlog`: tail or aggregate a slow-query log.
+
+    The log is JSONL written by a server started with ``--slowlog``
+    (see `repro serve`); this reads it back — the last N lines with
+    ``--tail``, or the aggregate view (count, outcome mix, duration
+    percentiles, per-stage means, slowest traces) with ``--aggregate``.
+    """
+    import json as json_mod
+
+    from .obs.slowlog import aggregate_slowlog, read_slowlog
+
+    records = read_slowlog(args.path, tail=args.tail)
+    if args.aggregate:
+        agg = aggregate_slowlog(records)
+        print(json_mod.dumps(agg, indent=2, sort_keys=True))
+        return 0
+    for record in records:
+        print(json_mod.dumps(record, sort_keys=True))
     return 0
 
 
@@ -814,6 +973,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="export the metric registry after the drain "
                         "(.json = JSON, else Prometheus text)")
+    p.add_argument("--slowlog", default=None, metavar="PATH",
+                   help="write a JSONL slow-query log here (read it back "
+                        "with `repro slowlog`)")
+    p.add_argument("--slow-ms", type=float, default=50.0,
+                   help="slow-query threshold in milliseconds (with "
+                        "--slowlog)")
+    p.add_argument("--slowlog-sample", type=float, default=0.0,
+                   help="fraction of below-threshold requests to sample "
+                        "into the log anyway (with --slowlog)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="enable the flight recorder and write its dumps "
+                        "here (auto-dumps on degraded entry, quarantine, "
+                        "recovery; SIGQUIT dumps on demand)")
+    p.add_argument("--flight-interval", type=float, default=1.0,
+                   help="seconds between flight-recorder snapshots "
+                        "(with --flight-dir)")
+    p.add_argument("--flight-capacity", type=int, default=256,
+                   help="snapshots retained in the flight-recorder ring "
+                        "(with --flight-dir)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -874,10 +1052,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "metrics",
-        help="replay a trace with full core tracing and export the registry",
+        help="export a metric registry: replay a trace, or scrape a "
+             "running server with --connect",
     )
-    p.add_argument("graph", help="edge-list file of the starting graph")
-    p.add_argument("trace", help="trace file providing queries and mutations")
+    p.add_argument("graph", nargs="?", default=None,
+                   help="edge-list file of the starting graph (replay mode)")
+    p.add_argument("trace", nargs="?", default=None,
+                   help="trace file providing queries and mutations "
+                        "(replay mode)")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="scrape a running `repro serve` instance's "
+                        "registry over the stats wire op instead of "
+                        "replaying")
     p.add_argument("--format", default="prometheus",
                    choices=["prometheus", "json"],
                    help="rendering of the metric registry")
@@ -892,6 +1078,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "replay (0 skips; default 1, so the snapshot "
                         "shows the reduction span)")
     p.set_defaults(func=cmd_metrics)
+
+    p = sub.add_parser(
+        "health",
+        help="live index-health introspection (local graph or --connect)",
+    )
+    p.add_argument("graph", nargs="?", default=None,
+                   help="edge-list file to build and inspect locally")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="scrape a running `repro serve` instance's "
+                        "health wire op instead")
+    p.add_argument("--order", default="butterfly-u",
+                   choices=sorted(set(ORDER_STRATEGIES)),
+                   help="order strategy for local builds")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw JSON payload instead of the "
+                        "human rendering")
+    p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "slowlog",
+        help="tail or aggregate a slow-query log written by `repro serve`",
+    )
+    p.add_argument("path", help="the JSONL slow-query log file")
+    p.add_argument("--tail", type=int, default=None, metavar="N",
+                   help="only the last N records")
+    p.add_argument("--aggregate", action="store_true",
+                   help="print the aggregate view (percentiles, stage "
+                        "means, slowest traces) instead of raw lines")
+    p.set_defaults(func=cmd_slowlog)
 
     p = sub.add_parser("experiments", help="print the paper's tables/figures")
     p.add_argument("--only", nargs="*", default=None,
@@ -923,6 +1138,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream pipe (`repro slowlog ... | head`) closed early; the
+        # interpreter would otherwise traceback while flushing stdout.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

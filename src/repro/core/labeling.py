@@ -366,6 +366,16 @@ class TOLLabeling:
             s = self.scratch = UpdateScratch()
         return s
 
+    def scratch_stats(self):
+        """High-water marks of the update scratch, or ``None`` if unused.
+
+        The health introspector (:mod:`repro.obs.health`) reads this to
+        report how much buffer space the flat update kernels have
+        claimed without forcing the scratch into existence on a
+        read-only labeling.
+        """
+        return None if self.scratch is None else self.scratch.stats()
+
     # ------------------------------------------------------------------
     # Label mutation — id level (inverted lists stay in sync)
     # ------------------------------------------------------------------

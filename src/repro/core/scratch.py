@@ -145,6 +145,19 @@ class UpdateScratch:
         self.generation = g
         return g
 
+    def stats(self) -> dict:
+        """High-water marks for health introspection.
+
+        Buffers only ever grow, so ``capacity`` (the current buffer
+        length) *is* the high-water mark of the id space any update has
+        needed; ``generation`` counts logical set clears across the
+        scratch's lifetime (a proxy for update sub-phase volume).
+        """
+        return {
+            "capacity": len(self.seen),
+            "generation": self.generation,
+        }
+
     def __repr__(self) -> str:
         return (
             f"{type(self).__name__}(capacity={len(self.seen)}, "

@@ -19,6 +19,7 @@ from typing import Optional
 
 from ..core.ops import UpdateOp
 from ..errors import ProtocolError
+from ..obs.trace import new_trace_id
 from .protocol import (
     PROTOCOL_VERSION,
     encode_update_ops,
@@ -36,12 +37,18 @@ class BatchReply:
 
     ``results`` are booleans in request order; ``epoch`` is the index
     version they are valid at; ``degraded`` says the server answered
-    from its BFS mirror rather than the index.
+    from its BFS mirror rather than the index.  ``trace`` is the request
+    trace id the server saw (the one this client minted, or one minted
+    at admission for v1-style requests); ``timings`` is the per-stage
+    breakdown when the call opted in with ``timings=True``, else
+    ``None``.
     """
 
     results: list[bool]
     epoch: int
     degraded: bool
+    trace: Optional[str] = None
+    timings: Optional[dict] = None
 
     def __iter__(self):
         return iter(self.results)
@@ -51,10 +58,15 @@ class BatchReply:
 
 
 class ReachabilityClient:
-    """Blocking TCP client speaking protocol v1.
+    """Blocking TCP client speaking protocol v2 (trace-aware).
 
     Usable as a context manager; not thread-safe (one socket, serial
-    framing) — give each thread or process its own client.
+    framing) — give each thread or process its own client.  Every query
+    and update request carries a compact trace id (minted here unless
+    the caller supplies one), which the server echoes on the reply and
+    stamps on its own records — slow-query-log lines, WAL records,
+    retry/quarantine events — so one id follows the request across
+    process boundaries.
 
     Examples
     --------
@@ -64,6 +76,8 @@ class ReachabilityClient:
             client.query("a", "b")            # bool
             reply = client.query_many([("a", "b"), ("b", "a")])
             reply.results, reply.epoch, reply.degraded
+            timed = client.query_many([("a", "b")], timings=True)
+            timed.trace, timed.timings["lock_ms"]
     """
 
     def __init__(
@@ -83,32 +97,52 @@ class ReachabilityClient:
         """Answer one reachability query ``s -> t``."""
         return self.query_many([(s, t)]).results[0]
 
-    def query_many(self, pairs) -> BatchReply:
-        """Answer a batch of ``(source, target)`` pairs in one frame."""
-        payload = self._call(
-            {"op": "query", "pairs": [[s, t] for s, t in pairs]}
-        )
+    def query_many(
+        self, pairs, *, timings: bool = False, trace: Optional[str] = None
+    ) -> BatchReply:
+        """Answer a batch of ``(source, target)`` pairs in one frame.
+
+        *timings=True* asks the server for the stage breakdown
+        (admission wait, coalesce wait, lock wait, probe time, cache
+        hits/misses) on :attr:`BatchReply.timings`.  *trace* propagates
+        an existing trace id instead of minting a fresh one — pass it
+        when this query is part of a larger traced operation.
+        """
+        request = {
+            "op": "query",
+            "pairs": [[s, t] for s, t in pairs],
+            "trace": trace or new_trace_id(),
+        }
+        if timings:
+            request["timings"] = True
+        payload = self._call(request)
         return BatchReply(
             results=list(payload["results"]),
             epoch=payload["epoch"],
             degraded=payload.get("degraded", False),
+            trace=payload.get("trace"),
+            timings=payload.get("timings"),
         )
 
-    def apply(self, op: UpdateOp) -> int:
+    def apply(self, op: UpdateOp, *, trace: Optional[str] = None) -> int:
         """Apply one :class:`~repro.core.ops.UpdateOp`; return ops accepted."""
-        return self.apply_batch([op])
+        return self.apply_batch([op], trace=trace)
 
-    def apply_batch(self, ops) -> int:
+    def apply_batch(self, ops, *, trace: Optional[str] = None) -> int:
         """Apply :class:`~repro.core.ops.UpdateOp` values in one frame;
         return the number accepted.
 
         This is the unified update entry point, mirroring
         :meth:`ReachabilityService.apply_batch` server-side.  Passing
         raw pre-encoded wire dicts still works but is deprecated —
-        construct :class:`UpdateOp` values instead.
+        construct :class:`UpdateOp` values instead.  The batch's trace
+        id (minted here unless *trace* is given) ends up on every WAL
+        record the batch produces.
         """
         ops = encode_update_ops(ops)
-        return self._call({"op": "update", "ops": ops})["applied"]
+        return self._call(
+            {"op": "update", "ops": ops, "trace": trace or new_trace_id()}
+        )["applied"]
 
     # Historical name for apply_batch.
     update = apply_batch
@@ -140,6 +174,25 @@ class ReachabilityClient:
     def net_stats(self) -> dict:
         """The front end's own counters (requests, batches, shed, ...)."""
         return self._call({"op": "stats"})["net"]
+
+    def registry_snapshot(self) -> dict:
+        """The server's full metric-registry snapshot (for remote scraping).
+
+        Everything :meth:`MetricRegistry.snapshot` reports — counters,
+        gauges (including the ``health.*`` gauges when bound), histogram
+        and stats summaries — as plain JSON.  ``repro metrics --connect``
+        renders this.
+        """
+        return self._call({"op": "stats", "registry": True})["registry"]
+
+    def health(self) -> dict:
+        """The server's live index-health payload.
+
+        Label-size distribution, order-quality score, scratch high-water
+        marks, WAL lag, checkpoint age (see
+        :func:`repro.obs.health.collect_health`).
+        """
+        return self._call({"op": "health"})["health"]
 
     # ------------------------------------------------------------------
     # Plumbing

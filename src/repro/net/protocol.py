@@ -17,15 +17,33 @@ allocate gigabytes.
 Envelopes
 ---------
 
-Requests carry ``{"v": 1, "op": ..., "id": ...}`` plus op-specific
+Requests carry ``{"v": 2, "op": ..., "id": ...}`` plus op-specific
 fields (``pairs`` for ``query``, ``ops`` for ``update``).  Responses
 echo ``v`` and ``id`` and carry either ``"ok": true`` with result fields
 — queries additionally report the ``epoch`` the answers are valid at and
 whether the server answered in ``degraded`` mode — or ``"ok": false``
 with a structured ``error`` object::
 
-    {"v": 1, "id": 7, "ok": false,
+    {"v": 2, "id": 7, "ok": false,
      "error": {"code": "unknown_vertex", "message": "...", "vertex": 99}}
+
+Protocol v2 (backward compatible — servers accept every version in
+:data:`SUPPORTED_VERSIONS`) adds the observability envelope fields:
+
+* requests may carry ``"trace"``, a compact hex trace id minted by
+  :func:`repro.obs.trace.new_trace_id` (the server mints one at
+  admission for untraced peers), and ``query`` requests may set
+  ``"timings": true`` to opt into the stage breakdown;
+* replies echo ``"trace"`` and, when timings were requested, carry
+  ``"timings"``: per-request admission/coalesce waits plus the batch's
+  shared lock-wait, probe time, and cache hit/miss counts;
+* the ``health`` op returns the live index-health payload
+  (:func:`repro.obs.health.collect_health`), and ``stats`` accepts
+  ``"registry": true`` to include a full metric-registry snapshot for
+  remote scraping (``repro metrics --connect``).
+
+v1 peers see none of this: their envelopes carry no ``trace`` field and
+their replies are byte-compatible with the v1 server's.
 
 Error codes are stable strings (:data:`ERROR_CODES`); the client maps
 them back onto the library's exception hierarchy with
@@ -60,6 +78,7 @@ from ..errors import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "ERROR_CODES",
     "encode_frame",
@@ -77,8 +96,13 @@ __all__ = [
     "decode_update_ops",
 ]
 
-#: Version tag every frame carries; bumped on incompatible changes.
-PROTOCOL_VERSION = 1
+#: Version tag new clients send; bumped when the envelope grows.
+PROTOCOL_VERSION = 2
+
+#: Every version the server still speaks.  v1 lacks the trace/timings
+#: envelope fields and the ``health`` op, but its query/update/ping/stats
+#: requests are served unchanged.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Hard ceiling on one frame's JSON payload (16 MiB).
 MAX_FRAME_BYTES = 16 * 1024 * 1024

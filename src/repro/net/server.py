@@ -54,9 +54,10 @@ from ..errors import (
     UnknownVertexError,
     VertexNotFoundError,
 )
+from ..obs.trace import new_trace_id
 from ..service.metrics import ScopedMetrics
 from .protocol import (
-    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     decode_update_ops,
     encode_frame,
     error_fields_for,
@@ -70,13 +71,22 @@ __all__ = ["ReachabilityServer", "BackgroundServer"]
 
 
 class _PendingBatch:
-    """One admitted query request waiting for the batcher."""
+    """One admitted query request waiting for the batcher.
 
-    __slots__ = ("pairs", "future")
+    Carries the request's trace id and enqueue timestamp so the reply
+    can report how long the request sat coalescing before the batcher
+    picked it up — the stage that grows first under load.
+    """
 
-    def __init__(self, pairs, future):
+    __slots__ = ("pairs", "future", "trace", "enqueued_at", "want_timings")
+
+    def __init__(self, pairs, future, trace=None, enqueued_at=0.0,
+                 want_timings=False):
         self.pairs = pairs
         self.future = future
+        self.trace = trace
+        self.enqueued_at = enqueued_at
+        self.want_timings = want_timings
 
 
 class ReachabilityServer:
@@ -104,6 +114,11 @@ class ReachabilityServer:
     drain_timeout:
         Seconds the graceful drain waits for admitted requests before
         failing the stragglers and shutting down anyway.
+    slowlog:
+        A :class:`repro.obs.slowlog.SlowQueryLog` to feed.  When set,
+        every query request — admitted, shed, or failed — is offered to
+        the log with its trace id and stage breakdown; the log's own
+        threshold/sampling decides what is written.
     """
 
     def __init__(
@@ -116,6 +131,7 @@ class ReachabilityServer:
         max_batch: int = 1024,
         batch_delay: float = 0.0,
         drain_timeout: float = 10.0,
+        slowlog=None,
     ) -> None:
         if max_pending < 0:
             raise ValueError(f"max_pending must be >= 0, got {max_pending}")
@@ -130,6 +146,7 @@ class ReachabilityServer:
         self.max_batch = max_batch
         self.batch_delay = batch_delay
         self.drain_timeout = drain_timeout
+        self.slowlog = slowlog
 
         self._metrics = ScopedMetrics(service.registry, prefix="net.")
         for name in (
@@ -299,16 +316,17 @@ class ReachabilityServer:
         request_id = request.get("id")
         self._metrics.incr("requests")
         try:
-            version = request.get("v", PROTOCOL_VERSION)
-            if version != PROTOCOL_VERSION:
+            version = request.get("v", SUPPORTED_VERSIONS[-1])
+            if version not in SUPPORTED_VERSIONS:
+                supported = "/".join(f"v{v}" for v in SUPPORTED_VERSIONS)
                 return error_response(
                     request_id,
                     "unsupported_version",
-                    f"server speaks v{PROTOCOL_VERSION}, got v{version!r}",
+                    f"server speaks {supported}, got v{version!r}",
                 )
             op = request.get("op")
             if op == "query":
-                return await self._handle_query(request_id, request)
+                return await self._handle_query(request_id, request, start)
             if op == "update":
                 return await self._handle_update(request_id, request)
             if op == "ping":
@@ -319,11 +337,24 @@ class ReachabilityServer:
                     degraded=self.service.degraded,
                 )
             if op == "stats":
-                return ok_response(
-                    request_id,
-                    stats=self.service.snapshot(),
-                    net=self._metrics.scoped_counters(),
+                fields = {
+                    "stats": self.service.snapshot(),
+                    "net": self._metrics.scoped_counters(),
+                }
+                if request.get("registry"):
+                    # Full registry snapshot for remote scraping
+                    # (`repro metrics --connect`); gauge callbacks may
+                    # briefly take service locks, so keep it off-loop.
+                    fields["registry"] = await asyncio.get_event_loop(
+                    ).run_in_executor(
+                        None, self.service.registry.snapshot
+                    )
+                return ok_response(request_id, **fields)
+            if op == "health":
+                payload = await asyncio.get_event_loop().run_in_executor(
+                    None, self.service.health
                 )
+                return ok_response(request_id, health=payload)
             return error_response(
                 request_id, "unknown_op", f"unknown op {op!r}"
             )
@@ -337,7 +368,16 @@ class ReachabilityServer:
         finally:
             self._request_latency.record(time.perf_counter() - start)
 
-    async def _handle_query(self, request_id, request: dict) -> dict:
+    async def _handle_query(
+        self, request_id, request: dict, start: float
+    ) -> dict:
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not trace:
+            # Untraced peer (a v1 client, or a v2 client that opted
+            # out): mint an id at admission so server-side records —
+            # slowlog lines, WAL stamps — still correlate.
+            trace = new_trace_id()
+        want_timings = bool(request.get("timings"))
         pairs = wire_pairs(request.get("pairs"))
         if not pairs:
             return ok_response(
@@ -345,6 +385,7 @@ class ReachabilityServer:
                 results=[],
                 epoch=self.service.epoch,
                 degraded=self.service.degraded,
+                trace=trace,
             )
         if self.max_pending and (
             self._pending_pairs + len(pairs) > self.max_pending
@@ -355,33 +396,90 @@ class ReachabilityServer:
             retry_ms = max(1.0, 1e3 * self.batch_delay) * (
                 1 + self._pending_pairs // max(1, self.max_batch)
             )
-            return error_response(
+            self._record_slow(
+                trace, start, pairs, outcome="shed",
+                stages={"admission_ms": self._elapsed_ms(start)},
+            )
+            response = error_response(
                 request_id,
                 "overloaded",
                 f"{self._pending_pairs} pairs queued (max {self.max_pending})",
                 retry_after_ms=retry_ms,
             )
+            response["trace"] = trace
+            return response
         future = asyncio.get_event_loop().create_future()
-        self._queue.append(_PendingBatch(pairs, future))
+        enqueued = time.perf_counter()
+        self._queue.append(
+            _PendingBatch(pairs, future, trace, enqueued, want_timings)
+        )
         self._pending_pairs += len(pairs)
         self._work_available.set()
         try:
-            results, epoch, degraded = await future
+            results, epoch, degraded, batch_timings, picked_up = await future
         except ReproError as exc:
-            return error_response(request_id, **error_fields_for(exc))
+            self._record_slow(trace, start, pairs, outcome="error")
+            response = error_response(request_id, **error_fields_for(exc))
+            response["trace"] = trace
+            return response
         self._metrics.incr("queries", len(pairs))
-        return ok_response(
-            request_id, results=results, epoch=epoch, degraded=degraded
+        stages = {
+            "admission_ms": round((enqueued - start) * 1e3, 4),
+            "coalesce_ms": round((picked_up - enqueued) * 1e3, 4),
+        }
+        if batch_timings:
+            stages.update(batch_timings)
+        stages["total_ms"] = self._elapsed_ms(start)
+        self._record_slow(
+            trace, start, pairs,
+            outcome="ok", stages=stages, epoch=epoch, degraded=degraded,
         )
+        response = ok_response(
+            request_id, results=results, epoch=epoch, degraded=degraded,
+            trace=trace,
+        )
+        if want_timings:
+            response["timings"] = stages
+        return response
+
+    @staticmethod
+    def _elapsed_ms(start: float) -> float:
+        return round((time.perf_counter() - start) * 1e3, 4)
+
+    def _record_slow(
+        self, trace, start, pairs, *, outcome, stages=None,
+        epoch=None, degraded=False,
+    ) -> None:
+        if self.slowlog is None:
+            return
+        try:
+            self.slowlog.record(
+                trace=trace,
+                dur_ms=self._elapsed_ms(start),
+                stages=stages,
+                pairs=len(pairs),
+                pair=pairs[0] if len(pairs) == 1 else None,
+                epoch=epoch,
+                outcome=outcome,
+                degraded=degraded,
+            )
+        except OSError:
+            self._metrics.registry.incr("net.slowlog_errors")
 
     async def _handle_update(self, request_id, request: dict) -> dict:
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not trace:
+            trace = new_trace_id()
         ops = decode_update_ops(request.get("ops"))
+        service = self.service
         applied = await asyncio.get_event_loop().run_in_executor(
-            None, self.service.apply_batch, ops
+            None,
+            lambda: service.apply_batch(ops, trace_id=trace),
         )
         self._metrics.incr("updates_applied", applied)
         return ok_response(
-            request_id, applied=applied, epoch=self.service.epoch
+            request_id, applied=applied, epoch=self.service.epoch,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------
@@ -412,48 +510,69 @@ class ReachabilityServer:
             combined = [p for item in batch for p in item.pairs]
             self._metrics.incr("batches")
             self._batch_pairs.record(len(combined))
+            # The service-side stage clocks run when any waiter asked
+            # for a breakdown or a slow-query log wants one; the shared
+            # lock/probe numbers are then fanned to every waiter in the
+            # batch (they shared the acquisition).
+            timed = self.slowlog is not None or any(
+                item.want_timings for item in batch
+            )
+            picked_up = time.perf_counter()
             try:
                 outcome = await loop.run_in_executor(
-                    None, self._run_batch, combined
+                    None, self._run_batch, combined, timed
                 )
             except (UnknownVertexError, VertexNotFoundError):
                 # One poisoned pair must not fail every coalesced
                 # waiter: fall back to per-request calls so only the
                 # requests that named the unknown vertex see the error.
-                await self._settle_individually(loop, batch)
+                await self._settle_individually(loop, batch, timed)
             except Exception as exc:  # noqa: BLE001 - fan the failure out
                 for item in batch:
                     if not item.future.done():
                         item.future.set_exception(exc)
             else:
-                results, epoch, degraded = outcome
+                results, epoch, degraded, batch_timings = outcome
                 offset = 0
                 for item in batch:
                     chunk = results[offset:offset + len(item.pairs)]
                     offset += len(item.pairs)
                     if not item.future.done():
-                        item.future.set_result((chunk, epoch, degraded))
+                        item.future.set_result(
+                            (chunk, epoch, degraded, batch_timings, picked_up)
+                        )
             finally:
                 for item in batch:
                     self._pending_pairs -= len(item.pairs)
 
-    def _run_batch(self, pairs):
+    def _run_batch(self, pairs, timed=False):
         if self.batch_delay:
             time.sleep(self.batch_delay)
-        return self.service.query_batch_with_epoch(pairs)
+        return self._run_batch_undelayed(pairs, timed)
 
-    async def _settle_individually(self, loop, batch) -> None:
+    async def _settle_individually(self, loop, batch, timed=False) -> None:
         for item in batch:
+            picked_up = time.perf_counter()
             try:
                 outcome = await loop.run_in_executor(
-                    None, self.service.query_batch_with_epoch, item.pairs
+                    None, self._run_batch_undelayed, item.pairs, timed
                 )
             except Exception as exc:  # noqa: BLE001 - per-request verdict
                 if not item.future.done():
                     item.future.set_exception(exc)
             else:
                 if not item.future.done():
-                    item.future.set_result(outcome)
+                    item.future.set_result((*outcome, picked_up))
+
+    def _run_batch_undelayed(self, pairs, timed):
+        if timed:
+            timings: dict = {}
+            results, epoch, degraded = self.service.query_batch_with_epoch(
+                pairs, timings=timings
+            )
+            return results, epoch, degraded, timings
+        results, epoch, degraded = self.service.query_batch_with_epoch(pairs)
+        return results, epoch, degraded, None
 
 
 class BackgroundServer:

@@ -13,14 +13,29 @@ This subpackage makes those costs observable end to end:
   near-zero-cost disabled path and an optional :class:`JsonlSink`;
   the core algorithms are instrumented with it;
 * :mod:`repro.obs.export` — Prometheus text exposition and JSON
-  renderers over any registry (`repro metrics`, ``--metrics-out``).
+  renderers over any registry (`repro metrics`, ``--metrics-out``);
+* :mod:`repro.obs.slowlog` — the threshold/sample-gated slow-query log
+  the network front end writes per-request timing breakdowns into;
+* :mod:`repro.obs.flight` — the flight recorder, a bounded ring of
+  periodic registry snapshots dumped on degraded-mode entry,
+  quarantine, recovery, and SIGQUIT;
+* :mod:`repro.obs.health` — live index-health introspection
+  (label-size distribution, order quality, scratch high-water marks,
+  WAL lag, checkpoint age) behind the ``health`` wire op and CLI.
 
 Metric names, the span taxonomy and the JSONL schema are documented in
 ``docs/observability.md``.
 """
 
 from . import trace
-from .export import render_json, render_prometheus, write_metrics
+from .export import (
+    render_json,
+    render_prometheus,
+    render_prometheus_snapshot,
+    write_metrics,
+)
+from .flight import FlightRecorder
+from .health import bind_health_gauges, collect_health, render_health
 from .registry import (
     BUCKET_BOUNDS,
     Counter,
@@ -29,7 +44,8 @@ from .registry import (
     MetricRegistry,
     RunningStats,
 )
-from .trace import JsonlSink
+from .slowlog import SlowQueryLog, aggregate_slowlog, read_slowlog
+from .trace import JsonlSink, new_trace_id
 
 __all__ = [
     "trace",
@@ -40,7 +56,16 @@ __all__ = [
     "RunningStats",
     "BUCKET_BOUNDS",
     "JsonlSink",
+    "new_trace_id",
+    "SlowQueryLog",
+    "read_slowlog",
+    "aggregate_slowlog",
+    "FlightRecorder",
+    "collect_health",
+    "bind_health_gauges",
+    "render_health",
     "render_prometheus",
+    "render_prometheus_snapshot",
     "render_json",
     "write_metrics",
 ]

@@ -30,7 +30,12 @@ import re
 
 from .registry import MetricRegistry
 
-__all__ = ["render_prometheus", "render_json", "write_metrics"]
+__all__ = [
+    "render_prometheus",
+    "render_prometheus_snapshot",
+    "render_json",
+    "write_metrics",
+]
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -66,7 +71,57 @@ def render_prometheus(registry: MetricRegistry) -> str:
     """
     snapshot = registry.snapshot()
     lines: list[str] = []
+    _emit_counters_gauges(snapshot, lines)
 
+    # Histograms need raw cumulative buckets, not the percentile summary.
+    histograms = registry.histograms()
+    for name in sorted(histograms):
+        pname = _sanitize(name) + "_seconds"
+        buckets, count, total = histograms[name].cumulative_buckets()
+        lines.append(f"# TYPE {pname} histogram")
+        for bound, cumulative in buckets:
+            lines.append(
+                f'{pname}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        lines.append(f"{pname}_sum {_fmt(total)}")
+        lines.append(f"{pname}_count {count}")
+
+    _emit_stats(snapshot, lines)
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus_snapshot(snapshot: dict) -> str:
+    """Prometheus text format from a registry *snapshot dict*.
+
+    For registries living in another process — ``repro metrics
+    --connect`` fetches the server's snapshot over the ``stats`` wire op
+    and renders it here.  Raw histogram buckets don't cross the wire, so
+    histograms are rendered from their percentile summaries as a
+    quantile-labelled gauge family (``_count`` / ``_mean`` /
+    ``{quantile="0.5"}`` …) instead of native ``le`` buckets.
+    """
+    lines: list[str] = []
+    _emit_counters_gauges(snapshot, lines)
+
+    for name in sorted(snapshot.get("histograms", ())):
+        pname = _sanitize(name) + "_seconds"
+        summary = snapshot["histograms"][name]
+        lines.append(f"# TYPE {pname} summary")
+        for label, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            if summary.get(key) is not None:
+                lines.append(
+                    f'{pname}{{quantile="{label}"}} {_fmt(summary[key])}'
+                )
+        lines.append(f"{pname}_count {summary['count']}")
+        for key in ("mean", "max"):
+            if summary.get(key) is not None:
+                lines.append(f"{pname}_{key} {_fmt(summary[key])}")
+
+    _emit_stats(snapshot, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _emit_counters_gauges(snapshot: dict, lines: list) -> None:
     for name in sorted(snapshot["counters"]):
         pname = _sanitize(name)
         lines.append(f"# TYPE {pname}_total counter")
@@ -82,19 +137,8 @@ def render_prometheus(registry: MetricRegistry) -> str:
         lines.append(f"# TYPE {pname} gauge")
         lines.append(f"{pname} {_fmt(value)}")
 
-    # Histograms need raw cumulative buckets, not the percentile summary.
-    histograms = registry.histograms()
-    for name in sorted(histograms):
-        pname = _sanitize(name) + "_seconds"
-        buckets, count, total = histograms[name].cumulative_buckets()
-        lines.append(f"# TYPE {pname} histogram")
-        for bound, cumulative in buckets:
-            lines.append(
-                f'{pname}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
-            )
-        lines.append(f"{pname}_sum {_fmt(total)}")
-        lines.append(f"{pname}_count {count}")
 
+def _emit_stats(snapshot: dict, lines: list) -> None:
     for name in sorted(snapshot["stats"]):
         pname = _sanitize(name)
         summary = snapshot["stats"][name]
@@ -103,8 +147,6 @@ def render_prometheus(registry: MetricRegistry) -> str:
         for key in ("mean", "min", "max"):
             if summary[key] is not None:
                 lines.append(f"{pname}_{key} {_fmt(summary[key])}")
-
-    return "\n".join(lines) + "\n"
 
 
 def render_json(registry: MetricRegistry, *, indent: int = 2) -> str:

@@ -46,6 +46,7 @@ carries its parent's name (``"parent": null`` at top level).
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -62,9 +63,24 @@ __all__ = [
     "capture",
     "current_registry",
     "current_sink",
+    "new_trace_id",
     "Span",
     "JsonlSink",
 ]
+
+
+def new_trace_id() -> str:
+    """Mint a compact request-scoped trace id (16 hex chars).
+
+    Trace ids are minted once per request — by
+    :class:`~repro.net.client.ReachabilityClient` normally, or at
+    admission by the server for untraced peers — and carried through the
+    wire envelope, the batching consumer, the slow-query log, the WAL
+    and the quarantine records, so one grep correlates a client-visible
+    reply with every server-side artifact it produced.  64 random bits:
+    collision-free in practice, cheap to log, JSON-safe.
+    """
+    return os.urandom(8).hex()
 
 
 class _State:

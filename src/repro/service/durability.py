@@ -48,6 +48,7 @@ from typing import Optional, Union
 from ..core.serialize import load_checkpoint, save_checkpoint
 from ..errors import ReproError, SerializationError
 from ..graph.digraph import DiGraph
+from ..obs import trace as obs_trace
 from .faults import NULL_INJECTOR, FaultInjector, InjectedCrash
 from ..core.ops import UpdateOp
 
@@ -73,16 +74,27 @@ _RECORD_HEADER = struct.Struct("<II")  # payload length, CRC32(payload)
 _WAL_HEADER_LEN = len(_WAL_MAGIC) + _WAL_BASE.size
 
 
-def _encode_record(seq: int, op: UpdateOp) -> bytes:
+def _encode_record(
+    seq: int, op: UpdateOp, trace: Optional[str] = None
+) -> bytes:
+    body = {"seq": seq, "op": op.to_dict()}
+    if trace is not None:
+        # Only stamped records carry the key, so untraced WALs stay
+        # byte-identical with every log written before trace ids existed.
+        body["trace"] = trace
     payload = json.dumps(
-        {"seq": seq, "op": op.to_dict()}, separators=(",", ":"), sort_keys=True
+        body, separators=(",", ":"), sort_keys=True
     ).encode("utf-8")
     return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def _scan_records(blob: bytes) -> tuple[int, list[tuple[int, UpdateOp]], int]:
+def _scan_records(
+    blob: bytes,
+) -> tuple[int, list[tuple[int, UpdateOp, Optional[str]]], int]:
     """Parse a WAL image; return ``(base_seq, records, valid_end)``.
 
+    Records are ``(seq, op, trace)`` triples — ``trace`` is the
+    originating batch's trace id, or ``None`` for unstamped records.
     Stops — without raising — at the first torn, corrupt, or
     out-of-sequence record; ``valid_end`` is the byte offset of the last
     good record's end, which :meth:`WriteAheadLog.open` truncates to.
@@ -90,7 +102,7 @@ def _scan_records(blob: bytes) -> tuple[int, list[tuple[int, UpdateOp]], int]:
     if blob[: len(_WAL_MAGIC)] != _WAL_MAGIC or len(blob) < _WAL_HEADER_LEN:
         raise SerializationError("not a TOL write-ahead log (bad magic)")
     (base,) = _WAL_BASE.unpack_from(blob, len(_WAL_MAGIC))
-    records: list[tuple[int, UpdateOp]] = []
+    records: list[tuple[int, UpdateOp, Optional[str]]] = []
     prev = base
     offset = _WAL_HEADER_LEN
     while offset + _RECORD_HEADER.size <= len(blob):
@@ -105,11 +117,12 @@ def _scan_records(blob: bytes) -> tuple[int, list[tuple[int, UpdateOp]], int]:
             body = json.loads(payload.decode("utf-8"))
             seq = body["seq"]
             op = UpdateOp.from_dict(body["op"])
+            trace = body.get("trace")
         except (ValueError, KeyError, TypeError, ReproError):
             break
         if seq != prev + 1:
             break  # a gap or replay means everything after is suspect
-        records.append((seq, op))
+        records.append((seq, op, trace))
         prev = seq
         offset = start + length
     return base, records, offset
@@ -187,8 +200,8 @@ class WriteAheadLog:
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as f:
             f.write(_WAL_MAGIC + _WAL_BASE.pack(base))
-            for seq, op in records:
-                f.write(_encode_record(seq, op))
+            for seq, op, trace in records:
+                f.write(_encode_record(seq, op, trace))
             f.flush()
             if self._fsync != "never":
                 os.fsync(f.fileno())
@@ -212,18 +225,21 @@ class WriteAheadLog:
     # Appending
     # ------------------------------------------------------------------
 
-    def append(self, op: UpdateOp) -> int:
+    def append(self, op: UpdateOp, *, trace: Optional[str] = None) -> int:
         """Append one update record; return its sequence number.
 
         The record is flushed to the OS before returning (so it survives
         a process crash); ``fsync="always"`` additionally syncs it to
         stable storage here, ``"batch"`` defers that to :meth:`sync`.
+        *trace* stamps the record with the originating batch's trace id
+        so durability incidents correlate with client-visible replies
+        (untraced records encode byte-identically to older WALs).
         """
         with self._lock:
             if self._file is None:
                 raise SerializationError("write-ahead log is closed")
             seq = self._last_seq + 1
-            record = _encode_record(seq, op)
+            record = _encode_record(seq, op, trace)
             self._injector.fire("wal.append.before")
             if self._injector.take("wal.append.torn") is not None:
                 # Simulate a crash mid-write: half the record reaches the
@@ -263,6 +279,12 @@ class WriteAheadLog:
 
     def records(self) -> list[tuple[int, UpdateOp]]:
         """Re-read every valid ``(seq, op)`` record from disk, in order."""
+        return [(seq, op) for seq, op, _ in self.records_with_traces()]
+
+    def records_with_traces(
+        self,
+    ) -> list[tuple[int, UpdateOp, Optional[str]]]:
+        """``(seq, op, trace)`` triples from disk; ``trace`` may be ``None``."""
         with self._lock:
             if self._file is not None:
                 self._file.flush()
@@ -278,7 +300,11 @@ class WriteAheadLog:
         old or the new log, never a mangled one.
         """
         with self._lock:
-            keep = [(s, op) for s, op in self.records() if s > seq]
+            keep = [
+                (s, op, trace)
+                for s, op, trace in self.records_with_traces()
+                if s > seq
+            ]
             if self._file is not None:
                 self._file.close()
             self._write_fresh(self._path, base=seq, records=keep)
@@ -575,15 +601,22 @@ def recover_state(
     with WriteAheadLog(
         directory / "wal.log", fsync=fsync, injector=injector
     ) as wal:
-        for seq, op in wal.records():
+        for seq, op, trace_id in wal.records_with_traces():
             if seq <= base_seq:
                 continue
             try:
                 op.apply_to_graph(graph)
             except ReproError:
                 skipped += 1
+                obs_trace.event(
+                    "wal.replay_skipped", seq=seq, trace=trace_id,
+                    kind=op.kind,
+                )
             else:
                 replayed += 1
+                obs_trace.event(
+                    "wal.replay", seq=seq, trace=trace_id, kind=op.kind
+                )
         return RecoveryReport(
             graph=graph,
             last_seq=max(wal.last_seq, base_seq),

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = [
     "CRASH_POINTS",
@@ -239,11 +240,22 @@ class FaultPolicy:
 
 @dataclass(frozen=True)
 class QuarantinedUpdate:
-    """One update the service gave up on, with its final error."""
+    """One update the service gave up on, with its final error.
+
+    ``trace_id`` is the trace id of the batch the op arrived in (when
+    the client or admission path stamped one), so a quarantine entry
+    can be correlated with the client-visible reply and the WAL record
+    it produced.
+    """
 
     op: object
     error: str
     attempts: int
+    trace_id: Optional[str] = None
 
     def __str__(self) -> str:
-        return f"{self.op} quarantined after {self.attempts} attempts: {self.error}"
+        tagged = f" [trace {self.trace_id}]" if self.trace_id else ""
+        return (
+            f"{self.op} quarantined after {self.attempts} attempts"
+            f"{tagged}: {self.error}"
+        )

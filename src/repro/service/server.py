@@ -73,6 +73,9 @@ from ..core.index import ReachabilityIndex
 from ..errors import ReproError, UnknownVertexError
 from ..graph.digraph import DiGraph
 from ..graph.traversal import bidirectional_reachable
+from ..obs import trace as obs_trace
+from ..obs.flight import FlightRecorder
+from ..obs.health import collect_health
 from ..obs.registry import MetricRegistry
 from .cache import MISS, EpochLRUCache
 from .concurrency import EpochCounter, RWLock
@@ -176,6 +179,7 @@ class ReachabilityService:
         query_deadline: Optional[float] = None,
         audit_interval: int = 0,
         audit_samples: int = 16,
+        flight: Optional["FlightRecorder"] = None,
     ) -> None:
         if index is not None and graph is not None:
             raise ValueError("pass either graph or index, not both")
@@ -222,6 +226,14 @@ class ReachabilityService:
         )
         self._durability = durability
         self._last_recovery: Optional[RecoveryReport] = None
+        # Post-mortem flight recorder (see repro.obs.flight): when wired,
+        # the service auto-dumps its timeline on degraded-mode entry,
+        # quarantine and recovery.  Trace ids submitted with updates are
+        # remembered (keyed by op identity) until the op is flushed, so
+        # WAL records and quarantine entries carry the originating
+        # batch's trace.
+        self._flight = flight
+        self._op_traces: dict[int, str] = {}
 
         reg = self._metrics.registry
         if durability is not None:
@@ -313,6 +325,12 @@ class ReachabilityService:
         service._metrics.registry.incr(
             "recovery.replayed_records", report.replayed
         )
+        if service._flight is not None:
+            service._flight.auto_dump(
+                "recovery",
+                replayed=report.replayed,
+                skipped=report.skipped,
+            )
         return service
 
     # ------------------------------------------------------------------
@@ -384,7 +402,7 @@ class ReachabilityService:
         return self.query_batch_with_epoch(pairs)[0]
 
     def query_batch_with_epoch(
-        self, pairs: Iterable[Pair]
+        self, pairs: Iterable[Pair], *, timings: Optional[dict] = None
     ) -> tuple[list[bool], int, bool]:
         """:meth:`query_batch` plus the consistency metadata.
 
@@ -392,7 +410,17 @@ class ReachabilityService:
         order, the epoch they are valid at, and whether they came from
         the degraded mirror-BFS path instead of the index.  The network
         front end uses this to stamp every reply envelope.
+
+        When *timings* is a dict, the call takes the instrumented path
+        and fills it in place with the stage breakdown the tracing tier
+        reports per reply: ``lock_ms`` (read-lock wait), ``probe_ms``
+        (cache + index time), ``cache_hits`` / ``cache_misses``, and
+        ``degraded``.  The default ``timings=None`` path is byte-for-byte
+        the pre-instrumentation hot path — the disabled-path overhead
+        budget (benchmarks/bench_obs_overhead.py) depends on that.
         """
+        if timings is not None:
+            return self._query_batch_timed(pairs, timings)
         pairs = list(pairs)
         unique: dict[Pair, bool] = dict.fromkeys(pairs)  # insertion-ordered
         start = time.perf_counter()
@@ -416,6 +444,63 @@ class ReachabilityService:
             finally:
                 self._rwlock.release_read()
         self._metrics.query_latency.record(time.perf_counter() - start)
+        self._metrics.incr("queries", len(pairs))
+        self._metrics.incr("batch_calls")
+        self._metrics.incr("batch_dedup_saved", len(pairs) - len(unique))
+        return [unique[pair] for pair in pairs], epoch, degraded
+
+    def _query_batch_timed(
+        self, pairs: Iterable[Pair], timings: dict
+    ) -> tuple[list[bool], int, bool]:
+        """The instrumented twin of :meth:`query_batch_with_epoch`.
+
+        Same semantics (one lock acquisition, deduplicated probes,
+        mirror fallback), but every stage is clocked into *timings* so
+        the network front end can hand the breakdown back to a traced
+        client.  Kept separate so the untimed path stays free of the
+        extra ``perf_counter`` calls and bookkeeping.
+        """
+        pairs = list(pairs)
+        unique: dict[Pair, bool] = dict.fromkeys(pairs)
+        start = time.perf_counter()
+        degraded = False
+        hits = 0
+        if self._degraded.is_set():
+            acquired = False
+        else:
+            acquired = self._rwlock.acquire_read(timeout=self._query_deadline)
+        lock_done = time.perf_counter()
+        if not acquired:
+            degraded = True
+            with self._mirror_lock:
+                epoch = self._epoch.value
+                for pair in unique:
+                    unique[pair] = bidirectional_reachable(
+                        self._mirror, pair[0], pair[1]
+                    )
+            self._metrics.registry.incr("degraded.queries", len(pairs))
+        else:
+            try:
+                epoch = self._epoch.value
+                cache = self._cache
+                for pair in unique:
+                    cached = cache.get(pair, epoch)
+                    if cached is not MISS:
+                        hits += 1
+                        unique[pair] = cached
+                    else:
+                        answer = self._index.query(pair[0], pair[1])
+                        cache.put(pair, epoch, answer)
+                        unique[pair] = answer
+            finally:
+                self._rwlock.release_read()
+        end = time.perf_counter()
+        timings["lock_ms"] = round((lock_done - start) * 1e3, 4)
+        timings["probe_ms"] = round((end - lock_done) * 1e3, 4)
+        timings["cache_hits"] = hits
+        timings["cache_misses"] = 0 if degraded else len(unique) - hits
+        timings["degraded"] = degraded
+        self._metrics.query_latency.record(end - start)
         self._metrics.incr("queries", len(pairs))
         self._metrics.incr("batch_calls")
         self._metrics.incr("batch_dedup_saved", len(pairs) - len(unique))
@@ -448,7 +533,13 @@ class ReachabilityService:
     # Write path
     # ------------------------------------------------------------------
 
-    def submit_update(self, op: UpdateOp, *, validate: bool = True) -> None:
+    def submit_update(
+        self,
+        op: UpdateOp,
+        *,
+        validate: bool = True,
+        trace_id: Optional[str] = None,
+    ) -> None:
         """Queue one mutation; flush if the threshold is reached.
 
         With ``validate=True`` (the default), an op referencing a vertex
@@ -458,9 +549,20 @@ class ReachabilityService:
         thread instead of a silent apply-time rejection counted in a
         metric.  Apply-time rejection still backstops races (a vertex
         deleted by another writer between validation and apply).
+
+        *trace_id* tags the op with the request trace it arrived under;
+        the tag follows the op into its WAL record, any retry/quarantine
+        events, and the quarantine log entry, so a failed update can be
+        walked back to the client call that sent it.
         """
         if validate:
             self._validate_refs(op)
+        if trace_id is not None:
+            if len(self._op_traces) > 4096:
+                # Ops coalesced away in the queue never reach a flush,
+                # so their tags would otherwise accumulate forever.
+                self._op_traces.clear()
+            self._op_traces[id(op)] = trace_id
         self._queue.submit(op)
         if len(self._queue) >= self._flush_threshold:
             self.flush()
@@ -492,7 +594,13 @@ class ReachabilityService:
                 ):
                     raise UnknownVertexError(v)
 
-    def apply(self, op: UpdateOp, *, validate: bool = True) -> None:
+    def apply(
+        self,
+        op: UpdateOp,
+        *,
+        validate: bool = True,
+        trace_id: Optional[str] = None,
+    ) -> None:
         """Queue one :class:`~repro.core.ops.UpdateOp`.
 
         The unified write entry point: the named convenience methods
@@ -502,20 +610,25 @@ class ReachabilityService:
         name); passing anything other than an :class:`UpdateOp` — raw
         tuples or wire dicts — is not supported.
         """
-        self.submit_update(op, validate=validate)
+        self.submit_update(op, validate=validate, trace_id=trace_id)
 
     def apply_batch(
-        self, ops: Iterable[UpdateOp], *, validate: bool = True
+        self,
+        ops: Iterable[UpdateOp],
+        *,
+        validate: bool = True,
+        trace_id: Optional[str] = None,
     ) -> int:
         """Queue every op in *ops*, then flush; return ops accepted.
 
         Validation failures (:class:`~repro.errors.UnknownVertexError`)
         raise on the offending op, leaving earlier ops queued — call
-        :meth:`flush` (or submit more ops) to land them.
+        :meth:`flush` (or submit more ops) to land them.  *trace_id*
+        tags every op in the batch (see :meth:`submit_update`).
         """
         accepted = 0
         for op in ops:
-            self.apply(op, validate=validate)
+            self.apply(op, validate=validate, trace_id=trace_id)
             accepted += 1
         self.flush()
         return accepted
@@ -559,15 +672,18 @@ class ReachabilityService:
             batch = self._queue.drain()
             if not batch:
                 return 0
+            traces = {
+                id(op): self._op_traces.pop(id(op), None) for op in batch
+            }
             if self._durability is not None:
-                batch = self._log_batch(batch)
+                batch = self._log_batch(batch, traces)
                 if not batch:
                     return 0
             applied = 0
             start = time.perf_counter()
             with self._rwlock.write_locked():
                 for op in batch:
-                    epoch = self._apply_one(op)
+                    epoch = self._apply_one(op, traces.get(id(op)))
                     if epoch is None:
                         continue
                     if self._applied is not None:
@@ -585,7 +701,9 @@ class ReachabilityService:
             self.self_audit(self._audit_samples)
         return applied
 
-    def _apply_one(self, op: UpdateOp) -> Optional[int]:
+    def _apply_one(
+        self, op: UpdateOp, trace_id: Optional[str] = None
+    ) -> Optional[int]:
         """Apply one op under the write lock; return its epoch or ``None``.
 
         ``None`` means the op took no effect: a deterministic rejection
@@ -602,8 +720,14 @@ class ReachabilityService:
             except Exception as exc:  # noqa: BLE001 - the quarantine boundary
                 attempts += 1
                 if attempts > self._policy.max_retries:
-                    self._quarantine(op, exc, attempts)
+                    self._quarantine(op, exc, attempts, trace_id)
                     return None
+                obs_trace.event(
+                    "service.retry",
+                    attempt=attempts,
+                    trace=trace_id,
+                    kind=op.kind,
+                )
                 # Backoff while holding the write lock: releasing it
                 # mid-batch would expose a half-applied batch, so the
                 # policy keeps these waits in the low milliseconds.
@@ -613,25 +737,36 @@ class ReachabilityService:
                 op.apply_to_graph(self._mirror)
                 return self._epoch.bump()
 
-    def _log_batch(self, batch: list[UpdateOp]) -> list[UpdateOp]:
+    def _log_batch(
+        self, batch: list[UpdateOp], traces: dict[int, Optional[str]]
+    ) -> list[UpdateOp]:
         """WAL-append the batch (with retry/quarantine) and sync once.
 
         Returns the ops that were durably logged; an op whose append
         keeps failing is quarantined *before* apply, so the in-memory
-        state never runs ahead of the log.
+        state never runs ahead of the log.  Each record is stamped with
+        the op's originating trace id (when one was submitted), so WAL
+        replay events after a crash name the batch that wrote them.
         """
         wal = self._durability.wal
         survivors: list[UpdateOp] = []
         for op in batch:
+            trace_id = traces.get(id(op))
             attempts = 0
             while True:
                 try:
-                    wal.append(op)
+                    wal.append(op, trace=trace_id)
                 except OSError as exc:
                     attempts += 1
                     if attempts > self._policy.max_retries:
-                        self._quarantine(op, exc, attempts)
+                        self._quarantine(op, exc, attempts, trace_id)
                         break
+                    obs_trace.event(
+                        "service.wal_retry",
+                        attempt=attempts,
+                        trace=trace_id,
+                        kind=op.kind,
+                    )
                     time.sleep(
                         self._policy.backoff_base * (2 ** (attempts - 1))
                     )
@@ -646,11 +781,29 @@ class ReachabilityService:
             self._metrics.registry.incr("wal.sync_errors")
         return survivors
 
-    def _quarantine(self, op: UpdateOp, exc: Exception, attempts: int) -> None:
+    def _quarantine(
+        self,
+        op: UpdateOp,
+        exc: Exception,
+        attempts: int,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self._quarantined.append(
-            QuarantinedUpdate(op=op, error=repr(exc), attempts=attempts)
+            QuarantinedUpdate(
+                op=op, error=repr(exc), attempts=attempts, trace_id=trace_id
+            )
         )
         self._metrics.registry.incr("updates.quarantined")
+        obs_trace.event(
+            "service.quarantined",
+            attempts=attempts,
+            trace=trace_id,
+            kind=op.kind,
+        )
+        if self._flight is not None:
+            self._flight.auto_dump(
+                "quarantine", kind=op.kind, trace=trace_id, error=repr(exc)
+            )
 
     def _maybe_checkpoint(self) -> None:
         """Hand the manager a mirror snapshot; called under the flush mutex."""
@@ -709,11 +862,25 @@ class ReachabilityService:
         suspect or a long write-side operation is in flight; readers
         keep getting correct answers, just without the index speedup.
         """
-        self._degraded.set()
+        self._trip_degraded("operator")
 
     def exit_degraded(self) -> None:
         """Resume serving from the index."""
         self._degraded.clear()
+
+    def _trip_degraded(self, reason: str) -> None:
+        """Enter degraded mode; on the edge, dump the flight recorder.
+
+        The dump captures the metric timeline *leading up to* the
+        transition — the whole point of the ring buffer — so it fires
+        only on the clear→set edge, not on repeated entries.
+        """
+        already = self._degraded.is_set()
+        self._degraded.set()
+        if not already:
+            obs_trace.event("service.degraded_enter", reason=reason)
+            if self._flight is not None:
+                self._flight.auto_dump("degraded", reason=reason)
 
     def self_audit(self, samples: Optional[int] = None, *, seed: int = 0) -> bool:
         """Sampled Definition-1 audit: does the index agree with BFS?
@@ -748,7 +915,7 @@ class ReachabilityService:
                     except ReproError:
                         want = None
                 if got != want:
-                    self._degraded.set()
+                    self._trip_degraded("audit_failure")
                     self._metrics.registry.incr("service.audit_failures")
                     return False
         self._metrics.registry.incr("service.audits")
@@ -889,7 +1056,23 @@ class ReachabilityService:
         }
         if self._durability is not None:
             out["wal"] = self._durability.stats()
+        if self._flight is not None:
+            out["flight"] = self._flight.stats()
         return out
+
+    def health(self) -> dict:
+        """Live index-health payload (:func:`repro.obs.health.collect_health`).
+
+        Label-size distribution, order-quality score, scratch high-water
+        marks, WAL lag, checkpoint age — the ``health`` wire op and the
+        ``repro health`` CLI both serve exactly this dict.
+        """
+        return collect_health(self)
+
+    @property
+    def flight(self) -> Optional[FlightRecorder]:
+        """The wired flight recorder, when post-mortem capture is on."""
+        return self._flight
 
     # ------------------------------------------------------------------
     # Context manager: flush on exit

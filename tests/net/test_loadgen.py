@@ -12,6 +12,7 @@ import pytest
 
 from repro.graph.generators import random_dag
 from repro.graph.io import write_edge_list
+from repro.net.protocol import PROTOCOL_VERSION
 from repro.net.loadgen import (
     percentile,
     run_loadgen,
@@ -82,7 +83,7 @@ class TestLoadgenEndToEnd:
         artifact = write_bench_json(result, tmp_path / "BENCH_serve.json")
         loaded = json.loads(artifact.read_text())
         assert loaded["benchmark"] == "serve"
-        assert loaded["protocol_version"] == 1
+        assert loaded["protocol_version"] == PROTOCOL_VERSION
         assert set(loaded["totals"]) == {
             "queries", "requests", "shed", "errors",
             "degraded_replies", "verify_failures",
