@@ -14,6 +14,7 @@ over the sequence, exactly as Figures 2 and 4 do.
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections.abc import Hashable
 from dataclasses import dataclass
@@ -157,16 +158,21 @@ class ZipfianPairSource:
         self._weights = [
             1.0 / (rank + 1) ** skew for rank in range(len(self._vertices))
         ]
+        # ``random.choices(weights=...)`` re-accumulates the weight list
+        # on every call; handing it the cumulative form instead makes a
+        # draw pure bisection, which matters when the load generator
+        # calls this per request.
+        self._cum_weights = list(itertools.accumulate(self._weights))
 
     def pairs(self, count: int) -> list[tuple[Vertex, Vertex]]:
         """Draw the next *count* ``(source, target)`` pairs."""
         if count <= 0:
             raise WorkloadError(f"query count must be positive, got {count}")
         sources = self._rng.choices(
-            self._vertices, weights=self._weights, k=count
+            self._vertices, cum_weights=self._cum_weights, k=count
         )
         targets = self._rng.choices(
-            self._vertices, weights=self._weights, k=count
+            self._vertices, cum_weights=self._cum_weights, k=count
         )
         return list(zip(sources, targets))
 

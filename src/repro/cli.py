@@ -415,6 +415,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
     query batching, admission control (``--max-pending``), structured
     error replies, and graceful drain on SIGTERM/SIGINT.  See
     docs/network.md for the protocol.
+
+    Two extensions (docs/scaling.md):
+
+    * ``--snapshot FILE.tolf`` boots the index from a pack written by
+      `repro pack` — no rebuild, no WAL replay;
+    * ``--workers N`` serves in multi-process mode: N reader processes
+      answer queries from a shared-memory frozen snapshot while this
+      process applies updates and republishes.
     """
     import asyncio
     import signal
@@ -429,6 +437,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .obs.slowlog import SlowQueryLog
     from .service.server import ReachabilityService
 
+    if not args.graph and not args.snapshot:
+        print("error: pass a graph edge-list file or --snapshot FILE.tolf",
+              file=sys.stderr)
+        return 2
     durability = None
     if args.wal:
         from .service.durability import DurabilityManager
@@ -456,9 +468,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             threshold_ms=args.slow_ms,
             sample_rate=args.slowlog_sample,
         )
+    exit_code = 0
     try:
-        service = ReachabilityService(
-            read_edge_list(args.graph),
+        service_kwargs = dict(
             cache_size=args.cache_size,
             flush_threshold=args.flush_threshold,
             order=args.order,
@@ -466,46 +478,92 @@ def cmd_serve(args: argparse.Namespace) -> int:
             durability=durability,
             flight=flight,
         )
-        bind_health_gauges(registry, service)
-        server = ReachabilityServer(
-            service,
-            host=args.host,
-            port=args.port,
-            max_pending=args.max_pending,
-            max_batch=args.max_batch,
-            batch_delay=args.batch_delay,
-            drain_timeout=args.drain_timeout,
-            slowlog=slowlog,
-        )
-        if flight is not None:
-            flight.start()
+        if args.snapshot:
+            from .core.serialize import (
+                load_pack,
+                reachability_index_from_pack,
+            )
 
-        async def run() -> None:
-            await server.start()
-            loop = asyncio.get_event_loop()
+            frozen, meta = load_pack(args.snapshot)
+            index = reachability_index_from_pack(
+                frozen, meta, order=args.order
+            )
+            service = ReachabilityService(index=index, **service_kwargs)
+        else:
+            service = ReachabilityService(
+                read_edge_list(args.graph), **service_kwargs
+            )
+        bind_health_gauges(registry, service)
+        source = args.snapshot or args.graph
+
+        if args.workers:
+            from .net.multiproc import MultiProcessServer
+
+            mp = MultiProcessServer(
+                service,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                publish_interval=args.publish_interval,
+                grace_period=args.grace_period,
+                max_pending=args.max_pending,
+                max_batch=args.max_batch,
+                batch_delay=args.batch_delay,
+                drain_timeout=args.drain_timeout,
+                slowlog=slowlog,
+            )
             if flight is not None:
-                # SIGQUIT (ctrl-\) dumps the metric timeline without
-                # stopping the server — the "what just happened" probe.
-                try:
-                    loop.add_signal_handler(
-                        signal.SIGQUIT,
-                        lambda: flight.auto_dump("sigquit"),
-                    )
-                except (NotImplementedError, RuntimeError, AttributeError):
-                    pass
+                flight.start()
             print(
-                f"serving {args.graph} on {server.host}:{server.port} "
+                f"serving {source} on {args.host}:{mp.port} "
                 f"(protocol v{PROTOCOL_VERSION}, "
                 f"|V|={service.num_vertices}, "
-                f"|E|={service.num_edges}); SIGTERM drains gracefully",
+                f"|E|={service.num_edges}, "
+                f"{args.workers} reader workers, writer on "
+                f"127.0.0.1:{mp.writer_port}); SIGTERM drains gracefully",
                 flush=True,
             )
-            if args.port_file:
-                with open(args.port_file, "w", encoding="utf-8") as fh:
-                    fh.write(f"{server.port}\n")
-            await server.serve_forever()
+            exit_code = asyncio.run(mp.run(port_file=args.port_file))
+        else:
+            server = ReachabilityServer(
+                service,
+                host=args.host,
+                port=args.port,
+                max_pending=args.max_pending,
+                max_batch=args.max_batch,
+                batch_delay=args.batch_delay,
+                drain_timeout=args.drain_timeout,
+                slowlog=slowlog,
+            )
+            if flight is not None:
+                flight.start()
 
-        asyncio.run(run())
+            async def run() -> None:
+                await server.start()
+                loop = asyncio.get_event_loop()
+                if flight is not None:
+                    # SIGQUIT (ctrl-\) dumps the metric timeline without
+                    # stopping the server — the "what just happened" probe.
+                    try:
+                        loop.add_signal_handler(
+                            signal.SIGQUIT,
+                            lambda: flight.auto_dump("sigquit"),
+                        )
+                    except (NotImplementedError, RuntimeError, AttributeError):
+                        pass
+                print(
+                    f"serving {source} on {server.host}:{server.port} "
+                    f"(protocol v{PROTOCOL_VERSION}, "
+                    f"|V|={service.num_vertices}, "
+                    f"|E|={service.num_edges}); SIGTERM drains gracefully",
+                    flush=True,
+                )
+                if args.port_file:
+                    with open(args.port_file, "w", encoding="utf-8") as fh:
+                        fh.write(f"{server.port}\n")
+                await server.serve_forever()
+
+            asyncio.run(run())
     finally:
         if flight is not None:
             flight.stop()
@@ -527,6 +585,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics_out:
         fmt = write_metrics(registry, args.metrics_out)
         print(f"wrote {fmt} metrics to {args.metrics_out}")
+    return exit_code
+
+
+def cmd_serve_worker(args: argparse.Namespace) -> int:
+    """Hidden: reader-worker entry point spawned by `repro serve --workers`.
+
+    Not for direct use — it expects an inherited listening-socket fd and
+    a live shared-memory control block (see repro.net.multiproc).
+    """
+    from .net.worker import run_reader_worker
+
+    return run_reader_worker(
+        listen_fd=args.fd,
+        control_name=args.control,
+        writer_host=args.writer_host,
+        writer_port=args.writer_port,
+        worker_id=args.worker_id,
+    )
+
+
+def cmd_pack(args: argparse.Namespace) -> int:
+    """`repro pack`: freeze a graph's index into an mmap-able .tolf pack.
+
+    Builds the :class:`ReachabilityIndex` (SCC condensation + TOL
+    labels), freezes it to flat CSR buffers, and writes the TOLF pack —
+    the zero-copy snapshot format `repro serve --snapshot` boots from
+    without rebuilding and `repro serve --workers` publishes through
+    shared memory.  The pack carries the original graph alongside the
+    labels so the booted server still applies updates.
+    """
+    from .core.frozen import freeze
+    from .core.serialize import graph_to_dict, hashable_vertex, save_pack
+    from .core.index import ReachabilityIndex
+
+    graph = read_edge_list(args.graph)
+    start = time.perf_counter()
+    index = ReachabilityIndex(graph, order=args.order)
+    build_s = time.perf_counter() - start
+    frozen = freeze(index.tol)
+    graph_doc = graph_to_dict(index.condensation.graph)
+    # component_of aligned to the vertex table, so the pack restores the
+    # condensation with identical component ids.
+    hashables = [hashable_vertex(v) for v in graph_doc["vertices"]]
+    meta = {
+        "vertices": graph_doc["vertices"],
+        "graph_edges": graph_doc["edges"],
+        "component_of": [
+            index.condensation.component_of[v] for v in hashables
+        ],
+        "epoch": 0,
+        "order": args.order,
+        "source": str(args.graph),
+    }
+    save_pack(args.output, frozen, meta)
+    size = os.path.getsize(args.output)
+    print(
+        f"packed {args.graph} -> {args.output}: "
+        f"|V|={graph.num_vertices} |E|={graph.num_edges} "
+        f"|L|={frozen.size()} ({size:,} bytes, built in {build_s:.2f}s)"
+    )
     return 0
 
 
@@ -567,15 +685,47 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             "--max-pending", str(args.server_max_pending),
             "--batch-delay", str(args.server_batch_delay),
         ]
-        with spawned_server(args.graph, server_args=server_args) as server:
+        workers_args = (
+            ["--workers", str(args.workers)] if args.workers else []
+        )
+        single = None
+        if args.compare_single and args.workers:
+            # Baseline first: same graph, same load, classic
+            # single-process server.
+            with spawned_server(
+                args.graph, server_args=server_args
+            ) as server:
+                single = drive(server.host, server.port)
+                server.terminate()
+            print(
+                f"single-process baseline: {single['qps']:,.0f} qps",
+                flush=True,
+            )
+        with spawned_server(
+            args.graph, server_args=server_args + workers_args
+        ) as server:
             result = drive(server.host, server.port)
             exit_code = server.terminate()
             result["server_exit_code"] = exit_code
             if exit_code != 0:
                 print(f"warning: server exited with code {exit_code}",
                       file=sys.stderr)
+        if args.workers:
+            result["workers"] = args.workers
+        if single is not None:
+            result["single_process"] = {
+                "qps": single["qps"],
+                "latency_ms": single["latency_ms"],
+                "totals": single["totals"],
+            }
+            result["speedup_vs_single"] = (
+                round(result["qps"] / single["qps"], 3)
+                if single["qps"] else None
+            )
     else:
         result = drive(args.host, args.port)
+        if args.workers:
+            result["workers"] = args.workers
 
     totals = result["totals"]
     lat = result["latency_ms"]
@@ -594,6 +744,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         + (f", {totals['verify_failures']} oracle disagreements"
            if args.verify else "")
     )
+    speedup = result.get("speedup_vs_single")
+    if speedup is not None:
+        print(
+            f"  speedup vs single process: {speedup:.2f}x "
+            f"({result['workers']} workers)"
+        )
     if args.output:
         path = write_bench_json(result, args.output)
         print(f"wrote {path}")
@@ -605,6 +761,18 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print("error: --expect-shed was set but nothing was shed",
               file=sys.stderr)
         return 1
+    if args.min_speedup is not None:
+        if speedup is None:
+            print("error: --min-speedup needs --workers with "
+                  "--compare-single", file=sys.stderr)
+            return 2
+        if speedup < args.min_speedup:
+            print(
+                f"error: speedup {speedup:.2f}x is below the "
+                f"--min-speedup {args.min_speedup}x gate",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -938,7 +1106,23 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a graph over TCP (length-prefixed JSON protocol)",
     )
-    p.add_argument("graph", help="edge-list file of the graph to serve")
+    p.add_argument("graph", nargs="?", default=None,
+                   help="edge-list file of the graph to serve (optional "
+                        "with --snapshot)")
+    p.add_argument("--snapshot", default=None, metavar="FILE.tolf",
+                   help="boot from a `repro pack` artifact instead of "
+                        "building the index from the edge list")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="multi-process mode: N reader processes answer "
+                        "queries from a shared-memory frozen snapshot; "
+                        "this process becomes the writer (0 = classic "
+                        "single-process serving)")
+    p.add_argument("--publish-interval", type=float, default=0.2,
+                   help="seconds between snapshot-republish checks "
+                        "(with --workers)")
+    p.add_argument("--grace-period", type=float, default=5.0,
+                   help="seconds a superseded shared-memory segment stays "
+                        "linked for late readers (with --workers)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7421,
                    help="TCP port (0 picks a free one)")
@@ -1029,7 +1213,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="--max-pending for the spawned server (with --spawn)")
     p.add_argument("--server-batch-delay", type=float, default=0.0,
                    help="--batch-delay for the spawned server (with --spawn)")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="spawn the server in multi-process mode with N "
+                        "reader workers (with --spawn); recorded in the "
+                        "artifact's `workers` field")
+    p.add_argument("--compare-single", action="store_true",
+                   help="also run a single-process baseline first (with "
+                        "--spawn --workers) and record `single_process` + "
+                        "`speedup_vs_single` in the artifact")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   help="exit 1 unless speedup_vs_single >= X (with "
+                        "--compare-single)")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "pack",
+        help="freeze a graph's index into an mmap-able .tolf snapshot "
+             "pack (boot it with `repro serve --snapshot`)",
+    )
+    p.add_argument("graph", help="edge-list file to index and freeze")
+    p.add_argument("output", help="pack file to write (convention: .tolf)")
+    p.add_argument("--order", default="butterfly-u",
+                   choices=sorted(set(ORDER_STRATEGIES)))
+    p.set_defaults(func=cmd_pack)
+
+    # Hidden plumbing: the reader-worker subprocess behind
+    # `repro serve --workers`.  Takes an inherited listening-socket fd
+    # and the shared-memory control-block name; not useful by hand.
+    p = sub.add_parser("serve-worker")
+    p.add_argument("--fd", type=int, required=True)
+    p.add_argument("--control", required=True)
+    p.add_argument("--writer-host", default="127.0.0.1")
+    p.add_argument("--writer-port", type=int, required=True)
+    p.add_argument("--worker-id", type=int, required=True)
+    p.set_defaults(func=cmd_serve_worker)
 
     p = sub.add_parser(
         "recover",

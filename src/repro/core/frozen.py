@@ -16,8 +16,13 @@ CSR layout:
 Because the live index is id-based, freezing is a near-zero-cost repack:
 one rank-translation table plus a small per-vertex sort of each translated
 buffer — no hashing of vertex objects.  This is the shape a C
-implementation of the paper would use for serving (the buffers could be
-mmapped directly).  Freezing drops the inverted lists and the per-vertex
+implementation of the paper would use for serving, and the buffers *are*
+mmapped directly in the zero-copy path: the four buffers may be
+``array`` objects (a local freeze) or ``memoryview.cast`` views into an
+mmapped ``.tolf`` pack or a ``multiprocessing.shared_memory`` segment
+(see :func:`repro.core.serialize.unpack_frozen` and :mod:`repro.shm`) —
+queries only need ``len``/indexing/``bisect``, which both support
+identically.  Freezing drops the inverted lists and the per-vertex
 array objects, so it still shrinks resident memory versus the live index
 (measured in ``benchmarks/bench_frozen.py``); updates are intentionally
 unsupported — thaw back into a :class:`TOLIndex` via
@@ -72,10 +77,10 @@ class FrozenTOLIndex:
         self,
         id_of: dict[Vertex, int],
         vertex_of: list[Vertex],
-        in_offsets: array,
-        in_labels: array,
-        out_offsets: array,
-        out_labels: array,
+        in_offsets: "array | memoryview",
+        in_labels: "array | memoryview",
+        out_offsets: "array | memoryview",
+        out_labels: "array | memoryview",
         edges: Optional[tuple[tuple[int, int], ...]] = None,
     ) -> None:
         self._id_of = id_of

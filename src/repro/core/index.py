@@ -432,6 +432,32 @@ class ReachabilityIndex:
             engine=engine,
         )
 
+    @classmethod
+    def restore(
+        cls,
+        condensation: DynamicCondensation,
+        tol: TOLIndex,
+        *,
+        order: Union[str, OrderStrategy] = "butterfly-u",
+        prune: bool = True,
+        engine: str = "csr",
+    ) -> "ReachabilityIndex":
+        """Adopt a prebuilt condensation + TOL pair without rebuilding.
+
+        The deserialization path (``.tolf`` packs, :func:`
+        repro.core.serialize.reachability_index_from_pack`) already holds
+        both halves — *tol*'s vertex names must be *condensation*'s
+        component ids.  *order*/*prune*/*engine* only govern how future
+        updates are replayed.
+        """
+        self = cls.__new__(cls)
+        self._condensation = condensation
+        self._order_strategy = resolve_order_strategy(order)
+        self._prune = prune
+        self._engine = engine
+        self._tol = tol
+        return self
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -33,10 +33,13 @@ from __future__ import annotations
 
 import io
 import json
+import mmap
+import os
 import struct
 import zlib
+from array import array
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from ..errors import IndexStateError, SerializationError
 from ..graph.digraph import DiGraph
@@ -54,6 +57,12 @@ __all__ = [
     "graph_from_dict",
     "save_checkpoint",
     "load_checkpoint",
+    "pack_frozen",
+    "unpack_frozen",
+    "save_pack",
+    "load_pack",
+    "reachability_index_from_pack",
+    "hashable_vertex",
 ]
 
 PathLike = Union[str, Path]
@@ -473,3 +482,231 @@ def load_checkpoint(path: PathLike) -> tuple[DiGraph, dict]:
             f"{path} checkpoint body is malformed: {exc!r}"
         ) from None
     return graph, meta
+
+
+# ----------------------------------------------------------------------
+# TOLF pack format: mmap/shm-able frozen snapshots
+# ----------------------------------------------------------------------
+#
+# The ``.tolf`` pack is the zero-copy counterpart of ``.tolx``: instead
+# of delta-coded varints it lays the four CSR buffers of a
+# :class:`~repro.core.frozen.FrozenTOLIndex` out verbatim, 8-byte
+# aligned, so a reader can ``mmap`` the file (or attach the same bytes
+# in a ``multiprocessing.shared_memory`` segment) and serve queries
+# straight from ``memoryview.cast`` views without materializing arrays.
+#
+# Layout (little-endian, all sections 8-byte aligned):
+#
+#   header   64 B   magic "TOLF", version, flags, n, |Lin|, |Lout|,
+#                   n_edges, meta_len, crc32(body)
+#   body     in_offsets  (n+1) x i64
+#            out_offsets (n+1) x i64
+#            in_labels   |Lin|  x i32   (+ pad)
+#            out_labels  |Lout| x i32   (+ pad)
+#            edges       n_edges x 2 x i32  (+ pad)  [optional]
+#            meta        meta_len B of JSON
+#
+# ``meta`` always carries ``vertex_of`` (the frozen vertex table, in
+# level order).  Packs written for a full server restore additionally
+# carry the original graph (``vertices``/``component_of``/
+# ``graph_edges``) so :func:`reachability_index_from_pack` can rebuild
+# the condensation front-end with its component ids intact; shared-memory
+# publishes omit the edge section and the graph to keep segments small.
+
+_PACK_MAGIC = b"TOLF"
+_PACK_VERSION = 1
+_PACK_HEADER = struct.Struct("<4sHHqqqqqI")
+_PACK_HEADER_SIZE = 64
+
+
+def hashable_vertex(v):
+    """JSON round-trip repair: lists (ex-tuples) back to hashable tuples."""
+    return _hashable(v)
+
+
+def _pad8(n: int) -> int:
+    return (-n) % 8
+
+
+def pack_frozen(frozen, meta: Optional[dict] = None, *,
+                include_edges: bool = True) -> bytes:
+    """Serialize a :class:`FrozenTOLIndex` to TOLF pack bytes.
+
+    ``include_edges=False`` drops the DAG edge section (readers that only
+    answer queries never touch adjacency); such a pack cannot be thawed
+    back into a live index.
+    """
+    meta_doc = dict(meta or {})
+    meta_doc["vertex_of"] = [
+        json.loads(json.dumps(v)) for v in frozen._vertex_of
+    ]
+    meta_blob = json.dumps(
+        meta_doc, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+
+    n = frozen.num_vertices
+    in_off = array("q", frozen._in_offsets)
+    out_off = array("q", frozen._out_offsets)
+    in_lab = frozen._in_labels
+    out_lab = frozen._out_labels
+    if not isinstance(in_lab, array) or in_lab.itemsize != 4:
+        in_lab = array("i", in_lab)
+    if not isinstance(out_lab, array) or out_lab.itemsize != 4:
+        out_lab = array("i", out_lab)
+    edges = tuple(frozen._edges) if include_edges else ()
+    edge_flat = array("i")
+    for tail, head in edges:
+        edge_flat.append(tail)
+        edge_flat.append(head)
+
+    body = io.BytesIO()
+    body.write(in_off.tobytes())
+    body.write(out_off.tobytes())
+    for arr in (in_lab, out_lab, edge_flat):
+        blob = arr.tobytes()
+        body.write(blob)
+        body.write(b"\0" * _pad8(len(blob)))
+    body.write(meta_blob)
+    raw = body.getvalue()
+
+    header = _PACK_HEADER.pack(
+        _PACK_MAGIC, _PACK_VERSION, 0, n, len(in_lab), len(out_lab),
+        len(edges), len(meta_blob), zlib.crc32(raw),
+    )
+    return header + b"\0" * (_PACK_HEADER_SIZE - len(header)) + raw
+
+
+def unpack_frozen(buf, *, verify: bool = True):
+    """Attach a :class:`FrozenTOLIndex` to TOLF pack bytes, zero-copy.
+
+    *buf* is any buffer (bytes, ``mmap``, a ``SharedMemory.buf`` slice).
+    The returned index's label/offset buffers are ``memoryview.cast``
+    views into *buf* — nothing is copied, and *buf*'s backing object is
+    kept alive by the views.  Returns ``(frozen, meta)``.
+    """
+    from .frozen import FrozenTOLIndex
+
+    view = memoryview(buf)
+    if len(view) < _PACK_HEADER_SIZE:
+        raise SerializationError("truncated TOLF pack (incomplete header)")
+    (magic, version, _flags, n, in_len, out_len, n_edges, meta_len,
+     checksum) = _PACK_HEADER.unpack_from(view, 0)
+    if magic != _PACK_MAGIC:
+        raise SerializationError("not a TOLF pack (bad magic)")
+    if version != _PACK_VERSION:
+        raise SerializationError(f"unsupported TOLF pack version {version}")
+
+    off_bytes = (n + 1) * 8
+    in_bytes = in_len * 4
+    out_bytes = out_len * 4
+    edge_bytes = n_edges * 2 * 4
+    pos = _PACK_HEADER_SIZE
+    body_len = (
+        2 * off_bytes
+        + in_bytes + _pad8(in_bytes)
+        + out_bytes + _pad8(out_bytes)
+        + edge_bytes + _pad8(edge_bytes)
+        + meta_len
+    )
+    if len(view) < pos + body_len:
+        raise SerializationError("truncated TOLF pack (incomplete body)")
+    body = view[pos:pos + body_len]
+    if verify and zlib.crc32(body) != checksum:
+        raise SerializationError("TOLF pack is corrupt (checksum mismatch)")
+
+    def take(nbytes: int, pad: bool = True):
+        nonlocal pos
+        section = view[pos:pos + nbytes]
+        pos += nbytes + (_pad8(nbytes) if pad else 0)
+        return section
+
+    in_offsets = take(off_bytes).cast("q")
+    out_offsets = take(off_bytes).cast("q")
+    in_labels = take(in_bytes).cast("i")
+    out_labels = take(out_bytes).cast("i")
+    edge_view = take(edge_bytes).cast("i")
+    try:
+        meta = json.loads(bytes(take(meta_len, pad=False)).decode("utf-8"))
+        vertex_of = [_hashable(v) for v in meta["vertex_of"]]
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError) as exc:
+        raise SerializationError(
+            f"TOLF pack metadata is malformed: {exc!r}"
+        ) from None
+    if len(vertex_of) != n:
+        raise SerializationError("TOLF pack vertex table does not match n")
+    edges = tuple(
+        (edge_view[2 * k], edge_view[2 * k + 1]) for k in range(n_edges)
+    )
+    id_of = {v: i for i, v in enumerate(vertex_of)}
+    frozen = FrozenTOLIndex(
+        id_of, vertex_of, in_offsets, in_labels, out_offsets, out_labels,
+        edges,
+    )
+    return frozen, meta
+
+
+def save_pack(path: PathLike, frozen, meta: Optional[dict] = None, *,
+              include_edges: bool = True) -> None:
+    """Atomically write a TOLF pack (tmp file + rename)."""
+    path = Path(path)
+    blob = pack_frozen(frozen, meta, include_edges=include_edges)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
+
+
+def load_pack(path: PathLike, *, mmap_file: bool = True):
+    """Load a TOLF pack from disk; returns ``(frozen, meta)``.
+
+    With ``mmap_file=True`` (default) the pack is memory-mapped and the
+    index's buffers are views into the mapping — the file's pages are
+    shared, unmodified, between every process that maps it.  The mapping
+    stays alive as long as the returned index does.
+    """
+    path = Path(path)
+    if mmap_file:
+        with open(path, "rb") as fh:
+            try:
+                mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # zero-length file
+                raise SerializationError(f"{path} is empty: {exc}") from None
+        return unpack_frozen(mapped)
+    return unpack_frozen(path.read_bytes())
+
+
+def reachability_index_from_pack(frozen, meta: dict, *,
+                                 order: str = "butterfly-u",
+                                 prune: bool = True,
+                                 engine: str = "csr"):
+    """Rebuild a full :class:`ReachabilityIndex` from a TOLF pack.
+
+    Requires a pack written with the graph sections (``repro pack`` does
+    this): ``vertices`` + ``component_of`` + ``graph_edges`` in the meta
+    and the DAG edge section present.  Component ids are restored
+    verbatim, so the thawed TOL index (whose vertex names *are* component
+    ids) lines up with the rebuilt condensation.
+    """
+    from ..graph.condensation import DynamicCondensation
+    from .index import ReachabilityIndex
+
+    for key in ("vertices", "component_of", "graph_edges"):
+        if key not in meta:
+            raise SerializationError(
+                f"pack has no {key!r} metadata; it was written without the "
+                "graph (e.g. a shared-memory publish) and cannot boot a "
+                "server — re-pack with `repro pack`"
+            )
+    if not frozen._edges and frozen.num_vertices > 1:
+        raise SerializationError(
+            "pack has no DAG edge section and cannot be thawed"
+        )
+    vertices = [_hashable(v) for v in meta["vertices"]]
+    component_of = dict(zip(vertices, meta["component_of"]))
+    graph = DiGraph(vertices=vertices)
+    for tail, head in meta["graph_edges"]:
+        graph.add_edge(vertices[tail], vertices[head])
+    condensation = DynamicCondensation.restore(graph, component_of)
+    tol = frozen.thaw()
+    return ReachabilityIndex.restore(
+        condensation, tol, order=order, prune=prune, engine=engine,
+    )

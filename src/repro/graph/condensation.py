@@ -133,6 +133,40 @@ class DynamicCondensation:
             if c_tail != c_head:
                 self._edges.add(self.dag, c_tail, c_head)
 
+    @classmethod
+    def restore(
+        cls, graph: DiGraph, component_of: dict[Vertex, int]
+    ) -> "DynamicCondensation":
+        """Rebuild a condensation from a snapshot, preserving component ids.
+
+        The normal constructor assigns fresh ids from its own counter, so
+        two builds of the same graph need not agree; a serialized index
+        (``.tolf`` pack) names components by id, so restoring must reuse
+        the recorded ``component_of`` mapping verbatim.  The id counter
+        resumes above the largest restored id, keeping the never-reuse
+        guarantee.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.component_of = dict(component_of)
+        members: dict[int, set[Vertex]] = {}
+        for v in graph.vertices():
+            try:
+                comp = self.component_of[v]
+            except KeyError:
+                raise VertexNotFoundError(v) from None
+            members.setdefault(comp, set()).add(v)
+        self.members = members
+        self.dag = DiGraph(vertices=members.keys())
+        self._next_id = max(members, default=-1) + 1
+        self._edges = _ComponentEdges()
+        for tail, head in graph.edges():
+            c_tail = self.component_of[tail]
+            c_head = self.component_of[head]
+            if c_tail != c_head:
+                self._edges.add(self.dag, c_tail, c_head)
+        return self
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ from .protocol import (
     PROTOCOL_VERSION,
     encode_update_ops,
     raise_for_error,
-    recv_frame_sync,
+    recv_frame_file,
     send_frame_sync,
 )
 
@@ -87,6 +87,9 @@ class ReachabilityClient:
         self.port = port
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Buffered read side: one recv typically yields a whole reply
+        # frame (header + body), where raw recv pays two syscalls.
+        self._rfile = self._sock.makefile("rb")
         self._next_id = 0
 
     # ------------------------------------------------------------------
@@ -203,7 +206,7 @@ class ReachabilityClient:
         request = {"v": PROTOCOL_VERSION, "id": self._next_id}
         request.update(fields)
         send_frame_sync(self._sock, request)
-        response = recv_frame_sync(self._sock)
+        response = recv_frame_file(self._rfile)
         if response is None:
             raise ProtocolError("server closed the connection mid-request")
         if response.get("id") not in (None, self._next_id):
@@ -217,10 +220,11 @@ class ReachabilityClient:
 
     def close(self) -> None:
         """Close the socket (idempotent)."""
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        for closer in (self._rfile, self._sock):
+            try:
+                closer.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ReachabilityClient":
         return self

@@ -86,7 +86,7 @@ def _worker_main(cfg: dict, out_queue) -> None:
     oracle_cache: dict = {}
     if cfg.get("verify_edges") is not None:
         from ..graph.digraph import DiGraph
-        from ..graph.traversal import bidirectional_reachable
+        from ..graph.traversal import forward_reachable
 
         graph = DiGraph()
         for v in cfg["vertices"]:
@@ -94,11 +94,19 @@ def _worker_main(cfg: dict, out_queue) -> None:
         for tail, head in cfg["verify_edges"]:
             graph.add_edge(tail, head)
 
+        # Cache the full descendant set per *source*: a Zipf-skewed
+        # stream revisits head sources constantly, so one BFS per
+        # source amortizes to a set-membership probe per pair — the
+        # oracle must stay much cheaper than the server under test or
+        # the measured qps is the harness, not the server.
         def oracle(s, t):
-            key = (s, t)
-            if key not in oracle_cache:
-                oracle_cache[key] = bidirectional_reachable(graph, s, t)
-            return oracle_cache[key]
+            reach = oracle_cache.get(s)
+            if reach is None:
+                # include_source: the server answers query(v, v) True.
+                reach = oracle_cache[s] = forward_reachable(
+                    graph, s, include_source=True
+                )
+            return t in reach
 
     try:
         source = ZipfianPairSource(
@@ -271,6 +279,19 @@ def run_loadgen(
     shed_p99_delta_ms = None
     if latency_ms is not None and latency_ms_admitted is not None:
         shed_p99_delta_ms = latency_ms["p99"] - latency_ms_admitted["p99"]
+
+    # Best-effort server-side view: a multi-process server's stats op
+    # carries the per-worker snapshot-plane breakdown (requests served
+    # inline vs forwarded, attached generation/epoch); classic servers
+    # simply lack the field and the artifact records ``None``.
+    server_workers = None
+    try:
+        from .client import ReachabilityClient
+
+        with ReachabilityClient(host, port, timeout=10.0) as client:
+            server_workers = client._call({"op": "stats"}).get("workers")
+    except (ReproError, OSError):
+        pass
     return {
         "benchmark": "serve",
         "protocol_version": PROTOCOL_VERSION,
@@ -291,6 +312,7 @@ def run_loadgen(
         "latency_ms": latency_ms,
         "latency_ms_admitted": latency_ms_admitted,
         "shed_p99_delta_ms": shed_p99_delta_ms,
+        "server_workers": server_workers,
         "wall_s": wall,
         "per_client": [
             {

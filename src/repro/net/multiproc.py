@@ -1,0 +1,303 @@
+"""Multi-process serving: one writer, N reader workers, one shared port.
+
+The parent process (what ``repro serve --workers N`` becomes):
+
+1. builds the :class:`~repro.service.server.ReachabilityService` (or
+   boots it from a ``.tolf`` pack);
+2. creates a :class:`~repro.shm.publisher.SnapshotPublisher`, publishes
+   generation 1, and starts the republish thread;
+3. binds the public listening socket itself, marks the fd inheritable,
+   and binds a loopback *writer* socket for forwarded traffic;
+4. spawns N ``repro serve-worker`` subprocesses via
+   ``subprocess.Popen(pass_fds=[fd])`` — a fresh interpreter per worker
+   (no ``os.fork`` from a threaded parent), each reconstructing the
+   listening socket from the inherited fd so the kernel load-balances
+   accepts across all of them;
+5. runs the existing single-process :class:`~repro.net.server.
+   ReachabilityServer` on the writer socket — updates, degraded-mode
+   queries, stats/health and snapshot-miss queries all land here;
+6. supervises the workers: a dead reader is respawned (same argv, same
+   inherited fd) and ``net.worker_restarts`` is incremented.
+
+Shutdown (SIGTERM/SIGINT) drains in reverse: stop respawning, SIGTERM
+the workers (each drains its own connections), then drain the writer
+server, then close the publisher (unlinking every segment).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from ..shm.publisher import SnapshotPublisher
+from .server import ReachabilityServer
+
+__all__ = ["MultiProcessServer"]
+
+#: Give up respawning after this many restarts per worker slot on
+#: average — a crash-looping worker binary should fail the server, not
+#: spin forever.
+MAX_RESTARTS_PER_WORKER = 50
+
+
+def _child_env() -> dict:
+    """Child env with ``repro``'s source root on ``PYTHONPATH``."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+class _Worker:
+    """One reader-worker subprocess slot (spawn and respawn identically)."""
+
+    def __init__(self, worker_id: int, argv: list, env: dict,
+                 listen_fd: int) -> None:
+        self.worker_id = worker_id
+        self.argv = argv
+        self.env = env
+        self.listen_fd = listen_fd
+        self.proc: Optional[subprocess.Popen] = None
+        self.restarts = 0
+
+    def spawn(self) -> None:
+        self.proc = subprocess.Popen(
+            self.argv, env=self.env, pass_fds=[self.listen_fd]
+        )
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.proc.pid if self.proc is not None else None
+
+    def poll(self):
+        return self.proc.poll() if self.proc is not None else None
+
+    def terminate(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout: float) -> None:
+        if self.proc is None:
+            return
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
+
+
+class MultiProcessServer:
+    """Own the whole writer + readers + publisher assembly."""
+
+    def __init__(
+        self,
+        service,
+        *,
+        workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        publish_interval: float = 0.2,
+        grace_period: float = 5.0,
+        max_pending: int = 4096,
+        max_batch: int = 1024,
+        batch_delay: float = 0.0,
+        drain_timeout: float = 10.0,
+        slowlog=None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.service = service
+        self.workers = workers
+        self.host = host
+        self.publish_interval = publish_interval
+
+        # Public socket: bound and listening before any worker exists,
+        # so the port is known, connections queue in the backlog from
+        # the first instant, and every worker shares the same fd.
+        self._public = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._public.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._public.bind((host, port))
+        self._public.listen(512)
+        self._public.set_inheritable(True)
+        self.port = self._public.getsockname()[1]
+
+        # Writer socket: loopback-only, forwarded traffic + admin ops.
+        writer_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        writer_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        writer_sock.bind(("127.0.0.1", 0))
+        writer_sock.listen(128)
+        self.writer_port = writer_sock.getsockname()[1]
+
+        self.publisher = SnapshotPublisher(
+            service,
+            num_workers=workers,
+            grace_period=grace_period,
+            registry=service.registry,
+        )
+        self.publisher.publish()
+        # Expose the publisher on the service so the stats/health paths
+        # (net server, obs.health) can report the snapshot plane.
+        service.shm_publisher = self.publisher
+
+        self.writer_server = ReachabilityServer(
+            service,
+            host="127.0.0.1",
+            max_pending=max_pending,
+            max_batch=max_batch,
+            batch_delay=batch_delay,
+            drain_timeout=drain_timeout,
+            slowlog=slowlog,
+            sock=writer_sock,
+        )
+
+        env = _child_env()
+        fd = self._public.fileno()
+        self._workers = [
+            _Worker(
+                i,
+                [
+                    sys.executable, "-m", "repro", "serve-worker",
+                    "--fd", str(fd),
+                    "--control", self.publisher.control_name,
+                    "--writer-port", str(self.writer_port),
+                    "--worker-id", str(i),
+                ],
+                env,
+                fd,
+            )
+            for i in range(workers)
+        ]
+        self._stopping: Optional[asyncio.Event] = None
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    async def _supervise(self) -> None:
+        registry = self.service.registry
+        total_restarts = 0
+        while not self._stopping.is_set():
+            for worker in self._workers:
+                code = worker.poll()
+                if worker.proc is not None and code is not None:
+                    worker.restarts += 1
+                    total_restarts += 1
+                    registry.incr("net.worker_restarts")
+                    print(
+                        f"worker {worker.worker_id} exited with code "
+                        f"{code}; respawning "
+                        f"(restart #{worker.restarts})",
+                        flush=True,
+                    )
+                    if total_restarts > self.workers * MAX_RESTARTS_PER_WORKER:
+                        print(
+                            "workers are crash-looping; shutting down",
+                            flush=True,
+                        )
+                        self._failed = True
+                        self._stopping.set()
+                        return
+                    worker.spawn()
+            try:
+                await asyncio.wait_for(self._stopping.wait(), timeout=0.25)
+            except asyncio.TimeoutError:
+                pass
+
+    async def run(self, *, port_file: Optional[str] = None,
+                  on_ready=None) -> int:
+        """Serve until SIGTERM/SIGINT; returns a process exit code."""
+        self._stopping = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._stopping.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+        await self.writer_server.start()
+        self.publisher.start(self.publish_interval)
+        for worker in self._workers:
+            worker.spawn()
+        # Only declare readiness once every worker has registered its
+        # control-block slot — the port file is the "ready" signal for
+        # clients, and a stats/health probe right after it appears
+        # should see the full roster.
+        await self._await_workers_registered()
+        if port_file:
+            Path(port_file).write_text(f"{self.port}\n")
+        if on_ready is not None:
+            on_ready(self)
+
+        supervisor = asyncio.ensure_future(self._supervise())
+        try:
+            await self._stopping.wait()
+        finally:
+            supervisor.cancel()
+            try:
+                await supervisor
+            except asyncio.CancelledError:
+                pass
+            await self._shutdown()
+        return 1 if self._failed else 0
+
+    async def _await_workers_registered(self, timeout: float = 15.0) -> None:
+        """Wait (bounded) until every worker slot carries a live pid.
+
+        The public socket accepts from the first instant (connections
+        queue in the backlog), but a ``stats``/``health`` probe that
+        lands before a worker writes its control-block slot would show
+        a half-empty roster.  A worker that dies during the wait is
+        left to the supervisor; the bound keeps a crash-looping spawn
+        from stalling startup forever.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline and not self._stopping.is_set():
+            stats = self.control_block_workers()
+            if len(stats) == self.workers and all(
+                s["pid"] > 0 for s in stats
+            ):
+                return
+            if any(w.poll() is not None for w in self._workers):
+                return  # dead already; supervisor owns respawning
+            await asyncio.sleep(0.05)
+
+    def control_block_workers(self) -> list:
+        return self.publisher.control.workers()
+
+    async def _shutdown(self) -> None:
+        # Readers first: each drains its own connections on SIGTERM.
+        for worker in self._workers:
+            worker.terminate()
+        deadline = time.monotonic() + 10.0
+        for worker in self._workers:
+            worker.wait(max(0.1, deadline - time.monotonic()))
+        try:
+            self._public.close()
+        except OSError:  # pragma: no cover
+            pass
+        await self.writer_server.shutdown()
+        self.publisher.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def worker_pids(self) -> list:
+        return [w.pid for w in self._workers]
+
+    def restarts(self) -> int:
+        return sum(w.restarts for w in self._workers)

@@ -86,6 +86,7 @@ __all__ = [
     "read_frame",
     "send_frame_sync",
     "recv_frame_sync",
+    "recv_frame_file",
     "ok_response",
     "error_response",
     "error_fields_for",
@@ -193,6 +194,32 @@ def recv_frame_sync(sock) -> Optional[dict]:
             f"frame length {length} exceeds max {MAX_FRAME_BYTES}"
         )
     body = _recv_exact(sock, length)
+    return decode_payload(body)
+
+
+def recv_frame_file(rfile) -> Optional[dict]:
+    """Read one frame from a buffered binary reader (``None`` on EOF).
+
+    The buffered counterpart of :func:`recv_frame_sync`: with *rfile*
+    from ``sock.makefile("rb")``, the header and body of a typical
+    frame come out of one underlying ``recv``, where the unbuffered
+    path pays at least two syscalls per frame.  Callers that hold a
+    request/reply socket (the client, the worker's writer link) want
+    this; anything that might pipeline must keep its own buffer.
+    """
+    header = rfile.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise ProtocolError("connection closed mid-frame")
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds max {MAX_FRAME_BYTES}"
+        )
+    body = rfile.read(length)
+    if body is None or len(body) < length:
+        raise ProtocolError("connection closed mid-frame")
     return decode_payload(body)
 
 
@@ -335,10 +362,20 @@ def wire_pairs(raw) -> list:
             f"'pairs' must be a list, got {type(raw).__name__}"
         )
     pairs = []
+    append = pairs.append
     for entry in raw:
+        # Scalar-vertex fast path: the overwhelmingly common shape is
+        # [s, t] with JSON scalars, which needs no per-vertex recursion.
+        if type(entry) is list and len(entry) == 2:
+            s, t = entry
+            if type(s) is not list and type(t) is not list:
+                append((s, t))
+            else:
+                append((wire_vertex(s), wire_vertex(t)))
+            continue
         if not isinstance(entry, (list, tuple)) or len(entry) != 2:
             raise ProtocolError(
                 f"each pair must be [source, target], got {entry!r}"
             )
-        pairs.append((wire_vertex(entry[0]), wire_vertex(entry[1])))
+        append((wire_vertex(entry[0]), wire_vertex(entry[1])))
     return pairs

@@ -132,6 +132,7 @@ class ReachabilityServer:
         batch_delay: float = 0.0,
         drain_timeout: float = 10.0,
         slowlog=None,
+        sock=None,
     ) -> None:
         if max_pending < 0:
             raise ValueError(f"max_pending must be >= 0, got {max_pending}")
@@ -147,6 +148,9 @@ class ReachabilityServer:
         self.batch_delay = batch_delay
         self.drain_timeout = drain_timeout
         self.slowlog = slowlog
+        # A pre-bound listening socket (the multi-process path binds
+        # before forking workers so the port is known to all of them).
+        self._sock = sock
 
         self._metrics = ScopedMetrics(service.registry, prefix="net.")
         for name in (
@@ -192,9 +196,14 @@ class ReachabilityServer:
             raise RuntimeError("server already started")
         self._work_available = asyncio.Event()
         self._stopping = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
-        )
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self._requested_port
+            )
         self._batch_task = asyncio.ensure_future(self._batch_loop())
         self._started = True
 
@@ -341,6 +350,11 @@ class ReachabilityServer:
                     "stats": self.service.snapshot(),
                     "net": self._metrics.scoped_counters(),
                 }
+                publisher = getattr(self.service, "shm_publisher", None)
+                if publisher is not None:
+                    # Multi-process serving: the per-worker breakdown
+                    # lives in the shared control block's stats slots.
+                    fields["workers"] = publisher.health_section()["workers"]
                 if request.get("registry"):
                     # Full registry snapshot for remote scraping
                     # (`repro metrics --connect`); gauge callbacks may

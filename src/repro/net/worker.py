@@ -1,0 +1,398 @@
+"""Reader-worker process: serve queries from the shared snapshot.
+
+Each worker is a separate process spawned by :mod:`repro.net.multiproc`
+with two inherited handles: the already-listening public TCP socket
+(all workers share it; the kernel load-balances accepts) and the name of
+the shared-memory control block.  The worker answers ``query`` and
+``ping`` inline from the attached :class:`~repro.shm.reader.
+AttachedSnapshot` — no executor hop, no cross-request batching; the
+snapshot is immutable so a query is just dict lookups and bisects over
+shared buffers.
+
+Because every client connection is strictly serial (one request in
+flight at a time — the protocol has no pipelining) and the fast path is
+fully synchronous, the worker does not run an event loop at all: it is
+a blocking accept loop handing each connection to a thread that does
+``recv`` → compute → ``sendall``.  Threads parked in ``recv`` cost
+nothing, the GIL is irrelevant on the saturated single-core boxes this
+targets (at most one request is computing anyway), and cutting the
+event-loop machinery — task scheduling, epoll registration, stream
+buffering — roughly halves the per-request CPU next to the asyncio
+front end the single-process server uses.  That per-request efficiency,
+not parallelism, is where the multi-process speedup comes from on a
+small host; on a many-core host the N processes parallelize on top.
+
+Everything the snapshot cannot answer is forwarded verbatim to the
+writer process over a private loopback connection and the writer's
+reply relayed unchanged (ids and trace ids survive the hop):
+
+* ``update`` — only the writer mutates;
+* ``stats`` / ``health`` — the writer owns the service and the
+  publisher (the per-worker breakdown lives in the control block);
+* queries while the control block's degraded flag is set — the writer
+  serves those from its BFS mirror;
+* queries naming vertices the snapshot does not know — the live index
+  may have learned them after the snapshot was frozen.
+
+A forward runs in the connection's own thread, so per-connection reply
+order is preserved by construction.
+
+Replies are stamped with the snapshot's epoch.  Per-connection epoch
+monotonicity holds because the worker only ever moves to *newer*
+generations and the writer's epoch is ≥ any published one.
+
+A per-snapshot answer memo (cleared on re-attach, size-capped) plays
+the role the epoch-LRU cache plays in the single-process service:
+under a Zipf-skewed load most pairs repeat, and the memo turns them
+into one dict probe.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+
+from ..errors import ProtocolError
+from ..obs.registry import MetricRegistry
+from ..obs.trace import new_trace_id
+from ..service.metrics import ScopedMetrics
+from ..shm.control import (
+    SLOT_ATTACH_TS,
+    SLOT_EPOCH,
+    SLOT_FORWARDED,
+    SLOT_GENERATION,
+    SLOT_PID,
+    SLOT_REQUESTS,
+)
+from ..shm.reader import SnapshotReader
+from .protocol import (
+    MAX_FRAME_BYTES,
+    SUPPORTED_VERSIONS,
+    decode_payload,
+    encode_frame,
+    error_fields_for,
+    error_response,
+    ok_response,
+    recv_frame_file,
+    send_frame_sync,
+    wire_pairs,
+)
+
+__all__ = ["run_reader_worker"]
+
+#: Per-snapshot answer memo bound (entries, i.e. distinct pairs).
+MEMO_LIMIT = 200_000
+
+#: Per-connection receive chunk — one recv typically drains one frame.
+_RECV_CHUNK = 65536
+
+_HEADER = struct.Struct("!I")
+
+
+class _WriterLink:
+    """A lazy, lock-serialized frame pipe to the writer process."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._lock = threading.Lock()
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=30.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def _drop(self) -> None:
+        for closer in (self._rfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._rfile = None
+
+    def forward(self, request: dict) -> dict:
+        """Round-trip *request* to the writer; one reconnect on a dead pipe."""
+        with self._lock:
+            for attempt in (0, 1):
+                if self._sock is None:
+                    self._connect()
+                try:
+                    send_frame_sync(self._sock, request)
+                    reply = recv_frame_file(self._rfile)
+                    if reply is None:
+                        raise ConnectionResetError("writer closed the pipe")
+                    return reply
+                except (OSError, ProtocolError):
+                    self._drop()
+                    if attempt:
+                        raise
+            raise ConnectionResetError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+
+class _ReaderWorker:
+    def __init__(
+        self,
+        *,
+        listen_fd: int,
+        control_name: str,
+        writer_host: str,
+        writer_port: int,
+        worker_id: int,
+    ) -> None:
+        self.worker_id = worker_id
+        self.sock = socket.socket(fileno=listen_fd)
+        self.reader = SnapshotReader(control_name)
+        self.link = _WriterLink(writer_host, writer_port)
+        self.registry = MetricRegistry()
+        self.metrics = ScopedMetrics(self.registry, prefix="net.")
+        self.slot = self.reader.control.worker_cells(worker_id)
+        self.slot[SLOT_PID] = os.getpid()
+        self._memo: dict = {}
+        self._memo_generation = -1
+        self._attach_lock = threading.Lock()
+        self._requests = 0
+        self._forwarded = 0
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _snapshot(self):
+        snap = self.reader.current()
+        if snap.generation != self._memo_generation:
+            # Connection threads race here on a republish; the lock only
+            # serializes the (rare) re-attach bookkeeping, never queries.
+            with self._attach_lock:
+                if snap.generation != self._memo_generation:
+                    self._memo = {}
+                    self._memo_generation = snap.generation
+                    self.slot[SLOT_GENERATION] = snap.generation
+                    self.slot[SLOT_EPOCH] = snap.epoch
+                    self.slot[SLOT_ATTACH_TS] = snap.attached_at_ns
+        return snap
+
+    def _dispatch(self, request: dict) -> dict:
+        """Answer one request (inline or via the writer). Never raises."""
+        self._requests += 1
+        self.slot[SLOT_REQUESTS] = self._requests
+        request_id = request.get("id")
+        try:
+            version = request.get("v", SUPPORTED_VERSIONS[-1])
+            if version not in SUPPORTED_VERSIONS:
+                supported = "/".join(f"v{v}" for v in SUPPORTED_VERSIONS)
+                return error_response(
+                    request_id,
+                    "unsupported_version",
+                    f"server speaks {supported}, got v{version!r}",
+                )
+            op = request.get("op")
+            if op == "query":
+                response = self._fast_query(request_id, request)
+                if response is None:
+                    response = self._forward(request)
+                return response
+            if op == "ping":
+                snap = self._snapshot()
+                return ok_response(
+                    request_id,
+                    pong=True,
+                    epoch=snap.epoch,
+                    degraded=self.reader.degraded,
+                    worker=self.worker_id,
+                )
+            if op in ("update", "stats", "health"):
+                return self._forward(request)  # writer-owned
+            return error_response(
+                request_id, "unknown_op", f"unknown op {op!r}"
+            )
+        except ProtocolError as exc:
+            self.metrics.incr("errors")
+            return error_response(request_id, "bad_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - the wire boundary
+            self.metrics.incr("errors")
+            return error_response(request_id, **error_fields_for(exc))
+
+    def _fast_query(self, request_id, request: dict):
+        """Snapshot-plane answer, or ``None`` when the writer must."""
+        if self.reader.degraded:
+            # The index is rebuilding; the writer's BFS mirror is the
+            # only correct answer source.
+            return None
+        start = time.perf_counter() if request.get("timings") else 0.0
+        pairs = wire_pairs(request.get("pairs"))
+        snap = self._snapshot()
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not trace:
+            trace = new_trace_id()
+        memo = self._memo
+        comp_of = snap.component_of
+        frozen_query = snap.frozen.query
+        results = []
+        append = results.append
+        try:
+            for pair in pairs:
+                r = memo.get(pair)
+                if r is None:
+                    s, t = pair
+                    cs = comp_of[s]
+                    ct = comp_of[t]
+                    r = cs == ct or frozen_query(cs, ct)
+                    if len(memo) < MEMO_LIMIT:
+                        memo[pair] = r
+                append(r)
+        except (KeyError, TypeError):
+            # A vertex the snapshot has never heard of (or an unhashable
+            # one): the live index may know better — let the writer
+            # answer the whole request.
+            return None
+        response = ok_response(
+            request_id, results=results, epoch=snap.epoch, degraded=False,
+            trace=trace,
+        )
+        if start:
+            elapsed_ms = round((time.perf_counter() - start) * 1e3, 4)
+            response["timings"] = {
+                "probe_ms": elapsed_ms,
+                "total_ms": elapsed_ms,
+                "worker": self.worker_id,
+                "generation": snap.generation,
+            }
+        return response
+
+    def _forward(self, request: dict) -> dict:
+        self._forwarded += 1
+        self.slot[SLOT_FORWARDED] = self._forwarded
+        self.metrics.incr("forwarded")
+        return self.link.forward(request)
+
+    # ------------------------------------------------------------------
+    # Serving loop (blocking sockets, one thread per connection)
+    # ------------------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        self.metrics.incr("connections")
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buf = bytearray()
+        unpack_len = _HEADER.unpack_from
+        recv_into = conn.recv
+        send = conn.sendall
+        try:
+            while not self._stopping.is_set():
+                # Parse every complete frame already buffered before
+                # blocking in recv again.
+                while True:
+                    if len(buf) < 4:
+                        break
+                    (length,) = unpack_len(buf)
+                    if length > MAX_FRAME_BYTES:
+                        raise ProtocolError(
+                            f"frame length {length} exceeds max "
+                            f"{MAX_FRAME_BYTES}"
+                        )
+                    end = 4 + length
+                    if len(buf) < end:
+                        break
+                    body = bytes(buf[4:end])
+                    del buf[:end]
+                    send(encode_frame(self._dispatch(decode_payload(body))))
+                chunk = recv_into(_RECV_CHUNK)
+                if not chunk:
+                    return  # clean EOF
+                buf += chunk
+        except ProtocolError as exc:
+            # Unrecoverable framing: best-effort structured reply, then
+            # hang up — resync inside a byte stream is not possible.
+            self.metrics.incr("errors")
+            try:
+                send(encode_frame(error_response(None, "bad_request",
+                                                 str(exc))))
+            except OSError:
+                pass
+        except OSError:
+            pass  # peer went away mid-frame
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _stop(self, *_args) -> None:
+        self._stopping.set()
+        # Unblock the accept loop; a closed listening socket raises
+        # OSError there, which is the shutdown signal.
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def run(self) -> int:
+        signal.signal(signal.SIGTERM, self._stop)
+        signal.signal(signal.SIGINT, self._stop)
+        # Attach eagerly so the first request doesn't pay the attach and
+        # the parent's health report shows the worker immediately.
+        self._snapshot()
+        # The worker's long-lived heap is immutable (code, the attached
+        # snapshot, the memo's tuples/bools); per-request garbage is
+        # acyclic and dies by refcount.  Freeze the baseline out of the
+        # young generations and make collections rare so the cyclic GC
+        # stops scanning the request path.
+        gc.collect()
+        gc.freeze()
+        gc.set_threshold(100_000, 50, 50)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    conn, _addr = self.sock.accept()
+                except OSError:
+                    break  # listening socket closed by _stop
+                thread = threading.Thread(
+                    target=self._serve_connection,
+                    args=(conn,),
+                    daemon=True,
+                    name=f"conn-w{self.worker_id}",
+                )
+                thread.start()
+        finally:
+            self._stopping.set()
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.link.close()
+            self.slot.release()
+            self.reader.close()
+        return 0
+
+
+def run_reader_worker(
+    *,
+    listen_fd: int,
+    control_name: str,
+    writer_host: str,
+    writer_port: int,
+    worker_id: int,
+) -> int:
+    """Entry point for the hidden ``repro serve-worker`` subcommand."""
+    worker = _ReaderWorker(
+        listen_fd=listen_fd,
+        control_name=control_name,
+        writer_host=writer_host,
+        writer_port=writer_port,
+        worker_id=worker_id,
+    )
+    return worker.run()

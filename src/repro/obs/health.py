@@ -26,6 +26,11 @@ Payload shape (``None``-valued sections mean "not configured")::
                "scratch": {"capacity":, "generation":} | None},
      "wal": {"lag_ops":, "lag_bytes":, "last_seq":, "checkpointed_seq":,
              "checkpoint_age_s": f | None, "checkpoints":} | None,
+     "snapshot": {"generation":, "epoch":, "bytes":, "age_s":,
+                  "publishes":, "segments_unlinked":, "worker_restarts":,
+                  "workers": [{"worker":, "pid":, "generation":,
+                               "epoch":, "requests":, "forwarded":,
+                               "snapshot_age_s":, "alive":}, ...]} | None,
      "cache": {...}}
 
 ``order.decile_coverage[d]`` is the fraction of all label entries that
@@ -176,6 +181,18 @@ def collect_health(service) -> dict:
             "checkpoint_age_s": checkpoint_age,
             "checkpoints": wal_stats["checkpoints"],
         }
+
+    # Multi-process serving: the snapshot plane (shared-memory segment
+    # generation/size/age and the per-worker attach state).
+    publisher = getattr(service, "shm_publisher", None)
+    if publisher is None:
+        out["snapshot"] = None
+    else:
+        section = publisher.health_section()
+        section["worker_restarts"] = service.registry.counter(
+            "net.worker_restarts"
+        ).value
+        out["snapshot"] = section
     return out
 
 
@@ -271,6 +288,28 @@ def render_health(payload: dict) -> str:
             f"(seq {wal['last_seq']}, checkpointed {wal['checkpointed_seq']}); "
             f"checkpoint age {age_text} ({wal['checkpoints']} kept)"
         )
+    snapshot = payload.get("snapshot")
+    if snapshot is not None:
+        age = snapshot.get("age_s")
+        age_text = f"{age:.1f}s" if age is not None else "never"
+        lines.append(
+            f"snapshot: generation {snapshot['generation']} "
+            f"epoch {snapshot['epoch']} ({snapshot['bytes']:,} bytes, "
+            f"age {age_text}); {snapshot['publishes']} publishes, "
+            f"{snapshot['segments_unlinked']} unlinked "
+            f"(grace {snapshot['grace_period_s']}s), "
+            f"{snapshot.get('worker_restarts', 0)} worker restarts"
+        )
+        for w in snapshot.get("workers", ()):
+            w_age = w.get("snapshot_age_s")
+            w_age_text = f"{w_age:.1f}s" if w_age is not None else "-"
+            alive = "up" if w.get("alive") else "DOWN"
+            lines.append(
+                f"  worker {w['worker']} [{alive}] pid={w['pid']} "
+                f"generation={w['generation']} epoch={w['epoch']} "
+                f"requests={w['requests']} forwarded={w['forwarded']} "
+                f"snapshot_age={w_age_text}"
+            )
     cache = payload.get("cache") or {}
     if cache:
         lines.append(

@@ -1018,6 +1018,22 @@ class ReachabilityService:
         with self._rwlock.read_locked():
             return self._index.size()
 
+    def freeze_snapshot(self):
+        """Consistent ``(frozen, component_of, epoch)`` triple for publishing.
+
+        Taken under the read lock so the frozen index, the component map
+        and the epoch describe the same instant; the shared-memory
+        publisher (:class:`repro.shm.publisher.SnapshotPublisher`) packs
+        this triple into an immutable segment for reader processes.
+        """
+        from ..core.frozen import freeze
+
+        with self._rwlock.read_locked():
+            epoch = self._epoch.value
+            frozen = freeze(self._index.tol)
+            component_of = dict(self._index.condensation.component_of)
+        return frozen, component_of, epoch
+
     def size_bytes(self) -> int:
         """Label payload bytes of the underlying index (consistent read)."""
         with self._rwlock.read_locked():

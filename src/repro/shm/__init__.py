@@ -1,0 +1,31 @@
+"""Shared-memory snapshot plane for zero-copy multi-process serving.
+
+One writer process owns the live :class:`~repro.service.server.
+ReachabilityService`; N reader processes answer queries from an
+immutable :class:`~repro.core.frozen.FrozenTOLIndex` attached over a
+``multiprocessing.shared_memory`` segment.  Three pieces:
+
+* :mod:`~repro.shm.control` — a tiny fixed-size control segment holding
+  a seqlock-guarded ``(generation, epoch, data_len)`` triple plus one
+  stats slot per worker;
+* :mod:`~repro.shm.publisher` — writer side: freeze the live index
+  under the read lock, pack it (TOLF bytes), copy into a fresh data
+  segment, bump the control block, unlink retired segments after a
+  grace period;
+* :mod:`~repro.shm.reader` — reader side: attach, re-attach when the
+  generation advances, expose the current snapshot.
+
+See ``docs/scaling.md`` for the full lifecycle.
+"""
+
+from .control import ControlBlock, segment_name
+from .publisher import SnapshotPublisher
+from .reader import AttachedSnapshot, SnapshotReader
+
+__all__ = [
+    "ControlBlock",
+    "segment_name",
+    "SnapshotPublisher",
+    "SnapshotReader",
+    "AttachedSnapshot",
+]

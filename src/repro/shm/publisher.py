@@ -1,0 +1,241 @@
+"""Writer-side snapshot publication into shared memory.
+
+The publisher owns the control segment and every data segment it ever
+created.  A publish is:
+
+1. freeze the live index under the service read lock (a consistent
+   ``(frozen, component_of, epoch)`` triple);
+2. pack it to TOLF bytes (no DAG edges, no graph — readers only query);
+3. create ``{base}-g{generation}`` sized exactly to the pack, copy the
+   bytes in;
+4. seqlock-update the control block so readers see the new generation
+   only after the segment is fully written;
+5. retire the previous segment: it stays linked for a grace period so a
+   reader that read the old generation just before the bump can still
+   attach it, then it is unlinked (attached readers keep their mapping —
+   unlink only removes the name).
+
+A background thread polls the service epoch and republishes on change,
+and mirrors the degraded flag into the control block so readers route
+queries to the writer while the index is rebuilding.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from multiprocessing import shared_memory
+
+from ..core.serialize import pack_frozen
+from .control import ControlBlock, new_base_name, segment_name
+
+__all__ = ["SnapshotPublisher"]
+
+
+class SnapshotPublisher:
+    """Publish frozen snapshots of *service*'s index into shared memory.
+
+    Parameters
+    ----------
+    service:
+        A :class:`~repro.service.server.ReachabilityService`; must expose
+        ``freeze_snapshot()`` and ``epoch``.
+    num_workers:
+        Sizes the control block's worker-slot table.
+    grace_period:
+        Seconds a retired data segment stays linked after being
+        superseded.
+    registry:
+        Optional metric registry; counts ``shm.publishes`` and
+        ``shm.segments_unlinked``.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        base: Optional[str] = None,
+        num_workers: int = 0,
+        grace_period: float = 5.0,
+        registry=None,
+    ) -> None:
+        self.service = service
+        self.base = base or new_base_name()
+        self.grace_period = grace_period
+        self.registry = registry
+        self.control = ControlBlock.create(self.base, num_workers=num_workers)
+        self._generation = 0
+        self._published_epoch: Optional[int] = None
+        self._published_degraded = False
+        self._segments: dict[int, shared_memory.SharedMemory] = {}
+        self._retired: list[tuple[float, int]] = []  # (retired_at, generation)
+        self._publishes = 0
+        self._unlinked = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def control_name(self) -> str:
+        return self.control.name
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(self) -> int:
+        """Freeze + pack + publish one snapshot; returns its generation."""
+        frozen, component_of, epoch = self.service.freeze_snapshot()
+        # JSON writes tuples as arrays; readers re-tuple via
+        # hashable_vertex, matching the wire protocol's convention.
+        vertices = list(component_of)
+        meta = {
+            "vertices": vertices,
+            "component_of": [component_of[v] for v in vertices],
+            "epoch": epoch,
+        }
+        blob = pack_frozen(frozen, meta, include_edges=False)
+        with self._lock:
+            generation = self._generation + 1
+            shm = shared_memory.SharedMemory(
+                name=segment_name(self.base, generation),
+                create=True, size=len(blob),
+            )
+            shm.buf[:len(blob)] = blob
+            self.control.write_snapshot(generation, epoch, len(blob))
+            previous = self._generation
+            self._generation = generation
+            self._segments[generation] = shm
+            if previous:
+                self._retired.append((time.monotonic(), previous))
+            self._published_epoch = epoch
+            self._publishes += 1
+        if self.registry is not None:
+            self.registry.incr("shm.publishes")
+        self._reap_retired()
+        return generation
+
+    def poll_once(self) -> bool:
+        """Publish iff the service moved on; mirror the degraded flag.
+
+        Returns ``True`` when a new snapshot was published.
+        """
+        degraded = bool(self.service.degraded)
+        if degraded != self._published_degraded:
+            self.control.set_degraded(degraded)
+            self._published_degraded = degraded
+        if self.service.epoch == self._published_epoch:
+            self._reap_retired()
+            return False
+        self.publish()
+        return True
+
+    def _reap_retired(self) -> None:
+        """Unlink retired segments past their grace period."""
+        now = time.monotonic()
+        with self._lock:
+            keep = []
+            for retired_at, generation in self._retired:
+                if now - retired_at >= self.grace_period:
+                    self._unlink_generation(generation)
+                else:
+                    keep.append((retired_at, generation))
+            self._retired = keep
+
+    def _unlink_generation(self, generation: int) -> None:
+        shm = self._segments.pop(generation, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external cleanup
+            pass
+        self._unlinked += 1
+        if self.registry is not None:
+            self.registry.incr("shm.segments_unlinked")
+
+    # ------------------------------------------------------------------
+    # Background polling
+    # ------------------------------------------------------------------
+
+    def start(self, interval: float = 0.2) -> None:
+        """Start the republish thread (idempotent)."""
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                try:
+                    self.poll_once()
+                except Exception:  # pragma: no cover - keep publishing
+                    if self.registry is not None:
+                        self.registry.incr("shm.publish_errors")
+
+        self._thread = threading.Thread(
+            target=loop, name="shm-publisher", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop polling, signal shutdown, unlink every segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.control.set_shutdown()
+        with self._lock:
+            for generation in list(self._segments):
+                self._unlink_generation(generation)
+            self._retired.clear()
+        self.control.close()
+        self.control.unlink()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health_section(self) -> dict:
+        """Snapshot-plane health for ``repro health`` / the health op."""
+        generation, epoch, data_len, ts_ns = self.control.read_snapshot()
+        now_ns = time.time_ns()
+        workers = []
+        for stats in self.control.workers():
+            attach_ns = stats.pop("attach_ts_ns")
+            stats["snapshot_age_s"] = round(
+                max(0.0, (now_ns - attach_ns) / 1e9), 3
+            ) if attach_ns else None
+            stats["alive"] = bool(stats["pid"]) and _pid_alive(stats["pid"])
+            workers.append(stats)
+        return {
+            "base": self.base,
+            "generation": generation,
+            "epoch": epoch,
+            "bytes": data_len,
+            "age_s": round(max(0.0, (now_ns - ts_ns) / 1e9), 3) if ts_ns else None,
+            "publishes": self._publishes,
+            "segments_unlinked": self._unlinked,
+            "segments_live": len(self._segments),
+            "grace_period_s": self.grace_period,
+            "degraded": self.control.degraded,
+            "workers": workers,
+        }
+
+
+def _pid_alive(pid: int) -> bool:
+    import os
+
+    try:
+        os.kill(pid, 0)
+    except (OSError, ProcessLookupError):
+        return False
+    return True

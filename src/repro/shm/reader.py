@@ -1,0 +1,144 @@
+"""Reader-side attachment to published snapshots.
+
+A reader holds one :class:`AttachedSnapshot` at a time: a
+:class:`~repro.core.frozen.FrozenTOLIndex` whose buffers are
+``memoryview.cast`` views straight into the shared data segment (zero
+copies — the only materialized state is the ``component_of`` dict and
+the vertex table decoded from the pack's JSON meta), plus the epoch and
+generation it was published at.
+
+The per-request fast path is :meth:`SnapshotReader.current`: one racy
+i64 read of the control block's generation cell; only when it moved does
+the reader take the slow path — seqlock-read the triple, attach the new
+segment, verify the pack CRC once, swap, and close the old mapping (the
+publisher may have already unlinked the old *name*; the mapping itself
+stays valid until closed).  An attach can race the grace-period unlink
+(``FileNotFoundError``): the control block then already names a newer
+generation, so the reader simply retries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..core.frozen import FrozenTOLIndex
+from ..core.serialize import hashable_vertex, unpack_frozen
+from ..errors import SerializationError
+from .control import ControlBlock, attach_segment, segment_name
+
+__all__ = ["AttachedSnapshot", "SnapshotReader"]
+
+
+class AttachedSnapshot:
+    """One attached generation: frozen index + component map + identity."""
+
+    __slots__ = (
+        "frozen", "component_of", "epoch", "generation", "data_len",
+        "attached_at_ns", "_shm",
+    )
+
+    def __init__(
+        self,
+        frozen: FrozenTOLIndex,
+        component_of: dict,
+        epoch: int,
+        generation: int,
+        data_len: int,
+        shm,
+    ) -> None:
+        self.frozen = frozen
+        self.component_of = component_of
+        self.epoch = epoch
+        self.generation = generation
+        self.data_len = data_len
+        self.attached_at_ns = time.time_ns()
+        self._shm = shm
+
+    def query(self, s, t) -> bool:
+        """Reachability over the snapshot (raises ``KeyError`` on unknowns)."""
+        cs = self.component_of[s]
+        ct = self.component_of[t]
+        return cs == ct or self.frozen.query(cs, ct)
+
+    def close(self) -> None:
+        """Drop the frozen views, then the mapping they pointed into."""
+        self.frozen = None
+        self.component_of = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a view still escaped
+            pass
+
+
+class SnapshotReader:
+    """Track the latest published snapshot for one reader process."""
+
+    def __init__(self, control_name: str) -> None:
+        self.control = ControlBlock.attach(control_name)
+        self._base = control_name.removesuffix("-ctl")
+        self._current: Optional[AttachedSnapshot] = None
+        self.reattaches = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.control.degraded
+
+    @property
+    def shutdown(self) -> bool:
+        return self.control.shutdown
+
+    def current(self) -> AttachedSnapshot:
+        """The snapshot to serve this request from (re-attaching if stale)."""
+        snap = self._current
+        if snap is not None and snap.generation == self.control.generation:
+            return snap
+        return self._attach_latest()
+
+    def _attach_latest(self, *, attempts: int = 100) -> AttachedSnapshot:
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            generation, epoch, data_len, _ts = self.control.read_snapshot()
+            if generation == 0:
+                raise RuntimeError("no snapshot published yet")
+            try:
+                shm = attach_segment(segment_name(self._base, generation))
+            except FileNotFoundError as exc:
+                # Raced the grace-period unlink; the control block now
+                # names a newer generation — retry reads it.
+                last_error = exc
+                time.sleep(0.01)
+                continue
+            try:
+                # Attached segments are page-rounded; the control block
+                # carries the exact pack length.
+                frozen, meta = unpack_frozen(shm.buf[:data_len])
+            except SerializationError:
+                # Torn read: generation cell advanced before our attach
+                # but the name now holds newer bytes than the triple we
+                # read. Retry re-reads a consistent triple.
+                shm.close()
+                time.sleep(0.01)
+                continue
+            component_of = dict(zip(
+                (hashable_vertex(v) for v in meta["vertices"]),
+                meta["component_of"],
+            ))
+            snap = AttachedSnapshot(
+                frozen, component_of, meta.get("epoch", epoch),
+                generation, data_len, shm,
+            )
+            previous, self._current = self._current, snap
+            if previous is not None:
+                previous.close()
+                self.reattaches += 1
+            return snap
+        raise RuntimeError(
+            f"could not attach a snapshot after {attempts} attempts"
+        ) from last_error
+
+    def close(self) -> None:
+        if self._current is not None:
+            self._current.close()
+            self._current = None
+        self.control.close()

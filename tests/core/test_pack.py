@@ -1,0 +1,308 @@
+"""Tests for the TOLF pack format (zero-copy frozen-index serialization).
+
+The pack is the repo's snapshot interchange format: ``repro pack``
+writes it, ``repro serve --snapshot`` mmaps it, and the shared-memory
+publisher ships it between processes.  These tests cover byte-level
+round trips, zero-copy attach over mmap and ``SharedMemory``, the
+galloping intersection over memoryview-backed buffers, corruption
+detection, and the full ``ReachabilityIndex`` restore path (including
+applying updates *after* a restore).
+"""
+
+import gc
+import random
+from array import array
+
+import pytest
+
+from repro.core.frozen import FrozenTOLIndex, freeze
+from repro.core.index import ReachabilityIndex, TOLIndex
+from repro.core.serialize import (
+    graph_to_dict,
+    hashable_vertex,
+    load_pack,
+    pack_frozen,
+    reachability_index_from_pack,
+    save_pack,
+    unpack_frozen,
+)
+from repro.errors import SerializationError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import figure1_dag, random_dag
+from repro.graph.traversal import bidirectional_reachable
+
+
+@pytest.fixture(scope="module")
+def fig1_frozen():
+    return freeze(TOLIndex.build(figure1_dag(), order="butterfly-u"))
+
+
+def all_pairs(vertices):
+    return [(s, t) for s in vertices for t in vertices]
+
+
+class TestPackRoundTrip:
+    def test_figure1_all_pairs(self, fig1_frozen):
+        blob = pack_frozen(fig1_frozen)
+        thawed, meta = unpack_frozen(blob)
+        for s, t in all_pairs("abcdefgh"):
+            assert thawed.query(s, t) == fig1_frozen.query(s, t), (s, t)
+        assert meta["vertex_of"] == list(fig1_frozen._vertex_of)
+
+    def test_buffers_are_views_not_copies(self, fig1_frozen):
+        blob = pack_frozen(fig1_frozen)
+        thawed, _ = unpack_frozen(blob)
+        # Zero-copy: the attached index reads straight out of the pack.
+        assert isinstance(thawed._in_labels, memoryview)
+        assert isinstance(thawed._in_offsets, memoryview)
+        assert thawed._in_offsets.itemsize == 8
+        assert thawed._in_labels.itemsize == 4
+
+    def test_label_views_and_sizes_survive(self, fig1_frozen):
+        thawed, _ = unpack_frozen(pack_frozen(fig1_frozen))
+        assert thawed.num_vertices == fig1_frozen.num_vertices
+        assert thawed.size() == fig1_frozen.size()
+        for v in "abcdefgh":
+            assert thawed.in_labels(v) == fig1_frozen.in_labels(v)
+            assert thawed.out_labels(v) == fig1_frozen.out_labels(v)
+
+    def test_random_dag_matches_oracle(self):
+        graph = random_dag(60, 180, seed=23)
+        frozen = freeze(TOLIndex.build(graph, order="butterfly-u"))
+        thawed, _ = unpack_frozen(pack_frozen(frozen))
+        rng = random.Random(5)
+        vertices = list(graph.vertices())
+        for _ in range(400):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            expected = bidirectional_reachable(graph, s, t)
+            assert thawed.query(s, t) == expected, (s, t)
+
+    def test_meta_payload_survives(self, fig1_frozen):
+        meta = {"epoch": 42, "note": "hello", "vertices": [["u", 1], "v"]}
+        _, out = unpack_frozen(pack_frozen(fig1_frozen, meta))
+        assert out["epoch"] == 42
+        assert out["note"] == "hello"
+        # JSON turns tuples into lists; hashable_vertex undoes it.
+        assert hashable_vertex(out["vertices"][0]) == ("u", 1)
+
+    def test_include_edges_false_drops_edges_and_thaw(self, fig1_frozen):
+        thawed, _ = unpack_frozen(
+            pack_frozen(fig1_frozen, include_edges=False)
+        )
+        assert thawed._edges == ()
+        assert thawed.query("a", "h") == fig1_frozen.query("a", "h")
+
+    def test_thaw_after_round_trip_is_updatable(self, fig1_frozen):
+        thawed, _ = unpack_frozen(pack_frozen(fig1_frozen))
+        live = thawed.thaw()
+        # Find an incomparable pair so the insert stays acyclic.
+        s, t = next(
+            (s, t)
+            for s, t in all_pairs("abcdefgh")
+            if s != t and not live.query(s, t) and not live.query(t, s)
+        )
+        live.insert_edge(s, t)
+        assert live.query(s, t)
+        live.labeling.check_invariants()
+
+    def test_empty_index(self):
+        frozen = freeze(TOLIndex.build(DiGraph(), order="butterfly-u"))
+        thawed, _ = unpack_frozen(pack_frozen(frozen))
+        assert thawed.num_vertices == 0
+        assert thawed.size() == 0
+
+
+def _bare(out_labels, in_labels):
+    """A minimal frozen index exposing raw label slices to _intersect."""
+    return FrozenTOLIndex(
+        {0: 0},
+        [0],
+        array("q", [0, len(in_labels)]),
+        array("i", in_labels),
+        array("q", [0, len(out_labels)]),
+        array("i", out_labels),
+        (),
+    )
+
+
+class TestGallopingIntersect:
+    """The three `_intersect` regimes, over both array and view buffers."""
+
+    def test_short_a_gallops_into_long_b(self):
+        out = [7]
+        ins = sorted(set(range(0, 200, 3)))  # 7 not in it
+        f = _bare(out, ins)
+        assert f._intersect(0, len(out), 0, len(ins)) == -1
+        out_hit = [9]
+        f = _bare(out_hit, ins)
+        assert f._intersect(0, 1, 0, len(ins)) == 9
+
+    def test_short_b_gallops_into_long_a(self):
+        outs = sorted(set(range(1, 400, 5)))
+        ins = [11]
+        f = _bare(outs, ins)
+        assert f._intersect(0, len(outs), 0, 1) == 11
+        f = _bare(outs, [12])
+        assert f._intersect(0, len(outs), 0, 1) == -1
+
+    def test_balanced_linear_merge(self):
+        outs = [1, 4, 9, 16, 25]
+        ins = [2, 4, 8, 16, 32]
+        f = _bare(outs, ins)
+        assert f._intersect(0, 5, 0, 5) in (4, 16)
+        f = _bare([1, 3, 5, 7], [2, 4, 6, 8])
+        assert f._intersect(0, 4, 0, 4) == -1
+
+    def test_empty_sides(self):
+        f = _bare([], [1, 2, 3])
+        assert f._intersect(0, 0, 0, 3) == -1
+        f = _bare([1, 2, 3], [])
+        assert f._intersect(0, 3, 0, 0) == -1
+
+    def test_gallops_agree_over_memoryview_buffers(self):
+        # The serving path runs _intersect over memoryview.cast slices;
+        # round-trip through the pack and re-check every regime.
+        graph = random_dag(40, 160, seed=9)
+        frozen = freeze(TOLIndex.build(graph, order="butterfly-u"))
+        thawed, _ = unpack_frozen(pack_frozen(frozen))
+        for s in graph.vertices():
+            for t in graph.vertices():
+                assert thawed.query(s, t) == frozen.query(s, t), (s, t)
+
+
+class TestPackFiles:
+    def test_file_round_trip_mmap(self, fig1_frozen, tmp_path):
+        path = tmp_path / "fig1.tolf"
+        save_pack(path, fig1_frozen, {"epoch": 3})
+        thawed, meta = load_pack(path)
+        assert meta["epoch"] == 3
+        for s, t in all_pairs("abcdefgh"):
+            assert thawed.query(s, t) == fig1_frozen.query(s, t)
+
+    def test_file_round_trip_without_mmap(self, fig1_frozen, tmp_path):
+        path = tmp_path / "fig1.tolf"
+        save_pack(path, fig1_frozen)
+        thawed, _ = load_pack(path, mmap_file=False)
+        assert thawed.query("a", "h") == fig1_frozen.query("a", "h")
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "empty.tolf"
+        path.write_bytes(b"")
+        with pytest.raises(SerializationError):
+            load_pack(path)
+
+
+class TestCorruption:
+    def test_bad_magic(self, fig1_frozen):
+        blob = bytearray(pack_frozen(fig1_frozen))
+        blob[:4] = b"NOPE"
+        with pytest.raises(SerializationError, match="magic"):
+            unpack_frozen(bytes(blob))
+
+    def test_bad_version(self, fig1_frozen):
+        blob = bytearray(pack_frozen(fig1_frozen))
+        blob[4] = 0xFF
+        with pytest.raises(SerializationError, match="version"):
+            unpack_frozen(bytes(blob))
+
+    def test_truncated_header(self):
+        with pytest.raises(SerializationError, match="header"):
+            unpack_frozen(b"TOLF")
+
+    def test_truncated_body(self, fig1_frozen):
+        blob = pack_frozen(fig1_frozen)
+        with pytest.raises(SerializationError, match="body"):
+            unpack_frozen(blob[: len(blob) - 8])
+
+    def test_flipped_body_byte_fails_checksum(self, fig1_frozen):
+        blob = bytearray(pack_frozen(fig1_frozen))
+        blob[80] ^= 0xFF
+        with pytest.raises(SerializationError, match="checksum"):
+            unpack_frozen(bytes(blob))
+        # verify=False skips the crc (the shm fast path trusts the
+        # seqlock instead) — no exception from the checksum itself.
+        unpack_frozen(bytes(blob), verify=False)
+
+
+class TestSharedMemoryAttach:
+    def test_freeze_pack_attach_query(self, fig1_frozen):
+        from multiprocessing import shared_memory
+
+        blob = pack_frozen(fig1_frozen, {"epoch": 1}, include_edges=False)
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        try:
+            shm.buf[: len(blob)] = blob
+            thawed, meta = unpack_frozen(shm.buf[: len(blob)])
+            assert meta["epoch"] == 1
+            for s, t in all_pairs("abcdefgh"):
+                assert thawed.query(s, t) == fig1_frozen.query(s, t)
+            del thawed
+            gc.collect()
+        finally:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - diagnostics only
+                pass
+            shm.unlink()
+
+
+class TestReachabilityIndexFromPack:
+    """The full-pack restore path that `repro serve --snapshot` boots."""
+
+    def _full_pack(self, graph, order="butterfly-u"):
+        index = ReachabilityIndex(graph, order=order)
+        frozen = freeze(index.tol)
+        doc = graph_to_dict(index.condensation.graph)
+        hashables = [hashable_vertex(v) for v in doc["vertices"]]
+        meta = {
+            "vertices": doc["vertices"],
+            "graph_edges": doc["edges"],
+            "component_of": [
+                index.condensation.component_of[v] for v in hashables
+            ],
+            "epoch": 0,
+        }
+        return index, pack_frozen(frozen, meta)
+
+    def test_restore_matches_original_on_cyclic_graph(self):
+        rng = random.Random(17)
+        graph = random_dag(50, 140, seed=17)
+        vertices = list(graph.vertices())
+        added = 0
+        while added < 12:  # back-edges make real SCCs
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            if s != t and graph.add_edge_if_absent(s, t):
+                added += 1
+        index, blob = self._full_pack(graph)
+        frozen, meta = unpack_frozen(blob)
+        restored = reachability_index_from_pack(frozen, meta)
+        restored.condensation.check_invariants()
+        for _ in range(300):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert restored.query(s, t) == index.query(s, t), (s, t)
+
+    def test_updates_apply_after_restore(self):
+        graph = random_dag(30, 70, seed=3)
+        index, blob = self._full_pack(graph)
+        frozen, meta = unpack_frozen(blob)
+        restored = reachability_index_from_pack(frozen, meta)
+        rng = random.Random(1)
+        vertices = list(graph.vertices())
+        applied = 0
+        while applied < 15:
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            if s == t or not graph.add_edge_if_absent(s, t):
+                continue
+            restored.insert_edge(s, t)
+            applied += 1
+        restored.condensation.check_invariants()
+        for _ in range(200):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            expected = bidirectional_reachable(graph, s, t)
+            assert restored.query(s, t) == expected, (s, t)
+
+    def test_query_only_pack_refuses_to_boot(self, fig1_frozen):
+        blob = pack_frozen(fig1_frozen, {"epoch": 2}, include_edges=False)
+        frozen, meta = unpack_frozen(blob)
+        with pytest.raises(SerializationError, match="repro pack"):
+            reachability_index_from_pack(frozen, meta)

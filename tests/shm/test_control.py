@@ -1,0 +1,111 @@
+"""Tests for the shared-memory control block (seqlock + worker slots)."""
+
+import pytest
+
+from repro.shm.control import (
+    MAX_WORKERS,
+    SLOT_FORWARDED,
+    SLOT_GENERATION,
+    SLOT_PID,
+    SLOT_REQUESTS,
+    ControlBlock,
+    new_base_name,
+    segment_name,
+)
+
+
+@pytest.fixture()
+def block():
+    block = ControlBlock.create(new_base_name(), num_workers=3)
+    yield block
+    block.close()
+    block.unlink()
+
+
+class TestNames:
+    def test_base_names_are_unique(self):
+        assert new_base_name() != new_base_name()
+
+    def test_segment_names_embed_generation(self):
+        assert segment_name("repro-abcd", 7) == "repro-abcd-g7"
+
+
+class TestSnapshotTriple:
+    def test_fresh_block_is_zeroed(self, block):
+        generation, epoch, data_len, ts = block.read_snapshot()
+        assert (generation, epoch, data_len, ts) == (0, 0, 0, 0)
+        assert not block.degraded
+        assert not block.shutdown
+        assert block.num_workers == 3
+
+    def test_write_then_read(self, block):
+        block.write_snapshot(5, 12, 4096)
+        generation, epoch, data_len, ts = block.read_snapshot()
+        assert (generation, epoch, data_len) == (5, 12, 4096)
+        assert ts > 0
+        assert block.generation == 5
+        assert block.epoch == 12
+
+    def test_cross_process_view(self, block):
+        # A second attach (same process, separate mapping) sees the
+        # writer's stores — the actual reader-worker topology.
+        block.write_snapshot(2, 9, 128)
+        peer = ControlBlock.attach(block.name)
+        try:
+            assert peer.read_snapshot()[:3] == (2, 9, 128)
+            assert peer.num_workers == 3
+        finally:
+            peer.close()
+
+    def test_flags_propagate(self, block):
+        peer = ControlBlock.attach(block.name)
+        try:
+            block.set_degraded(True)
+            assert peer.degraded
+            block.set_degraded(False)
+            assert not peer.degraded
+            block.set_shutdown()
+            assert peer.shutdown
+        finally:
+            peer.close()
+
+
+class TestWorkerSlots:
+    def test_slot_roundtrip_across_attaches(self, block):
+        slot = block.worker_cells(1)
+        slot[SLOT_PID] = 4242
+        slot[SLOT_GENERATION] = 3
+        slot[SLOT_REQUESTS] = 17
+        slot[SLOT_FORWARDED] = 2
+        slot.release()
+
+        peer = ControlBlock.attach(block.name)
+        try:
+            stats = peer.worker_stats(1)
+            assert stats["pid"] == 4242
+            assert stats["generation"] == 3
+            assert stats["requests"] == 17
+            assert stats["forwarded"] == 2
+            # Neighboring slots untouched.
+            assert peer.worker_stats(0)["pid"] == 0
+            assert peer.worker_stats(2)["pid"] == 0
+        finally:
+            peer.close()
+
+    def test_workers_lists_only_configured_slots(self, block):
+        assert [w["worker"] for w in block.workers()] == [0, 1, 2]
+
+    def test_out_of_range_worker_id(self, block):
+        with pytest.raises(ValueError):
+            block.worker_cells(MAX_WORKERS)
+        with pytest.raises(ValueError):
+            block.worker_cells(-1)
+
+    def test_close_survives_outstanding_slot_view(self):
+        # A live worker_cells view must not break shutdown (BufferError
+        # is swallowed; the mapping is left to process exit).
+        block = ControlBlock.create(new_base_name(), num_workers=1)
+        slot = block.worker_cells(0)
+        block.close()
+        slot.release()
+        block.unlink()

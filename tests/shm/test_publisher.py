@@ -1,0 +1,208 @@
+"""Publisher/reader integration over real shared-memory segments.
+
+Single-process, two mappings: the :class:`SnapshotPublisher` freezes a
+live :class:`ReachabilityService` into a segment, the
+:class:`SnapshotReader` attaches it like a reader worker would, and the
+tests assert the whole lifecycle — publish, agree with the live index,
+republish on update, grace-period unlink, health reporting.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.graph.generators import random_dag
+from repro.graph.traversal import bidirectional_reachable
+from repro.service.server import ReachabilityService
+from repro.shm.publisher import SnapshotPublisher
+from repro.shm.reader import SnapshotReader
+
+
+@pytest.fixture()
+def graph():
+    return random_dag(60, 160, seed=13)
+
+
+@pytest.fixture()
+def service(graph):
+    return ReachabilityService(graph.copy())
+
+
+@pytest.fixture()
+def plane(service):
+    publisher = SnapshotPublisher(service, num_workers=2, grace_period=30.0)
+    reader = None
+    try:
+        publisher.publish()
+        reader = SnapshotReader(publisher.control_name)
+        yield service, publisher, reader
+    finally:
+        if reader is not None:
+            reader.close()
+        publisher.close()
+
+
+class TestPublishAttach:
+    def test_reader_agrees_with_live_service(self, plane, graph):
+        service, publisher, reader = plane
+        snap = reader.current()
+        assert snap.generation == 1
+        assert snap.epoch == service.epoch
+        rng = random.Random(2)
+        vertices = list(graph.vertices())
+        for _ in range(300):
+            s, t = rng.choice(vertices), rng.choice(vertices)
+            assert snap.query(s, t) == bidirectional_reachable(
+                graph, s, t
+            ), (s, t)
+
+    def test_unknown_vertex_raises_keyerror(self, plane):
+        _, _, reader = plane
+        with pytest.raises(KeyError):
+            reader.current().query("no-such-vertex", 0)
+
+    def test_current_is_stable_between_publishes(self, plane):
+        _, _, reader = plane
+        assert reader.current() is reader.current()
+        assert reader.reattaches == 0
+
+
+class TestRepublish:
+    def test_update_triggers_republish_with_new_answer(self, plane, graph):
+        service, publisher, reader = plane
+        vertices = sorted(graph.vertices())
+        # Find a pair with no path, then wire it directly.
+        s, t = next(
+            (s, t)
+            for s in vertices
+            for t in vertices
+            if s != t and not bidirectional_reachable(graph, s, t)
+        )
+        assert reader.current().query(s, t) is False
+
+        service.insert_edge(s, t)
+        service.flush()
+        assert publisher.poll_once() is True  # epoch moved -> republished
+
+        snap = reader.current()
+        assert snap.generation == 2
+        assert snap.epoch == service.epoch
+        assert snap.query(s, t) is True
+        assert reader.reattaches == 1
+
+    def test_poll_once_is_a_noop_without_changes(self, plane):
+        service, publisher, reader = plane
+        assert publisher.poll_once() is False
+        assert reader.current().generation == 1
+
+    def test_degraded_flag_is_mirrored(self, plane):
+        service, publisher, reader = plane
+        service.enter_degraded()
+        try:
+            publisher.poll_once()
+            assert reader.degraded is True
+        finally:
+            service.exit_degraded()
+        publisher.poll_once()
+        assert reader.degraded is False
+
+
+class TestGracePeriod:
+    def test_retired_segment_unlinks_after_grace(self, service, graph):
+        publisher = SnapshotPublisher(service, grace_period=0.0)
+        try:
+            publisher.publish()
+            if graph.has_edge(0, 1):
+                service.delete_edge(0, 1)
+            else:
+                service.insert_edge(0, 1)
+            service.flush()
+            publisher.publish()
+            # grace 0: the retired generation goes away on the next reap.
+            publisher._reap_retired()
+            health = publisher.health_section()
+            assert health["segments_unlinked"] == 1
+            assert health["segments_live"] == 1
+            assert health["generation"] == 2
+        finally:
+            publisher.close()
+
+    def test_reader_survives_publish_storm(self, service, graph):
+        publisher = SnapshotPublisher(service, grace_period=0.0)
+        reader = None
+        try:
+            publisher.publish()
+            reader = SnapshotReader(publisher.control_name)
+            vertices = sorted(graph.vertices())
+            for k in range(5):
+                tail, head = vertices[2 * k], vertices[2 * k + 1]
+                if not graph.has_edge(tail, head):
+                    service.insert_edge(tail, head)
+                    service.flush()
+                publisher.publish()
+                snap = reader.current()
+                assert snap.generation == publisher.generation
+        finally:
+            if reader is not None:
+                reader.close()
+            publisher.close()
+
+
+class TestHealthSection:
+    def test_shape_and_worker_slots(self, plane):
+        service, publisher, reader = plane
+        slot = reader.control.worker_cells(0)
+        try:
+            slot[0] = 999999  # SLOT_PID: definitely not a live process
+        finally:
+            slot.release()
+        health = publisher.health_section()
+        assert health["generation"] == 1
+        assert health["epoch"] == service.epoch
+        assert health["bytes"] > 0
+        assert health["age_s"] >= 0.0
+        assert health["publishes"] == 1
+        assert health["degraded"] is False
+        assert len(health["workers"]) == 2
+        w0 = health["workers"][0]
+        assert w0["pid"] == 999999
+        assert w0["alive"] is False
+
+    def test_close_unlinks_everything_and_sets_shutdown(self, service):
+        publisher = SnapshotPublisher(service, grace_period=30.0)
+        publisher.publish()
+        reader = SnapshotReader(publisher.control_name)
+        snap = reader.current()  # keep the mapping alive across unlink
+        assert snap.query(0, 0) is True
+        assert reader.shutdown is False
+        publisher.close()
+        # Attached mappings stay readable after unlink removed the name.
+        assert snap.query(0, 0) is True
+        assert reader.shutdown is True
+        reader.close()
+
+
+class TestBackgroundThread:
+    def test_start_republishes_on_epoch_change(self, service, graph):
+        publisher = SnapshotPublisher(service, grace_period=30.0)
+        reader = None
+        try:
+            publisher.publish()
+            reader = SnapshotReader(publisher.control_name)
+            publisher.start(interval=0.02)
+            vertices = sorted(graph.vertices())
+            s, t = vertices[0], vertices[-1]
+            if not graph.has_edge(s, t):
+                service.insert_edge(s, t)
+                service.flush()
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if reader.control.generation >= 2:
+                    break
+                time.sleep(0.02)
+            assert reader.current().generation >= 2
+        finally:
+            if reader is not None:
+                reader.close()
+            publisher.close()
