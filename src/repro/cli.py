@@ -427,6 +427,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from .net.portfile import remove_port_file, write_port_file
     from .net.protocol import PROTOCOL_VERSION
     from .net.server import ReachabilityServer
     from .obs import trace as obs_trace
@@ -441,6 +442,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: pass a graph edge-list file or --snapshot FILE.tolf",
               file=sys.stderr)
         return 2
+    if args.port_file and _port_file_busy(args.port_file):
+        return 2
+    if args.workers:
+        return _cmd_serve_multiprocess(args)
     durability = None
     if args.wal:
         from .service.durability import DurabilityManager
@@ -496,75 +501,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
         bind_health_gauges(registry, service)
         source = args.snapshot or args.graph
 
-        if args.workers:
-            from .net.multiproc import MultiProcessServer
+        server = ReachabilityServer(
+            service,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            max_batch=args.max_batch,
+            batch_delay=args.batch_delay,
+            drain_timeout=args.drain_timeout,
+            slowlog=slowlog,
+        )
+        if flight is not None:
+            flight.start()
 
-            mp = MultiProcessServer(
-                service,
-                workers=args.workers,
-                host=args.host,
-                port=args.port,
-                publish_interval=args.publish_interval,
-                grace_period=args.grace_period,
-                max_pending=args.max_pending,
-                max_batch=args.max_batch,
-                batch_delay=args.batch_delay,
-                drain_timeout=args.drain_timeout,
-                slowlog=slowlog,
-            )
+        async def run() -> None:
+            await server.start()
+            loop = asyncio.get_event_loop()
             if flight is not None:
-                flight.start()
+                # SIGQUIT (ctrl-\) dumps the metric timeline without
+                # stopping the server — the "what just happened" probe.
+                try:
+                    loop.add_signal_handler(
+                        signal.SIGQUIT,
+                        lambda: flight.auto_dump("sigquit"),
+                    )
+                except (NotImplementedError, RuntimeError, AttributeError):
+                    pass
             print(
-                f"serving {source} on {args.host}:{mp.port} "
+                f"serving {source} on {server.host}:{server.port} "
                 f"(protocol v{PROTOCOL_VERSION}, "
                 f"|V|={service.num_vertices}, "
-                f"|E|={service.num_edges}, "
-                f"{args.workers} reader workers, writer on "
-                f"127.0.0.1:{mp.writer_port}); SIGTERM drains gracefully",
+                f"|E|={service.num_edges}); SIGTERM drains gracefully",
                 flush=True,
             )
-            exit_code = asyncio.run(mp.run(port_file=args.port_file))
-        else:
-            server = ReachabilityServer(
-                service,
-                host=args.host,
-                port=args.port,
-                max_pending=args.max_pending,
-                max_batch=args.max_batch,
-                batch_delay=args.batch_delay,
-                drain_timeout=args.drain_timeout,
-                slowlog=slowlog,
-            )
-            if flight is not None:
-                flight.start()
+            if args.port_file:
+                write_port_file(args.port_file, server.port)
+            await server.serve_forever()
 
-            async def run() -> None:
-                await server.start()
-                loop = asyncio.get_event_loop()
-                if flight is not None:
-                    # SIGQUIT (ctrl-\) dumps the metric timeline without
-                    # stopping the server — the "what just happened" probe.
-                    try:
-                        loop.add_signal_handler(
-                            signal.SIGQUIT,
-                            lambda: flight.auto_dump("sigquit"),
-                        )
-                    except (NotImplementedError, RuntimeError, AttributeError):
-                        pass
-                print(
-                    f"serving {source} on {server.host}:{server.port} "
-                    f"(protocol v{PROTOCOL_VERSION}, "
-                    f"|V|={service.num_vertices}, "
-                    f"|E|={service.num_edges}); SIGTERM drains gracefully",
-                    flush=True,
-                )
-                if args.port_file:
-                    with open(args.port_file, "w", encoding="utf-8") as fh:
-                        fh.write(f"{server.port}\n")
-                await server.serve_forever()
-
-            asyncio.run(run())
+        asyncio.run(run())
     finally:
+        if args.port_file:
+            remove_port_file(args.port_file)
         if flight is not None:
             flight.stop()
         if slowlog is not None:
@@ -588,6 +565,144 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _port_file_busy(path: str) -> bool:
+    """Refuse to clobber a port file whose owning server still runs."""
+    from .net.portfile import read_port_file
+    from .shm.control import pid_alive
+
+    port, pid = read_port_file(path)
+    if pid is not None and pid_alive(pid):
+        print(
+            f"error: port file {path} is owned by live pid {pid} "
+            f"(port {port}); is another server already running?",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
+def _cmd_serve_multiprocess(args: argparse.Namespace) -> int:
+    """The ``--workers N`` branch of `repro serve`.
+
+    This process becomes a pure supervisor (see repro.net.multiproc):
+    the service itself is built — or recovered from ``--wal`` — inside
+    the ``serve-writer`` subprocess, so a writer crash costs a respawn,
+    not the assembly.
+    """
+    from .net.multiproc import MultiProcessServer
+    from .net.protocol import PROTOCOL_VERSION
+
+    writer_args = []
+    if args.graph:
+        writer_args += ["--graph", args.graph]
+    if args.snapshot:
+        writer_args += ["--snapshot", args.snapshot]
+    if args.wal:
+        writer_args += [
+            "--wal", args.wal,
+            "--fsync", args.fsync,
+            "--checkpoint-every", str(args.checkpoint_every),
+        ]
+    writer_args += [
+        "--order", args.order,
+        "--cache-size", str(args.cache_size),
+        "--flush-threshold", str(args.flush_threshold),
+        "--max-pending", str(args.max_pending),
+        "--max-batch", str(args.max_batch),
+        "--batch-delay", str(args.batch_delay),
+        "--drain-timeout", str(args.drain_timeout),
+        "--publish-interval", str(args.publish_interval),
+        "--grace-period", str(args.grace_period),
+    ]
+    if args.slowlog:
+        writer_args += ["--slowlog", args.slowlog,
+                        "--slow-ms", str(args.slow_ms)]
+    if args.flight_dir:
+        writer_args += ["--flight-dir", args.flight_dir]
+    if args.metrics_out:
+        writer_args += ["--metrics-out", args.metrics_out]
+
+    mp = MultiProcessServer(
+        workers=args.workers,
+        writer_args=writer_args,
+        host=args.host,
+        port=args.port,
+        max_staleness=args.max_staleness,
+        forward_timeout=args.forward_timeout,
+    )
+    source = args.snapshot or args.graph
+    print(
+        f"serving {source} on {args.host}:{mp.port} "
+        f"(protocol v{PROTOCOL_VERSION}, {args.workers} reader workers, "
+        f"writer subprocess on 127.0.0.1:{mp.writer_port}); "
+        f"SIGTERM drains gracefully",
+        flush=True,
+    )
+    exit_code = mp.run(port_file=args.port_file)
+    print(f"drained; worker restarts={mp.restarts()}, "
+          f"writer restarts={mp.writer_restarts()}")
+    return exit_code
+
+
+def cmd_serve_writer(args: argparse.Namespace) -> int:
+    """Hidden: writer-process entry point spawned by `repro serve --workers`.
+
+    Not for direct use — it expects an inherited listening-socket fd and
+    a live shared-memory control block owned by the supervisor (see
+    repro.net.writerproc).  Recovers from ``--wal`` when the directory
+    already holds state, which is exactly what a post-crash respawn sees.
+    """
+    from .net.writerproc import run_writer_process
+
+    return run_writer_process(
+        listen_fd=args.fd,
+        control_name=args.control,
+        graph=args.graph,
+        snapshot=args.snapshot,
+        wal=args.wal,
+        fsync=args.fsync,
+        checkpoint_every=args.checkpoint_every,
+        publish_interval=args.publish_interval,
+        grace_period=args.grace_period,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batch_delay=args.batch_delay,
+        drain_timeout=args.drain_timeout,
+        slowlog_path=args.slowlog,
+        slow_ms=args.slow_ms,
+        flight_dir=args.flight_dir,
+        metrics_out=args.metrics_out,
+        cache_size=args.cache_size,
+        flush_threshold=args.flush_threshold,
+        order=args.order,
+    )
+
+
+def cmd_shm_janitor(args: argparse.Namespace) -> int:
+    """`repro shm-janitor`: scan for / reap orphaned shared-memory segments.
+
+    Every `repro serve --workers` boot runs the same reap automatically;
+    this command exists for operators cleaning up after SIGKILLed runs
+    without starting a server, and for CI leak assertions
+    (``--scan`` exits 1 when orphans exist).
+    """
+    import json as _json
+
+    from .shm.janitor import reap_orphans, scan_orphans
+
+    if args.scan:
+        orphans = scan_orphans(min_age=args.min_age)
+        print(_json.dumps(orphans, indent=2, sort_keys=True))
+        return 1 if orphans else 0
+    reaped = reap_orphans(min_age=args.min_age)
+    total = sum(len(v) for v in reaped.values())
+    print(f"reaped {total} segment(s) from {len(reaped)} orphaned "
+          f"server(s)")
+    for base, names in sorted(reaped.items()):
+        print(f"  {base}: {', '.join(names)}")
+    return 0
+
+
 def cmd_serve_worker(args: argparse.Namespace) -> int:
     """Hidden: reader-worker entry point spawned by `repro serve --workers`.
 
@@ -602,6 +717,8 @@ def cmd_serve_worker(args: argparse.Namespace) -> int:
         writer_host=args.writer_host,
         writer_port=args.writer_port,
         worker_id=args.worker_id,
+        max_staleness=args.max_staleness,
+        forward_timeout=args.forward_timeout,
     )
 
 
@@ -666,6 +783,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print("error: pass --port (running server) or --spawn",
               file=sys.stderr)
         return 2
+    if args.chaos and args.spawn and not args.workers:
+        print("error: --chaos needs a multi-process server "
+              "(--spawn --workers N)", file=sys.stderr)
+        return 2
     duration = 1.5 if args.quick else args.duration
     graph = read_edge_list(args.graph)
 
@@ -678,6 +799,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             skew=args.skew,
             seed=args.seed,
             verify=args.verify,
+            chaos=args.chaos,
         )
 
     if args.spawn:
@@ -685,6 +807,10 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             "--max-pending", str(args.server_max_pending),
             "--batch-delay", str(args.server_batch_delay),
         ]
+        if args.server_wal:
+            server_args += ["--wal", args.server_wal]
+        if args.server_flight_dir:
+            server_args += ["--flight-dir", args.server_flight_dir]
         workers_args = (
             ["--workers", str(args.workers)] if args.workers else []
         )
@@ -738,12 +864,38 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         f"{totals['queries']} queries, {result['qps']:,.0f} qps aggregate, "
         f"{lat_text}"
     )
+    availability = result.get("availability")
+    avail_text = (
+        f"{availability:.4%} available" if availability is not None
+        else "availability n/a"
+    )
     print(
         f"  shed {totals['shed']} requests, {totals['errors']} errors, "
+        f"{totals.get('unavailable', 0)} unavailable ({avail_text}), "
         f"{totals['degraded_replies']} degraded replies"
+        + (f", {totals.get('stale_replies', 0)} stale replies"
+           if totals.get("stale_replies") else "")
         + (f", {totals['verify_failures']} oracle disagreements"
            if args.verify else "")
     )
+    chaos = result.get("chaos")
+    if chaos is not None:
+        if chaos.get("error"):
+            print(f"  chaos {chaos['mode']}: FAILED — {chaos['error']}",
+                  file=sys.stderr)
+        else:
+            ttr = chaos.get("time_to_recovery_s")
+            rate = chaos.get("error_rate_during_outage")
+            print(
+                f"  chaos {chaos['mode']}: killed pid "
+                f"{chaos.get('killed_pid')}, "
+                + (f"recovered in {ttr:.2f}s" if ttr is not None
+                   else "NOT RECOVERED")
+                + f"; outage error rate "
+                + (f"{rate:.2%}" if rate is not None else "n/a")
+                + f" ({chaos.get('outage_errors', 0)}/"
+                  f"{chaos.get('outage_requests', 0)} requests)"
+            )
     speedup = result.get("speedup_vs_single")
     if speedup is not None:
         print(
@@ -770,6 +922,34 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             print(
                 f"error: speedup {speedup:.2f}x is below the "
                 f"--min-speedup {args.min_speedup}x gate",
+                file=sys.stderr,
+            )
+            return 1
+    if args.chaos:
+        if chaos is None or chaos.get("error"):
+            print("error: the chaos leg did not run", file=sys.stderr)
+            return 1
+        if not chaos.get("recovered"):
+            print("error: the writer never recovered after the chaos "
+                  "kill", file=sys.stderr)
+            return 1
+        ttr = chaos.get("time_to_recovery_s")
+        if args.chaos_max_recovery_s is not None and (
+            ttr is None or ttr > args.chaos_max_recovery_s
+        ):
+            print(
+                f"error: recovery took {ttr}s, above the "
+                f"--chaos-max-recovery-s {args.chaos_max_recovery_s} gate",
+                file=sys.stderr,
+            )
+            return 1
+        rate = chaos.get("error_rate_during_outage")
+        if args.chaos_max_error_rate is not None and (
+            rate is not None and rate > args.chaos_max_error_rate
+        ):
+            print(
+                f"error: outage error rate {rate:.2%} is above the "
+                f"--chaos-max-error-rate {args.chaos_max_error_rate} gate",
                 file=sys.stderr,
             )
             return 1
@@ -1123,6 +1303,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grace-period", type=float, default=5.0,
                    help="seconds a superseded shared-memory segment stays "
                         "linked for late readers (with --workers)")
+    p.add_argument("--max-staleness", type=float, default=0.0,
+                   help="with --workers: refuse snapshot answers older "
+                        "than this many seconds while the writer is down "
+                        "(0 = serve stale answers indefinitely, stamped "
+                        "with stale_ms)")
+    p.add_argument("--forward-timeout", type=float, default=5.0,
+                   help="with --workers: seconds a reader waits on the "
+                        "writer for a forwarded op before answering "
+                        "writer_unavailable")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7421,
                    help="TCP port (0 picks a free one)")
@@ -1224,6 +1413,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=None, metavar="X",
                    help="exit 1 unless speedup_vs_single >= X (with "
                         "--compare-single)")
+    p.add_argument("--chaos", choices=["kill-writer"], default=None,
+                   help="inject a process fault mid-run and record the "
+                        "outage error rate + time-to-recovery in the "
+                        "artifact (needs a multi-process server)")
+    p.add_argument("--chaos-max-recovery-s", type=float, default=None,
+                   metavar="S",
+                   help="exit 1 if the chaos recovery took longer than S "
+                        "seconds (with --chaos)")
+    p.add_argument("--chaos-max-error-rate", type=float, default=None,
+                   metavar="F",
+                   help="exit 1 if the fraction of failed requests during "
+                        "the chaos outage exceeds F (with --chaos)")
+    p.add_argument("--server-wal", default=None, metavar="DIR",
+                   help="--wal directory for the spawned server (with "
+                        "--spawn); lets a chaos-killed writer recover "
+                        "from its checkpoint + WAL instead of rebuilding")
+    p.add_argument("--server-flight-dir", default=None, metavar="DIR",
+                   help="--flight-dir for the spawned server (with "
+                        "--spawn); CI's chaos-smoke job uploads the "
+                        "recorder dumps as a failure artifact")
     p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser(
@@ -1246,7 +1455,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--writer-host", default="127.0.0.1")
     p.add_argument("--writer-port", type=int, required=True)
     p.add_argument("--worker-id", type=int, required=True)
+    p.add_argument("--max-staleness", type=float, default=0.0)
+    p.add_argument("--forward-timeout", type=float, default=5.0)
     p.set_defaults(func=cmd_serve_worker)
+
+    # Hidden plumbing: the writer subprocess behind `repro serve
+    # --workers`.  Builds (or recovers) the service, attaches the
+    # publisher to the supervisor's control block, serves forwarded
+    # traffic on the inherited fd.
+    p = sub.add_parser("serve-writer")
+    p.add_argument("--fd", type=int, required=True)
+    p.add_argument("--control", required=True)
+    p.add_argument("--graph", default=None)
+    p.add_argument("--snapshot", default=None)
+    p.add_argument("--wal", default=None)
+    p.add_argument("--fsync", default="batch",
+                   choices=["always", "batch", "never"])
+    p.add_argument("--checkpoint-every", type=int, default=256)
+    p.add_argument("--order", default="butterfly-u",
+                   choices=sorted(set(ORDER_STRATEGIES)))
+    p.add_argument("--cache-size", type=int, default=4096)
+    p.add_argument("--flush-threshold", type=int, default=8)
+    p.add_argument("--max-pending", type=int, default=4096)
+    p.add_argument("--max-batch", type=int, default=1024)
+    p.add_argument("--batch-delay", type=float, default=0.0)
+    p.add_argument("--drain-timeout", type=float, default=10.0)
+    p.add_argument("--publish-interval", type=float, default=0.2)
+    p.add_argument("--grace-period", type=float, default=5.0)
+    p.add_argument("--slowlog", default=None)
+    p.add_argument("--slow-ms", type=float, default=50.0)
+    p.add_argument("--flight-dir", default=None)
+    p.add_argument("--metrics-out", default=None)
+    p.set_defaults(func=cmd_serve_writer)
+
+    p = sub.add_parser(
+        "shm-janitor",
+        help="reap shared-memory segments orphaned by dead servers",
+    )
+    p.add_argument("--scan", action="store_true",
+                   help="report orphans as JSON without unlinking "
+                        "(exit 1 when any exist — CI leak assertion)")
+    p.add_argument("--min-age", type=float, default=30.0,
+                   help="age gate (seconds) for control-block-less "
+                        "segment families")
+    p.set_defaults(func=cmd_shm_janitor)
 
     p = sub.add_parser(
         "recover",

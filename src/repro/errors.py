@@ -24,6 +24,11 @@ __all__ = [
     "NetworkError",
     "ProtocolError",
     "OverloadedError",
+    "WriterUnavailableError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "SnapshotError",
+    "SnapshotUnavailableError",
 ]
 
 
@@ -149,3 +154,52 @@ class OverloadedError(NetworkError):
                  retry_after_ms: float = 0.0) -> None:
         super().__init__(message)
         self.retry_after_ms = retry_after_ms
+
+
+class WriterUnavailableError(NetworkError):
+    """The writer process is down; the request needed it.
+
+    Reader workers return this for forwarded operations (updates,
+    stats, snapshot-miss queries) while the writer is crashed, stalled
+    or restarting.  Queries the shared snapshot can answer keep being
+    served in bounded-staleness mode; only writer-owned work fails.
+    Transient by construction — the supervisor is respawning the
+    writer — so the error carries a ``retry_after_ms`` hint.
+    """
+
+    def __init__(self, message: str = "writer process unavailable",
+                 retry_after_ms: float = 500.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class CircuitOpenError(NetworkError):
+    """The client's circuit breaker is open; the call failed fast.
+
+    Raised locally (no bytes hit the wire) after repeated consecutive
+    transport failures, until the cooldown elapses.
+    """
+
+    def __init__(self, message: str = "circuit breaker open",
+                 retry_after_ms: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class DeadlineExceededError(NetworkError):
+    """A per-request deadline expired before a reply arrived."""
+
+
+class SnapshotError(ReproError):
+    """Base class for shared-memory snapshot-plane failures."""
+
+
+class SnapshotUnavailableError(SnapshotError):
+    """No usable shared-memory snapshot could be attached.
+
+    Raised after bounded retries when the control block names no
+    snapshot yet, the seqlock is stalled (publisher died mid-flip with
+    no prior attach to fall back on), or every attach attempt failed
+    CRC verification (corrupt segment).  Reader workers fall back to
+    forwarding queries to the writer when they see this.
+    """

@@ -1,0 +1,196 @@
+"""Process-level chaos: deterministic faults injected across processes.
+
+PR 5's :class:`~repro.service.faults.FaultInjector` arms named crash
+points *inside one process*.  The multi-process plane needs the same
+determinism across a process boundary: the test (or the loadgen chaos
+leg) runs in the supervisor's parent and the crash must happen inside
+the **writer subprocess**, at an exact point in its execution — not
+"roughly now" via an external ``kill`` race.
+
+The bridge is one environment variable.  ``REPRO_CHAOS`` carries a
+spec like::
+
+    service.apply:kill:after=2
+    shm.publish.flip:kill
+    wal.sync:kill:after=1;shm.publish.flip:kill:after=3
+
+The writer process parses it at boot (:func:`injector_from_env`) into a
+regular :class:`FaultInjector` armed with the ``kill`` action — the
+``SIGKILL``-self action added for exactly this harness — and threads it
+through the service, durability layer and publisher like any other
+injector.  Execution reaching the armed point dies with ``kill -9``
+semantics: no ``finally`` blocks, no flushes, a genuinely torn WAL tail
+or a seqlock stuck odd.  Only the *first incarnation* of the writer
+arms the spec (``REPRO_CHAOS_DONE`` marks spent specs via a sidecar
+file) so the respawned writer recovers instead of dying in the same
+spot forever.
+
+:data:`SCENARIOS` is the process fault matrix the chaos tests and the
+``loadgen --chaos`` leg iterate: each entry names the victim, the spec
+that kills it, and the bound the assembly must recover within.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..service.faults import CRASH_POINTS, SHM_CRASH_POINTS, FaultInjector
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosScenario",
+    "SCENARIOS",
+    "parse_chaos_spec",
+    "injector_from_env",
+    "spent_marker",
+]
+
+#: Environment variable carrying the chaos spec into child processes.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Sidecar path (set via ``REPRO_CHAOS_SPENT``) marking a one-shot spec
+#: as consumed, so a respawned victim boots clean.
+SPENT_ENV = "REPRO_CHAOS_SPENT"
+
+_VALID_POINTS = frozenset(CRASH_POINTS) | frozenset(SHM_CRASH_POINTS)
+
+
+def parse_chaos_spec(spec: str) -> list[tuple[str, str, int, int]]:
+    """Parse ``point:action[:after=N][:times=M]`` entries (``;``-joined).
+
+    Returns ``[(point, action, after, times), ...]``; raises
+    ``ValueError`` on unknown points or malformed entries so a typo in
+    a CI job fails loudly instead of silently injecting nothing.
+    """
+    armed = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) < 2:
+            raise ValueError(
+                f"chaos entry {entry!r} needs at least point:action"
+            )
+        point, action = parts[0], parts[1]
+        if point not in _VALID_POINTS:
+            raise ValueError(f"unknown chaos point {point!r}")
+        after, times = 1, 1
+        for extra in parts[2:]:
+            key, _, value = extra.partition("=")
+            if key == "after":
+                after = int(value)
+            elif key == "times":
+                times = int(value)
+            else:
+                raise ValueError(f"unknown chaos option {extra!r}")
+        armed.append((point, action, after, times))
+    return armed
+
+
+def spent_marker(env: Optional[dict] = None) -> Optional[str]:
+    """Path of the one-shot marker file, if the harness configured one."""
+    source = os.environ if env is None else env
+    return source.get(SPENT_ENV) or None
+
+
+def injector_from_env(env: Optional[dict] = None) -> Optional[FaultInjector]:
+    """Build an armed injector from ``REPRO_CHAOS``, or ``None``.
+
+    When ``REPRO_CHAOS_SPENT`` names a file that already exists, the
+    spec has fired in a previous incarnation of this process and is
+    skipped — the respawn must recover, not die again.  When the
+    marker is configured but absent, it is created *before* arming, so
+    even a kill at the very first armed point leaves it behind.
+    """
+    source = os.environ if env is None else env
+    spec = source.get(CHAOS_ENV)
+    if not spec:
+        return None
+    marker = spent_marker(source)
+    if marker:
+        try:
+            # O_EXCL: exactly one incarnation arms the spec.
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return None
+        except OSError:  # pragma: no cover - unwritable marker dir
+            pass
+    injector = FaultInjector()
+    for point, action, after, times in parse_chaos_spec(spec):
+        injector.arm(point, action, after=after, times=times)
+    return injector
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One entry of the process fault matrix.
+
+    ``spec`` is the ``REPRO_CHAOS`` value that produces the fault
+    deterministically inside the victim; ``signal_target`` scenarios
+    instead signal a live process from outside (stalls and worker
+    kills have no in-process crash point).  ``recovery_s`` bounds how
+    long the assembly may take to return to full service.
+    """
+
+    name: str
+    victim: str                       # writer | publisher | worker
+    spec: Optional[str] = None        # REPRO_CHAOS value, if any
+    signal_target: Optional[str] = None  # "worker" / "writer-stop" ...
+    recovery_s: float = 15.0
+    description: str = ""
+    expectations: tuple = field(default_factory=tuple)
+
+
+#: The process fault matrix (docs/robustness.md).  Every scenario must
+#: yield zero incorrect answers against the BFS oracle; reads keep
+#: flowing throughout; recovery completes within ``recovery_s``.
+SCENARIOS = (
+    ChaosScenario(
+        name="kill-writer-mid-batch",
+        victim="writer",
+        spec="service.apply:kill:after=2",
+        description=(
+            "SIGKILL the writer between WAL append and index apply; "
+            "recovery replays the WAL, readers stale-serve meanwhile"
+        ),
+        expectations=("wal-replay", "stale-serve", "writer-respawn"),
+    ),
+    ChaosScenario(
+        name="kill-publisher-mid-flip",
+        victim="writer",
+        # after=2: the first flip is the boot publish — dying there
+        # aborts the whole assembly by design (the supervisor refuses
+        # to come up without a first snapshot).  The second flip is the
+        # first *update-driven* republish, the window that matters.
+        spec="shm.publish.flip:kill:after=2",
+        description=(
+            "SIGKILL the writer while the seqlock sequence is odd; the "
+            "respawned writer must repair the seqlock before publishing"
+        ),
+        expectations=("seqlock-repair", "stale-serve", "writer-respawn"),
+    ),
+    ChaosScenario(
+        name="kill-worker",
+        victim="worker",
+        signal_target="worker",
+        description=(
+            "SIGKILL one reader worker; siblings keep accepting on the "
+            "shared fd and the supervisor respawns the slot"
+        ),
+        expectations=("worker-respawn",),
+    ),
+    ChaosScenario(
+        name="stall-publisher",
+        victim="writer",
+        signal_target="writer-stop",
+        description=(
+            "SIGSTOP the writer: forwards time out and degrade to "
+            "writer_unavailable; snapshot reads continue; SIGCONT heals"
+        ),
+        expectations=("stale-serve", "bounded-timeout"),
+    ),
+)

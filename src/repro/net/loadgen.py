@@ -34,7 +34,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Optional
 
-from ..errors import NetworkError, OverloadedError, ReproError
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    NetworkError,
+    OverloadedError,
+    ReproError,
+    WriterUnavailableError,
+)
 from .protocol import PROTOCOL_VERSION
 
 __all__ = [
@@ -43,11 +50,23 @@ __all__ = [
     "SpawnedServer",
     "write_bench_json",
     "percentile",
+    "CHAOS_MODES",
 ]
 
 #: Per-worker cap on retained latency samples (reservoir-free: beyond
 #: this, new samples stop being recorded and the count is flagged).
 MAX_LATENCY_SAMPLES = 200_000
+
+#: Chaos legs the parent can inject mid-run (``chaos=`` / ``--chaos``).
+CHAOS_MODES = ("kill-writer",)
+
+#: Width of the error-timeline buckets (seconds).  Outage windows are
+#: measured against these, so the recovery-time resolution is one bucket.
+BUCKET_S = 0.1
+
+
+def _bucket_key(now: float) -> int:
+    return int(now / BUCKET_S)
 
 
 def percentile(sorted_values, q: float) -> float:
@@ -75,10 +94,13 @@ def _worker_main(cfg: dict, out_queue) -> None:
         "requests": 0,
         "shed": 0,
         "errors": 0,
+        "unavailable": 0,
+        "stale_replies": 0,
         "degraded_replies": 0,
         "verify_failures": 0,
         "latencies": [],
         "shed_latencies": [],
+        "buckets": {},
         "elapsed": 0.0,
         "fatal": None,
     }
@@ -122,6 +144,14 @@ def _worker_main(cfg: dict, out_queue) -> None:
 
     latencies = report["latencies"]
     shed_latencies = report["shed_latencies"]
+    buckets = report["buckets"]
+
+    def record(outcome_ok: bool) -> None:
+        # 100ms availability timeline keyed by *wall-clock* bucket so
+        # the parent can line every worker up against its chaos events.
+        cell = buckets.setdefault(_bucket_key(time.time()), [0, 0])
+        cell[0 if outcome_ok else 1] += 1
+
     start = time.monotonic()
     deadline = start + cfg["duration"]
     try:
@@ -139,18 +169,37 @@ def _worker_main(cfg: dict, out_queue) -> None:
                     if len(shed_latencies) < MAX_LATENCY_SAMPLES:
                         shed_latencies.append(time.perf_counter() - t0)
                     report["shed"] += 1
+                    # Shedding is admission control *working*, so it
+                    # counts as available in the timeline.
+                    record(True)
                     # Back off by the server's hint, capped so the
                     # flood keeps flooding during overload runs.
                     time.sleep(min(exc.retry_after_ms / 1e3, 0.02))
                     continue
+                except (
+                    WriterUnavailableError,
+                    CircuitOpenError,
+                    DeadlineExceededError,
+                ) as exc:
+                    # The serving plane said "not right now" — the
+                    # chaos legs measure exactly these.
+                    report["unavailable"] += 1
+                    record(False)
+                    hint = getattr(exc, "retry_after_ms", 10.0)
+                    time.sleep(min(hint / 1e3, 0.05))
+                    continue
                 except ReproError:
                     report["errors"] += 1
+                    record(False)
                     continue
                 if len(latencies) < MAX_LATENCY_SAMPLES:
                     latencies.append(time.perf_counter() - t0)
+                record(True)
                 report["queries"] += len(reply.results)
                 if reply.degraded:
                     report["degraded_replies"] += 1
+                if reply.stale_ms is not None:
+                    report["stale_replies"] += 1
                 if oracle is not None:
                     for (s, t), got in zip(pairs, reply.results):
                         if got != oracle(s, t):
@@ -165,6 +214,50 @@ def _worker_main(cfg: dict, out_queue) -> None:
 # The parent orchestration
 # ----------------------------------------------------------------------
 
+def _chaos_kill_writer(
+    host: str, port: int, duration: float, events: dict
+) -> None:
+    """Parent-side chaos leg: SIGKILL the writer mid-run, then poll the
+    (forwarded) ``stats`` op until a *new* writer pid answers.
+
+    Writes its observations into *events*: ``killed_pid`` / ``kill_at``
+    when the kill lands, ``recovered_at`` / ``new_pid`` when the
+    respawned writer answers, ``error`` if the leg could not run (e.g.
+    the target is a single-process server with no writer subprocess).
+    """
+    import signal as _signal
+
+    from .client import ReachabilityClient
+
+    try:
+        with ReachabilityClient(host, port, timeout=5.0) as probe:
+            pid = probe._call({"op": "stats"}).get("writer_pid")
+            if not pid:
+                events["error"] = (
+                    "server reported no writer_pid — chaos kill-writer "
+                    "needs a multi-process (--workers) server"
+                )
+                return
+            # Let the load reach steady state before pulling the plug.
+            time.sleep(max(0.2, duration / 3.0))
+            os.kill(int(pid), _signal.SIGKILL)
+            events["killed_pid"] = int(pid)
+            events["kill_at"] = time.time()
+            deadline = time.monotonic() + duration + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    new_pid = probe._call({"op": "stats"}).get("writer_pid")
+                except (ReproError, OSError):
+                    new_pid = None  # writer_unavailable — still down
+                if new_pid and int(new_pid) != int(pid):
+                    events["recovered_at"] = time.time()
+                    events["new_pid"] = int(new_pid)
+                    return
+                time.sleep(0.05)
+    except Exception as exc:  # noqa: BLE001 - reported in the artifact
+        events["error"] = f"{type(exc).__name__}: {exc}"
+
+
 def run_loadgen(
     host: str,
     port: int,
@@ -177,12 +270,18 @@ def run_loadgen(
     seed: int = 0,
     verify: bool = False,
     timeout: float = 30.0,
+    chaos: Optional[str] = None,
 ) -> dict:
     """Drive *clients* worker processes against ``host:port``.
 
     *graph* is the :class:`~repro.graph.digraph.DiGraph` the server was
     started on — the workers draw query endpoints from its vertex set
     (and, with ``verify=True``, check answers against BFS over it).
+
+    *chaos* names a fault leg from :data:`CHAOS_MODES` the parent
+    injects mid-run — ``"kill-writer"`` SIGKILLs the server's writer
+    subprocess a third of the way in and measures the error rate during
+    the outage plus the time until a respawned writer answers again.
 
     Returns the merged result dict (see :func:`write_bench_json` for the
     artifact shape).  Raises :class:`~repro.errors.NetworkError` if any
@@ -192,6 +291,10 @@ def run_loadgen(
         raise ValueError(f"clients must be >= 1, got {clients}")
     if duration <= 0:
         raise ValueError(f"duration must be positive, got {duration}")
+    if chaos is not None and chaos not in CHAOS_MODES:
+        raise ValueError(
+            f"unknown chaos mode {chaos!r}; expected one of {CHAOS_MODES}"
+        )
     vertices = list(graph.vertices())
     edges = list(graph.edges()) if verify else None
 
@@ -218,6 +321,19 @@ def run_loadgen(
         proc.start()
         procs.append(proc)
 
+    chaos_events: dict = {}
+    chaos_thread = None
+    if chaos == "kill-writer":
+        import threading
+
+        chaos_thread = threading.Thread(
+            target=_chaos_kill_writer,
+            args=(host, port, duration, chaos_events),
+            name="loadgen-chaos",
+            daemon=True,
+        )
+        chaos_thread.start()
+
     reports = []
     join_deadline = time.monotonic() + duration + max(60.0, timeout)
     try:
@@ -231,6 +347,8 @@ def run_loadgen(
             proc.join(timeout=10)
             if proc.is_alive():
                 proc.terminate()
+    if chaos_thread is not None:
+        chaos_thread.join(timeout=45.0)
     wall = time.monotonic() - wall_start
 
     fatal = [r for r in reports if r["fatal"]]
@@ -250,10 +368,56 @@ def run_loadgen(
     totals = {
         key: sum(r[key] for r in reports)
         for key in (
-            "queries", "requests", "shed", "errors",
-            "degraded_replies", "verify_failures",
+            "queries", "requests", "shed", "errors", "unavailable",
+            "stale_replies", "degraded_replies", "verify_failures",
         )
     }
+    # Availability: the fraction of requests that got *an answer* —
+    # admitted replies and structured sheds both count; transport
+    # errors, deadline misses and writer_unavailable do not.
+    failed = totals["errors"] + totals["unavailable"]
+    availability = (
+        1.0 - failed / totals["requests"] if totals["requests"] else None
+    )
+    # Merge the per-worker 100ms timelines (wall-clock bucket -> counts)
+    # so chaos legs can cut an outage window across all clients.
+    merged_buckets: dict = {}
+    for r in reports:
+        for key, (ok, bad) in r["buckets"].items():
+            cell = merged_buckets.setdefault(int(key), [0, 0])
+            cell[0] += ok
+            cell[1] += bad
+
+    chaos_result = None
+    if chaos is not None:
+        chaos_result = {"mode": chaos, "recovered": False}
+        if "error" in chaos_events:
+            chaos_result["error"] = chaos_events["error"]
+        if "kill_at" in chaos_events:
+            kill_at = chaos_events["kill_at"]
+            recovered_at = chaos_events.get("recovered_at")
+            chaos_result["killed_pid"] = chaos_events["killed_pid"]
+            chaos_result["recovered"] = recovered_at is not None
+            chaos_result["new_pid"] = chaos_events.get("new_pid")
+            chaos_result["time_to_recovery_s"] = (
+                round(recovered_at - kill_at, 3)
+                if recovered_at is not None else None
+            )
+            first = _bucket_key(kill_at)
+            last = _bucket_key(
+                recovered_at if recovered_at is not None else time.time()
+            )
+            window = [
+                cell for key, cell in merged_buckets.items()
+                if first <= key <= last
+            ]
+            outage_requests = sum(ok + bad for ok, bad in window)
+            outage_errors = sum(bad for _, bad in window)
+            chaos_result["outage_requests"] = outage_requests
+            chaos_result["outage_errors"] = outage_errors
+            chaos_result["error_rate_during_outage"] = (
+                outage_errors / outage_requests if outage_requests else None
+            )
     # Workers run concurrently for the same window, so the aggregate
     # rate is the sum of per-worker rates (not total / parent wall,
     # which would charge process-spawn overhead to the server).
@@ -308,6 +472,8 @@ def run_loadgen(
             "num_edges": graph.num_edges,
         },
         "totals": totals,
+        "availability": availability,
+        "chaos": chaos_result,
         "qps": qps,
         "latency_ms": latency_ms,
         "latency_ms_admitted": latency_ms_admitted,
@@ -318,7 +484,8 @@ def run_loadgen(
             {
                 k: v
                 for k, v in r.items()
-                if k not in ("latencies", "shed_latencies", "fatal")
+                if k not in ("latencies", "shed_latencies", "buckets",
+                             "fatal")
             }
             for r in reports
         ],
@@ -401,9 +568,12 @@ def spawned_server(
                         "during startup"
                     )
                 if port_file.exists():
+                    # Two-line format since the failover rework: port
+                    # then owner pid (see repro.net.portfile).
                     text = port_file.read_text().strip()
                     if text:
-                        handle = SpawnedServer(proc, "127.0.0.1", int(text))
+                        port = int(text.split()[0])
+                        handle = SpawnedServer(proc, "127.0.0.1", port)
                         break
                 time.sleep(0.05)
             else:

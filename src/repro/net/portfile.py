@@ -1,0 +1,99 @@
+"""Atomic ``--port-file`` handling with stale-instance detection.
+
+The port file is the readiness signal for everything that drives a
+spawned server (tests, loadgen, CI): its *appearance* means "connect
+now".  Three failure modes the naive ``open().write()`` had:
+
+* a reader could see an empty or half-written file (no atomicity);
+* a crashed run left the file behind, so the next reader connected to a
+  port nobody listens on (or worse, somebody else's);
+* two servers pointed at the same path silently clobbered each other.
+
+Format: two lines, ``port`` then ``pid``.  The first line is the
+contract consumers already parse (``int(text.split()[0])``); the pid
+line lets the next ``repro serve`` distinguish a *stale* file (owner
+dead — overwrite it) from a *live* one (owner alive — refuse, the
+operator pointed two servers at one path).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..errors import NetworkError
+from ..shm.control import pid_alive
+
+__all__ = ["PortFileBusyError", "read_port_file", "write_port_file",
+           "remove_port_file"]
+
+
+class PortFileBusyError(NetworkError):
+    """The port file belongs to a server that is still running."""
+
+    def __init__(self, path, port: int, pid: int) -> None:
+        super().__init__(
+            f"port file {path} is owned by live pid {pid} (port {port}); "
+            f"refusing to clobber a running server"
+        )
+        self.path = str(path)
+        self.port = port
+        self.pid = pid
+
+
+def read_port_file(path) -> tuple[Optional[int], Optional[int]]:
+    """Parse ``(port, pid)`` from *path*; ``(None, None)`` if unusable.
+
+    Tolerates the one-line legacy format (pid ``None``) and garbage
+    content (a crashed writer from before atomic writes existed).
+    """
+    try:
+        lines = Path(path).read_text(encoding="utf-8").split()
+    except (OSError, UnicodeDecodeError):
+        return None, None
+    try:
+        port = int(lines[0])
+    except (IndexError, ValueError):
+        return None, None
+    try:
+        pid = int(lines[1])
+    except (IndexError, ValueError):
+        pid = None
+    return port, pid
+
+
+def write_port_file(path, port: int, *, pid: Optional[int] = None) -> None:
+    """Atomically publish ``port`` (+ owning ``pid``) at *path*.
+
+    Temp-file-plus-rename in the destination directory, so a concurrent
+    reader sees either nothing or the complete file — never a torn one.
+    Raises :class:`PortFileBusyError` when the path already names a
+    server whose pid is still alive.
+    """
+    path = Path(path)
+    old_port, old_pid = read_port_file(path)
+    if old_pid is not None and old_pid != os.getpid() and pid_alive(old_pid):
+        raise PortFileBusyError(path, old_port or 0, old_pid)
+    pid = os.getpid() if pid is None else pid
+    tmp = path.with_name(f".{path.name}.{pid}.tmp")
+    tmp.write_text(f"{port}\n{pid}\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def remove_port_file(path, *, pid: Optional[int] = None) -> bool:
+    """Remove *path* iff this process (or *pid*) still owns it.
+
+    The ownership check keeps a slow shutdown from deleting a port file
+    a newer server instance has already republished.
+    """
+    path = Path(path)
+    pid = os.getpid() if pid is None else pid
+    _port, owner = read_port_file(path)
+    if owner is not None and owner != pid:
+        return False
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        return False
+    return True

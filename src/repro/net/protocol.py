@@ -74,6 +74,7 @@ from ..errors import (
     SerializationError,
     UnknownVertexError,
     VertexNotFoundError,
+    WriterUnavailableError,
 )
 
 __all__ = [
@@ -120,6 +121,8 @@ ERROR_CODES = {
     "unknown_vertex": "a queried or updated vertex is not indexed",
     "serialization": "a persisted artifact failed to decode server-side",
     "overloaded": "request shed by admission control; retry later",
+    "writer_unavailable": "the writer process is down/restarting; "
+                          "retry after the hinted backoff",
     "internal": "unexpected server-side failure",
 }
 
@@ -286,6 +289,12 @@ def error_fields_for(exc: BaseException) -> dict:
             "message": str(exc),
             "retry_after_ms": exc.retry_after_ms,
         }
+    if isinstance(exc, WriterUnavailableError):
+        return {
+            "code": "writer_unavailable",
+            "message": str(exc),
+            "retry_after_ms": exc.retry_after_ms,
+        }
     if isinstance(exc, ProtocolError):
         return {"code": "bad_request", "message": str(exc)}
     return {"code": "internal", "message": f"{type(exc).__name__}: {exc}"}
@@ -301,6 +310,10 @@ def raise_for_error(error: dict) -> None:
         raise SerializationError(message)
     if code == "overloaded":
         raise OverloadedError(message, error.get("retry_after_ms", 0.0))
+    if code == "writer_unavailable":
+        raise WriterUnavailableError(
+            message, error.get("retry_after_ms", 500.0)
+        )
     if code in ("bad_request", "unsupported_version", "unknown_op"):
         raise ProtocolError(f"{code}: {message}")
     raise ReproError(f"{code}: {message}")

@@ -354,7 +354,11 @@ class ReachabilityServer:
                 if publisher is not None:
                     # Multi-process serving: the per-worker breakdown
                     # lives in the shared control block's stats slots.
-                    fields["workers"] = publisher.health_section()["workers"]
+                    section = publisher.health_section()
+                    fields["workers"] = section["workers"]
+                    fields["writer_pid"] = section["writer_pid"]
+                    fields["worker_restarts"] = section["worker_restarts"]
+                    fields["writer_restarts"] = section["writer_restarts"]
                 if request.get("registry"):
                     # Full registry snapshot for remote scraping
                     # (`repro metrics --connect`); gauge callbacks may

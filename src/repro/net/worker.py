@@ -37,6 +37,18 @@ reply relayed unchanged (ids and trace ids survive the hop):
 A forward runs in the connection's own thread, so per-connection reply
 order is preserved by construction.
 
+Writer outage (docs/robustness.md): when the writer process is dead or
+restarting, snapshot-answerable queries keep flowing in
+**bounded-staleness mode** — replies carry a ``stale_ms`` stamp, and
+``--max-staleness`` (seconds; 0 = unbounded) turns answers older than
+the bound into ``writer_unavailable`` errors instead.  Forwarded ops
+fail fast with a structured ``writer_unavailable`` error carrying a
+``retry_after_ms`` hint — the connection survives; the supervisor is
+already respawning the writer.  Liveness comes from the writer pid the
+control block carries (cleared by the supervisor the moment it reaps a
+dead writer), probed at most every 50 ms so the hot path stays
+syscall-free.
+
 Replies are stamped with the snapshot's epoch.  Per-connection epoch
 monotonicity holds because the worker only ever moves to *newer*
 generations and the writer's epoch is ≥ any published one.
@@ -57,7 +69,7 @@ import struct
 import threading
 import time
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, SnapshotError, WriterUnavailableError
 from ..obs.registry import MetricRegistry
 from ..obs.trace import new_trace_id
 from ..service.metrics import ScopedMetrics
@@ -95,17 +107,27 @@ _HEADER = struct.Struct("!I")
 
 
 class _WriterLink:
-    """A lazy, lock-serialized frame pipe to the writer process."""
+    """A lazy, lock-serialized frame pipe to the writer process.
 
-    def __init__(self, host: str, port: int) -> None:
+    *timeout* bounds the connect and every send/recv: the supervisor
+    holds the writer's listening fd, so while the writer is dead a
+    connect *succeeds* and the request then sits in the backlog — only
+    a deadline gets the calling thread back.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 5.0) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._sock: socket.socket | None = None
         self._rfile = None
         self._lock = threading.Lock()
 
     def _connect(self) -> None:
-        sock = socket.create_connection((self.host, self.port), timeout=30.0)
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        sock.settimeout(self.timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._rfile = sock.makefile("rb")
@@ -152,11 +174,15 @@ class _ReaderWorker:
         writer_host: str,
         writer_port: int,
         worker_id: int,
+        max_staleness: float = 0.0,
+        forward_timeout: float = 5.0,
     ) -> None:
         self.worker_id = worker_id
+        self.max_staleness = max_staleness
         self.sock = socket.socket(fileno=listen_fd)
         self.reader = SnapshotReader(control_name)
-        self.link = _WriterLink(writer_host, writer_port)
+        self.link = _WriterLink(writer_host, writer_port,
+                                timeout=forward_timeout)
         self.registry = MetricRegistry()
         self.metrics = ScopedMetrics(self.registry, prefix="net.")
         self.slot = self.reader.control.worker_cells(worker_id)
@@ -167,6 +193,11 @@ class _ReaderWorker:
         self._requests = 0
         self._forwarded = 0
         self._stopping = threading.Event()
+        # Cached writer-liveness probe (a signal-0 syscall): refreshed
+        # at most every 50 ms so the per-request hot path stays free of
+        # it while outage detection stays prompt.
+        self._writer_alive_cached = True
+        self._writer_checked = 0.0
 
     # ------------------------------------------------------------------
     # Request handling
@@ -185,6 +216,13 @@ class _ReaderWorker:
                     self.slot[SLOT_EPOCH] = snap.epoch
                     self.slot[SLOT_ATTACH_TS] = snap.attached_at_ns
         return snap
+
+    def _writer_alive(self) -> bool:
+        now = time.monotonic()
+        if now - self._writer_checked >= 0.05:
+            self._writer_checked = now
+            self._writer_alive_cached = self.reader.control.writer_alive()
+        return self._writer_alive_cached
 
     def _dispatch(self, request: dict) -> dict:
         """Answer one request (inline or via the writer). Never raises."""
@@ -207,11 +245,15 @@ class _ReaderWorker:
                     response = self._forward(request)
                 return response
             if op == "ping":
-                snap = self._snapshot()
+                try:
+                    snap = self._snapshot()
+                    epoch = snap.epoch
+                except SnapshotError:
+                    epoch = 0
                 return ok_response(
                     request_id,
                     pong=True,
-                    epoch=snap.epoch,
+                    epoch=epoch,
                     degraded=self.reader.degraded,
                     worker=self.worker_id,
                 )
@@ -220,6 +262,9 @@ class _ReaderWorker:
             return error_response(
                 request_id, "unknown_op", f"unknown op {op!r}"
             )
+        except WriterUnavailableError as exc:
+            self.metrics.incr("writer_unavailable")
+            return error_response(request_id, **error_fields_for(exc))
         except ProtocolError as exc:
             self.metrics.incr("errors")
             return error_response(request_id, "bad_request", str(exc))
@@ -235,7 +280,13 @@ class _ReaderWorker:
             return None
         start = time.perf_counter() if request.get("timings") else 0.0
         pairs = wire_pairs(request.get("pairs"))
-        snap = self._snapshot()
+        try:
+            snap = self._snapshot()
+        except SnapshotError:
+            # No attachable snapshot (corrupt segment, stalled seqlock,
+            # nothing published) and nothing held to stale-serve: the
+            # writer's live index is the fallback plane.
+            return None
         trace = request.get("trace")
         if not isinstance(trace, str) or not trace:
             trace = new_trace_id()
@@ -264,6 +315,24 @@ class _ReaderWorker:
             request_id, results=results, epoch=snap.epoch, degraded=False,
             trace=trace,
         )
+        if not self._writer_alive():
+            # Bounded-staleness mode: the snapshot cannot advance while
+            # the writer is down, so stamp how old the answers are, and
+            # refuse them entirely past the operator's bound.
+            stale_ms = snap.age_ms()
+            if (
+                self.max_staleness > 0
+                and stale_ms > self.max_staleness * 1000.0
+            ):
+                self.metrics.incr("staleness_refused")
+                return error_response(
+                    request_id,
+                    "writer_unavailable",
+                    f"snapshot is {stale_ms:.0f}ms stale, past the "
+                    f"{self.max_staleness}s bound, and the writer is down",
+                    retry_after_ms=500.0,
+                )
+            response["stale_ms"] = round(stale_ms, 1)
         if start:
             elapsed_ms = round((time.perf_counter() - start) * 1e3, 4)
             response["timings"] = {
@@ -275,10 +344,25 @@ class _ReaderWorker:
         return response
 
     def _forward(self, request: dict) -> dict:
+        if not self.reader.control.writer_alive():
+            # Uncached probe: forwards are rare and the fast-fail must
+            # not lag recovery.  The supervisor zeroes the pid the
+            # moment it reaps a dead writer; the respawned writer
+            # re-registers before it starts accepting.
+            raise WriterUnavailableError(
+                "writer process is down; the supervisor is respawning it"
+            )
         self._forwarded += 1
         self.slot[SLOT_FORWARDED] = self._forwarded
         self.metrics.incr("forwarded")
-        return self.link.forward(request)
+        try:
+            return self.link.forward(request)
+        except (OSError, ProtocolError) as exc:
+            # Both attempts (including one reconnect) failed: the writer
+            # died mid-conversation or is wedged past the timeout.
+            raise WriterUnavailableError(
+                f"writer connection failed ({type(exc).__name__}: {exc})"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Serving loop (blocking sockets, one thread per connection)
@@ -340,12 +424,37 @@ class _ReaderWorker:
         except OSError:  # pragma: no cover
             pass
 
+    def _start_ppid_watchdog(self, interval: float = 1.0) -> None:
+        """Exit when the supervisor disappears (it cannot signal us then).
+
+        Without this, a SIGKILLed supervisor leaves workers holding the
+        public port forever — the next server cannot bind it and the
+        shm janitor cannot reap the family (worker pids are alive).
+        """
+        parent = os.getppid()
+
+        def watch() -> None:
+            while not self._stopping.is_set():
+                time.sleep(interval)
+                if os.getppid() != parent:
+                    self._stop()
+                    return
+
+        threading.Thread(target=watch, name="ppid-watchdog",
+                         daemon=True).start()
+
     def run(self) -> int:
         signal.signal(signal.SIGTERM, self._stop)
         signal.signal(signal.SIGINT, self._stop)
+        self._start_ppid_watchdog()
         # Attach eagerly so the first request doesn't pay the attach and
-        # the parent's health report shows the worker immediately.
-        self._snapshot()
+        # the parent's health report shows the worker immediately.  A
+        # worker respawned mid-outage may find nothing attachable yet;
+        # it still serves (forwarding, attach-on-demand).
+        try:
+            self._snapshot()
+        except SnapshotError:
+            pass
         # The worker's long-lived heap is immutable (code, the attached
         # snapshot, the memo's tuples/bools); per-request garbage is
         # acyclic and dies by refcount.  Freeze the baseline out of the
@@ -354,10 +463,18 @@ class _ReaderWorker:
         gc.collect()
         gc.freeze()
         gc.set_threshold(100_000, 50, 50)
+        # Accept with a timeout: a close() from the ppid watchdog's
+        # thread does not wake a thread already blocked in accept() (a
+        # signal would, but a dead supervisor cannot send one), so the
+        # loop must come up for air to notice _stopping.  Accepted
+        # connections are switched back to blocking by socket.accept().
+        self.sock.settimeout(0.5)
         try:
             while not self._stopping.is_set():
                 try:
                     conn, _addr = self.sock.accept()
+                except TimeoutError:
+                    continue  # re-check _stopping
                 except OSError:
                     break  # listening socket closed by _stop
                 thread = threading.Thread(
@@ -386,6 +503,8 @@ def run_reader_worker(
     writer_host: str,
     writer_port: int,
     worker_id: int,
+    max_staleness: float = 0.0,
+    forward_timeout: float = 5.0,
 ) -> int:
     """Entry point for the hidden ``repro serve-worker`` subcommand."""
     worker = _ReaderWorker(
@@ -394,5 +513,7 @@ def run_reader_worker(
         writer_host=writer_host,
         writer_port=writer_port,
         worker_id=worker_id,
+        max_staleness=max_staleness,
+        forward_timeout=forward_timeout,
     )
     return worker.run()

@@ -188,11 +188,11 @@ def collect_health(service) -> dict:
     if publisher is None:
         out["snapshot"] = None
     else:
-        section = publisher.health_section()
-        section["worker_restarts"] = service.registry.counter(
-            "net.worker_restarts"
-        ).value
-        out["snapshot"] = section
+        # Respawn counters live in the control block (the supervisor
+        # increments them; the writer — a different process since the
+        # failover rework — merely reads), so health_section() already
+        # carries worker_restarts / writer_restarts.
+        out["snapshot"] = publisher.health_section()
     return out
 
 

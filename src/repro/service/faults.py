@@ -34,6 +34,7 @@ from typing import Optional
 
 __all__ = [
     "CRASH_POINTS",
+    "SHM_CRASH_POINTS",
     "InjectedCrash",
     "FaultInjector",
     "NULL_INJECTOR",
@@ -55,7 +56,16 @@ CRASH_POINTS = (
     "checkpoint.after",     # checkpoint live, before the WAL is trimmed
 )
 
-_ACTIONS = ("crash", "ioerror", "torn")
+#: Crash points in the shared-memory snapshot plane.  Kept separate
+#: from :data:`CRASH_POINTS` because the single-process crash-matrix
+#: test parametrizes over that tuple and these sites are unreachable
+#: without a running publisher; the process-level chaos harness
+#: (:mod:`repro.net.chaos`) exercises them instead.
+SHM_CRASH_POINTS = (
+    "shm.publish.flip",     # seqlock sequence odd, snapshot triple torn
+)
+
+_ACTIONS = ("crash", "ioerror", "torn", "kill")
 
 
 class InjectedCrash(BaseException):
@@ -113,13 +123,16 @@ class FaultInjector:
 
         ``action`` is ``"crash"`` (raise :class:`InjectedCrash`),
         ``"ioerror"`` (raise :class:`OSError`, exercising I/O-failure
-        handling), or ``"torn"`` (WAL-append only: write half the record,
-        then crash).  ``times`` bounds how many consecutive hits fire
+        handling), ``"torn"`` (WAL-append only: write half the record,
+        then crash), or ``"kill"`` (``SIGKILL`` the calling process —
+        the process-level chaos harness; nothing survives, exactly like
+        ``kill -9``).  ``times`` bounds how many consecutive hits fire
         after the trigger point (``times=0`` means every later hit).
         """
-        if point not in CRASH_POINTS:
+        if point not in CRASH_POINTS and point not in SHM_CRASH_POINTS:
             raise ValueError(
-                f"unknown crash point {point!r}; see CRASH_POINTS"
+                f"unknown crash point {point!r}; see CRASH_POINTS / "
+                f"SHM_CRASH_POINTS"
             )
         if action not in _ACTIONS:
             raise ValueError(f"unknown fault action {action!r}")
@@ -166,6 +179,12 @@ class FaultInjector:
             return
         if action == "ioerror":
             raise OSError(f"injected I/O error at {point!r}")
+        if action == "kill":
+            import os
+            import signal as _signal
+
+            # A real, uncatchable death: no finally blocks, no flushes.
+            os.kill(os.getpid(), _signal.SIGKILL)
         # "torn" outside the WAL append site degrades to a plain crash.
         raise InjectedCrash(point)
 

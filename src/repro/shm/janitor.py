@@ -1,0 +1,143 @@
+"""Boot-time janitor for orphaned shared-memory segments.
+
+A SIGKILLed server (or a supervisor that died before its ``finally``
+blocks ran) leaks every ``repro-*`` name it had linked: control blocks
+and data segments live in ``/dev/shm`` until *someone* unlinks them, and
+nothing in the kernel ties their lifetime to the creating process.  The
+janitor closes that loop: every server boot (and ``repro shm-janitor``)
+scans for segment families whose **owner pid is dead** and unlinks them.
+
+Ownership is read from the family's control block — cell 8 records the
+pid of the creating supervisor (see :mod:`repro.shm.control`).  A family
+is reaped only when that pid is gone; a family whose control block is
+itself missing (the owner unlinked it but crashed mid-sweep of the data
+segments) is aged out: orphan data segments older than *min_age* seconds
+with no control block are fair game, the age gate protecting a sibling
+server that is mid-publish between creating a segment and bumping the
+control block.
+
+Everything here is best-effort by design: two janitors racing, or a
+janitor racing a live unlink, must never raise — ``FileNotFoundError``
+just means someone else got there first.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from typing import Optional
+
+from .control import ControlBlock, control_name, pid_alive, unlink_segment
+
+__all__ = ["scan_orphans", "reap_orphans", "sweep_family", "list_families"]
+
+SHM_DIR = "/dev/shm"
+
+# Families created by new_base_name(): repro-<8 hex chars>.  Data
+# segments append -g<generation>; the control block appends -ctl.
+_FAMILY_RE = re.compile(r"^(repro-[0-9a-f]{8})(?:-ctl|-g\d+)$")
+
+
+def _shm_entries(shm_dir: str) -> list[str]:
+    try:
+        return os.listdir(shm_dir)
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return []
+
+
+def list_families(*, shm_dir: str = SHM_DIR) -> dict[str, list[str]]:
+    """Map each ``repro-*`` family base to its linked segment names."""
+    families: dict[str, list[str]] = {}
+    for entry in _shm_entries(shm_dir):
+        match = _FAMILY_RE.match(entry)
+        if match:
+            families.setdefault(match.group(1), []).append(entry)
+    return families
+
+
+def _family_owner(base: str) -> Optional[int]:
+    """Owner pid from the family's control block, or None if unreadable."""
+    try:
+        block = ControlBlock.attach(control_name(base))
+    except FileNotFoundError:
+        return None
+    except Exception:  # pragma: no cover - torn/foreign segment
+        return None
+    try:
+        return block.owner_pid
+    finally:
+        block.close()
+
+
+def _entry_age(path: str) -> float:
+    try:
+        return time.time() - os.stat(path).st_mtime
+    except OSError:  # pragma: no cover - raced an unlink
+        return 0.0
+
+
+def scan_orphans(
+    *, shm_dir: str = SHM_DIR, min_age: float = 30.0
+) -> dict[str, list[str]]:
+    """Families eligible for reaping, without touching anything.
+
+    Returns ``{base: [segment names]}`` for every family whose owner
+    pid is dead, plus control-block-less families older than *min_age*.
+    """
+    orphans: dict[str, list[str]] = {}
+    for base, entries in list_families(shm_dir=shm_dir).items():
+        owner = _family_owner(base)
+        if owner is not None:
+            if not pid_alive(owner):
+                orphans[base] = sorted(entries)
+            continue
+        # No control block: either a foreign family or a half-swept
+        # crash.  Only claim it once every entry has sat past the age
+        # gate — a live writer creates its data segment briefly before
+        # the control block names it.
+        if entries and all(
+            _entry_age(os.path.join(shm_dir, e)) >= min_age for e in entries
+        ):
+            orphans[base] = sorted(entries)
+    return orphans
+
+
+def _unlink_name(name: str) -> bool:
+    # Tracker-bypassing unlink: these names belong to a *dead*
+    # process's resource tracker (or to none at all), so the normal
+    # SharedMemory.unlink() would emit a bogus UNREGISTER.
+    try:
+        return unlink_segment(name)
+    except OSError:  # pragma: no cover - foreign/corrupt segment
+        return False
+
+
+def reap_orphans(
+    *, shm_dir: str = SHM_DIR, min_age: float = 30.0, registry=None
+) -> dict[str, list[str]]:
+    """Unlink every orphaned family; returns what was actually removed."""
+    reaped: dict[str, list[str]] = {}
+    for base, entries in scan_orphans(shm_dir=shm_dir, min_age=min_age).items():
+        removed = [name for name in entries if _unlink_name(name)]
+        if removed:
+            reaped[base] = removed
+            if registry is not None:
+                registry.incr("shm.janitor_reaped", len(removed))
+    return reaped
+
+
+def sweep_family(base: str, *, shm_dir: str = SHM_DIR) -> list[str]:
+    """Unlink every remaining segment of *base* (supervisor shutdown).
+
+    The supervisor calls this after the writer and workers are gone:
+    whatever the publisher's own close left behind (the current
+    generation in attach mode, segments stranded by a SIGKILL) is
+    removed so a kill-loop leaks nothing.
+    """
+    removed = []
+    for entry in _shm_entries(shm_dir):
+        match = _FAMILY_RE.match(entry)
+        if match and match.group(1) == base and _unlink_name(entry):
+            removed.append(entry)
+    return sorted(removed)

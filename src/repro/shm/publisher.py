@@ -1,7 +1,10 @@
 """Writer-side snapshot publication into shared memory.
 
-The publisher owns the control segment and every data segment it ever
-created.  A publish is:
+The publisher either **owns** the control segment (fresh boot: it
+creates the block and every data segment, and unlinks them all on
+close) or **attaches** to one a predecessor left behind (writer
+failover: the supervisor keeps the control block alive across writer
+respawns so readers never lose their map).  A publish is:
 
 1. freeze the live index under the service read lock (a consistent
    ``(frozen, component_of, epoch)`` triple);
@@ -16,8 +19,23 @@ created.  A publish is:
    unlink only removes the name).
 
 A background thread polls the service epoch and republishes on change,
-and mirrors the degraded flag into the control block so readers route
-queries to the writer while the index is rebuilding.
+mirrors the degraded flag into the control block so readers route
+queries to the writer while the index is rebuilding, and keeps the
+``shm.snapshot_age_ms`` gauge current.
+
+Failover attach details:
+
+* the seqlock is **repaired** first — a writer SIGKILLed mid-flip
+  leaves the sequence odd forever, and only a new writer may fix it;
+* generation numbering **continues** from the inherited value, so
+  readers' single-cell staleness check stays monotonic;
+* published epochs are **floored** at the inherited epoch: recovery
+  replays the WAL, but if the recovered service restarts its epoch
+  counter below what readers already saw, per-connection epoch pinning
+  must not observe time going backwards;
+* the inherited data segment is retired (and eventually unlinked by
+  name — this process holds no handle to it) after the first fresh
+  publish, exactly like a segment the publisher created itself.
 """
 
 from __future__ import annotations
@@ -29,7 +47,14 @@ from typing import Optional
 from multiprocessing import shared_memory
 
 from ..core.serialize import pack_frozen
-from .control import ControlBlock, new_base_name, segment_name
+from .control import (
+    ControlBlock,
+    create_segment,
+    new_base_name,
+    pid_alive,
+    segment_name,
+    unlink_segment,
+)
 
 __all__ = ["SnapshotPublisher"]
 
@@ -43,13 +68,24 @@ class SnapshotPublisher:
         A :class:`~repro.service.server.ReachabilityService`; must expose
         ``freeze_snapshot()`` and ``epoch``.
     num_workers:
-        Sizes the control block's worker-slot table.
+        Sizes the control block's worker-slot table (ignored in attach
+        mode — the existing block already carries it).
     grace_period:
         Seconds a retired data segment stays linked after being
         superseded.
     registry:
-        Optional metric registry; counts ``shm.publishes`` and
-        ``shm.segments_unlinked``.
+        Optional metric registry; counts ``shm.publishes`` /
+        ``shm.segments_unlinked`` and maintains the
+        ``shm.snapshot_age_ms`` gauge.
+    control:
+        Name of an existing control segment to attach to instead of
+        creating one (writer failover).  The attaching publisher never
+        unlinks the control block or sets its shutdown flag — the
+        supervisor owns both.
+    injector:
+        Optional :class:`~repro.service.faults.FaultInjector`; fires the
+        ``shm.publish.flip`` crash point while the seqlock is odd, the
+        narrowest window a writer death can leave readers stalled in.
     """
 
     def __init__(
@@ -60,13 +96,31 @@ class SnapshotPublisher:
         num_workers: int = 0,
         grace_period: float = 5.0,
         registry=None,
+        control: Optional[str] = None,
+        injector=None,
     ) -> None:
         self.service = service
-        self.base = base or new_base_name()
         self.grace_period = grace_period
         self.registry = registry
-        self.control = ControlBlock.create(self.base, num_workers=num_workers)
-        self._generation = 0
+        self.injector = injector
+        self._inherited: set[int] = set()
+        self.seqlock_repaired = False
+        if control is not None:
+            self.control = ControlBlock.attach(control)
+            self.base = control.removesuffix("-ctl")
+            self._owns_control = False
+            self.seqlock_repaired = self.control.repair_seqlock()
+            generation, epoch, _len, _ts = self.control.read_snapshot()
+            self._generation = generation
+            self._epoch_floor = epoch
+            if generation:
+                self._inherited.add(generation)
+        else:
+            self.base = base or new_base_name()
+            self.control = ControlBlock.create(self.base, num_workers=num_workers)
+            self._owns_control = True
+            self._generation = 0
+            self._epoch_floor = 0
         self._published_epoch: Optional[int] = None
         self._published_degraded = False
         self._segments: dict[int, shared_memory.SharedMemory] = {}
@@ -86,6 +140,10 @@ class SnapshotPublisher:
     def generation(self) -> int:
         return self._generation
 
+    @property
+    def owns_control(self) -> bool:
+        return self._owns_control
+
     # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
@@ -93,23 +151,31 @@ class SnapshotPublisher:
     def publish(self) -> int:
         """Freeze + pack + publish one snapshot; returns its generation."""
         frozen, component_of, epoch = self.service.freeze_snapshot()
+        publish_epoch = max(epoch, self._epoch_floor)
         # JSON writes tuples as arrays; readers re-tuple via
         # hashable_vertex, matching the wire protocol's convention.
         vertices = list(component_of)
         meta = {
             "vertices": vertices,
             "component_of": [component_of[v] for v in vertices],
-            "epoch": epoch,
+            "epoch": publish_epoch,
         }
         blob = pack_frozen(frozen, meta, include_edges=False)
         with self._lock:
             generation = self._generation + 1
-            shm = shared_memory.SharedMemory(
-                name=segment_name(self.base, generation),
-                create=True, size=len(blob),
-            )
+            name = segment_name(self.base, generation)
+            try:
+                shm = create_segment(name, len(blob))
+            except FileExistsError:
+                # A predecessor died between creating this generation's
+                # segment and flipping the control block to name it; the
+                # name is linked but unreferenced, so reclaim it.
+                unlink_segment(name)
+                shm = create_segment(name, len(blob))
             shm.buf[:len(blob)] = blob
-            self.control.write_snapshot(generation, epoch, len(blob))
+            self.control.write_snapshot(
+                generation, publish_epoch, len(blob), on_flip=self._on_flip
+            )
             previous = self._generation
             self._generation = generation
             self._segments[generation] = shm
@@ -119,8 +185,14 @@ class SnapshotPublisher:
             self._publishes += 1
         if self.registry is not None:
             self.registry.incr("shm.publishes")
+            self.registry.gauge("shm.snapshot_age_ms").set(0.0)
         self._reap_retired()
         return generation
+
+    def _on_flip(self) -> None:
+        """Crash-point hook invoked while the seqlock sequence is odd."""
+        if self.injector is not None:
+            self.injector.fire("shm.publish.flip")
 
     def poll_once(self) -> bool:
         """Publish iff the service moved on; mirror the degraded flag.
@@ -133,9 +205,18 @@ class SnapshotPublisher:
             self._published_degraded = degraded
         if self.service.epoch == self._published_epoch:
             self._reap_retired()
+            self._update_age_gauge()
             return False
         self.publish()
         return True
+
+    def _update_age_gauge(self) -> None:
+        if self.registry is None:
+            return
+        _gen, _epoch, _len, ts_ns = self.control.read_snapshot()
+        if ts_ns:
+            age_ms = max(0.0, (time.time_ns() - ts_ns) / 1e6)
+            self.registry.gauge("shm.snapshot_age_ms").set(round(age_ms, 3))
 
     def _reap_retired(self) -> None:
         """Unlink retired segments past their grace period."""
@@ -151,13 +232,20 @@ class SnapshotPublisher:
 
     def _unlink_generation(self, generation: int) -> None:
         shm = self._segments.pop(generation, None)
-        if shm is None:
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+            unlink_segment(segment_name(self.base, generation))
+        elif generation in self._inherited:
+            # A predecessor writer created this segment; this process
+            # holds no handle, so unlink it by name.
+            self._inherited.discard(generation)
+            if not unlink_segment(segment_name(self.base, generation)):
+                return  # janitor or sweep beat us
+        else:
             return
-        try:
-            shm.close()
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - external cleanup
-            pass
         self._unlinked += 1
         if self.registry is not None:
             self.registry.incr("shm.segments_unlinked")
@@ -185,20 +273,39 @@ class SnapshotPublisher:
         self._thread.start()
 
     def close(self) -> None:
-        """Stop polling, signal shutdown, unlink every segment."""
+        """Stop polling; unlink what this process owns.
+
+        Owner mode (fresh boot, single assembly teardown): signal
+        shutdown to readers, unlink every data segment and the control
+        block.  Attach mode (a failover writer exiting): leave the
+        control block and the *current* generation linked — readers are
+        still serving from it and the successor writer (or the
+        supervisor's final sweep) retires it; unlink only superseded
+        segments this writer created.
+        """
         if self._closed:
             return
         self._closed = True
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
-        self.control.set_shutdown()
+        if self._owns_control:
+            self.control.set_shutdown()
         with self._lock:
+            keep_current = None if self._owns_control else self._generation
             for generation in list(self._segments):
+                if generation == keep_current:
+                    seg = self._segments.pop(generation)
+                    try:
+                        seg.close()
+                    except BufferError:  # pragma: no cover
+                        pass
+                    continue
                 self._unlink_generation(generation)
             self._retired.clear()
         self.control.close()
-        self.control.unlink()
+        if self._owns_control:
+            self.control.unlink()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -214,7 +321,7 @@ class SnapshotPublisher:
             stats["snapshot_age_s"] = round(
                 max(0.0, (now_ns - attach_ns) / 1e9), 3
             ) if attach_ns else None
-            stats["alive"] = bool(stats["pid"]) and _pid_alive(stats["pid"])
+            stats["alive"] = pid_alive(stats["pid"])
             workers.append(stats)
         return {
             "base": self.base,
@@ -227,15 +334,9 @@ class SnapshotPublisher:
             "segments_live": len(self._segments),
             "grace_period_s": self.grace_period,
             "degraded": self.control.degraded,
+            "writer_pid": self.control.writer_pid,
+            "worker_restarts": self.control.worker_restarts,
+            "writer_restarts": self.control.writer_restarts,
+            "seqlock_repaired": self.seqlock_repaired,
             "workers": workers,
         }
-
-
-def _pid_alive(pid: int) -> bool:
-    import os
-
-    try:
-        os.kill(pid, 0)
-    except (OSError, ProcessLookupError):
-        return False
-    return True

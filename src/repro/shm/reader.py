@@ -15,6 +15,21 @@ publisher may have already unlinked the old *name*; the mapping itself
 stays valid until closed).  An attach can race the grace-period unlink
 (``FileNotFoundError``): the control block then already names a newer
 generation, so the reader simply retries.
+
+Hardening (the failure model in docs/robustness.md):
+
+* every slow-path loop is **bounded** — torn reads, CRC mismatches and
+  vanished segments are retried a fixed number of times, then surface
+  as :class:`~repro.errors.SnapshotUnavailableError` instead of
+  spinning;
+* a **stalled seqlock** (the writer died mid-flip, sequence stuck odd)
+  or an exhausted retry budget does not take down a reader that already
+  holds a snapshot: :meth:`current` falls back to the previously
+  attached generation (``stale_serves`` counts those) because a stale
+  correct answer beats no answer while the writer is respawned;
+* the pack CRC is re-verified on **every** attach (``unpack_frozen``
+  checksums the whole body), so a segment corrupted in place is caught
+  at the next re-attach, never silently served.
 """
 
 from __future__ import annotations
@@ -24,7 +39,7 @@ from typing import Optional
 
 from ..core.frozen import FrozenTOLIndex
 from ..core.serialize import hashable_vertex, unpack_frozen
-from ..errors import SerializationError
+from ..errors import SerializationError, SnapshotUnavailableError
 from .control import ControlBlock, attach_segment, segment_name
 
 __all__ = ["AttachedSnapshot", "SnapshotReader"]
@@ -35,7 +50,7 @@ class AttachedSnapshot:
 
     __slots__ = (
         "frozen", "component_of", "epoch", "generation", "data_len",
-        "attached_at_ns", "_shm",
+        "published_at_ns", "attached_at_ns", "_shm",
     )
 
     def __init__(
@@ -45,6 +60,7 @@ class AttachedSnapshot:
         epoch: int,
         generation: int,
         data_len: int,
+        published_at_ns: int,
         shm,
     ) -> None:
         self.frozen = frozen
@@ -52,6 +68,7 @@ class AttachedSnapshot:
         self.epoch = epoch
         self.generation = generation
         self.data_len = data_len
+        self.published_at_ns = published_at_ns
         self.attached_at_ns = time.time_ns()
         self._shm = shm
 
@@ -60,6 +77,12 @@ class AttachedSnapshot:
         cs = self.component_of[s]
         ct = self.component_of[t]
         return cs == ct or self.frozen.query(cs, ct)
+
+    def age_ms(self) -> float:
+        """Milliseconds since this snapshot was published."""
+        if not self.published_at_ns:
+            return 0.0
+        return max(0.0, (time.time_ns() - self.published_at_ns) / 1e6)
 
     def close(self) -> None:
         """Drop the frozen views, then the mapping they pointed into."""
@@ -79,6 +102,8 @@ class SnapshotReader:
         self._base = control_name.removesuffix("-ctl")
         self._current: Optional[AttachedSnapshot] = None
         self.reattaches = 0
+        self.stale_serves = 0
+        self.attach_failures = 0
 
     @property
     def degraded(self) -> bool:
@@ -89,35 +114,55 @@ class SnapshotReader:
         return self.control.shutdown
 
     def current(self) -> AttachedSnapshot:
-        """The snapshot to serve this request from (re-attaching if stale)."""
+        """The snapshot to serve this request from (re-attaching if stale).
+
+        When the control block names a newer generation that cannot be
+        attached (stalled seqlock, CRC-corrupt segment, raced unlinks
+        through the whole retry budget), the previously attached
+        snapshot is served instead — it is immutable, CRC-verified at
+        attach time, and merely stale.  Only a reader with *no* prior
+        snapshot propagates :class:`SnapshotUnavailableError`.
+        """
         snap = self._current
         if snap is not None and snap.generation == self.control.generation:
             return snap
-        return self._attach_latest()
+        try:
+            return self._attach_latest()
+        except SnapshotUnavailableError:
+            if snap is not None:
+                self.stale_serves += 1
+                return snap
+            raise
 
-    def _attach_latest(self, *, attempts: int = 100) -> AttachedSnapshot:
+    def _attach_latest(self, *, attempts: int = 50) -> AttachedSnapshot:
         last_error: Optional[Exception] = None
         for _ in range(attempts):
-            generation, epoch, data_len, _ts = self.control.read_snapshot()
+            generation, epoch, data_len, ts = self.control.read_snapshot()
             if generation == 0:
-                raise RuntimeError("no snapshot published yet")
+                raise SnapshotUnavailableError("no snapshot published yet")
             try:
                 shm = attach_segment(segment_name(self._base, generation))
             except FileNotFoundError as exc:
                 # Raced the grace-period unlink; the control block now
                 # names a newer generation — retry reads it.
                 last_error = exc
+                self.attach_failures += 1
                 time.sleep(0.01)
                 continue
             try:
                 # Attached segments are page-rounded; the control block
-                # carries the exact pack length.
+                # carries the exact pack length.  unpack_frozen verifies
+                # the pack CRC over the whole body on every attach.
                 frozen, meta = unpack_frozen(shm.buf[:data_len])
-            except SerializationError:
-                # Torn read: generation cell advanced before our attach
-                # but the name now holds newer bytes than the triple we
-                # read. Retry re-reads a consistent triple.
+            except (SerializationError, ValueError) as exc:
+                # Torn read (the generation cell advanced before our
+                # attach but the name holds newer bytes than the triple
+                # we read) or an in-place corrupted segment.  Retry
+                # re-reads a consistent triple; persistent corruption
+                # exhausts the budget and surfaces below.
                 shm.close()
+                last_error = exc
+                self.attach_failures += 1
                 time.sleep(0.01)
                 continue
             component_of = dict(zip(
@@ -126,15 +171,16 @@ class SnapshotReader:
             ))
             snap = AttachedSnapshot(
                 frozen, component_of, meta.get("epoch", epoch),
-                generation, data_len, shm,
+                generation, data_len, ts, shm,
             )
             previous, self._current = self._current, snap
             if previous is not None:
                 previous.close()
                 self.reattaches += 1
             return snap
-        raise RuntimeError(
-            f"could not attach a snapshot after {attempts} attempts"
+        raise SnapshotUnavailableError(
+            f"could not attach a snapshot after {attempts} attempts: "
+            f"{last_error}"
         ) from last_error
 
     def close(self) -> None:

@@ -85,9 +85,11 @@ class TestLoadgenEndToEnd:
         assert loaded["benchmark"] == "serve"
         assert loaded["protocol_version"] == PROTOCOL_VERSION
         assert set(loaded["totals"]) == {
-            "queries", "requests", "shed", "errors",
-            "degraded_replies", "verify_failures",
+            "queries", "requests", "shed", "errors", "unavailable",
+            "stale_replies", "degraded_replies", "verify_failures",
         }
+        assert loaded["availability"] == 1.0
+        assert loaded["chaos"] is None
         assert {"p50", "p99", "mean", "max"} <= set(loaded["latency_ms"])
 
     def test_overload_sheds_but_admitted_answers_stay_correct(

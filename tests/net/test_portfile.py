@@ -1,0 +1,96 @@
+"""Atomic port-file handling: write/read/remove, stale vs live owners."""
+
+import os
+import subprocess
+
+import pytest
+
+from repro.net.portfile import (
+    PortFileBusyError,
+    read_port_file,
+    remove_port_file,
+    write_port_file,
+)
+
+
+def _dead_pid() -> int:
+    proc = subprocess.Popen(["/bin/true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "port"
+        write_port_file(path, 7421)
+        assert read_port_file(path) == (7421, os.getpid())
+        # The first line alone is the legacy consumer contract.
+        assert int(path.read_text().split()[0]) == 7421
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "port"
+        write_port_file(path, 1234)
+        assert [p.name for p in tmp_path.iterdir()] == ["port"]
+
+    def test_read_missing_file(self, tmp_path):
+        assert read_port_file(tmp_path / "nope") == (None, None)
+
+    def test_read_legacy_one_line_format(self, tmp_path):
+        path = tmp_path / "port"
+        path.write_text("9000\n")
+        assert read_port_file(path) == (9000, None)
+
+    def test_read_garbage(self, tmp_path):
+        path = tmp_path / "port"
+        path.write_text("not a port\n")
+        assert read_port_file(path) == (None, None)
+
+
+class TestOwnership:
+    def test_refuses_to_clobber_a_live_owner(self, tmp_path):
+        path = tmp_path / "port"
+        path.write_text(f"7000\n{os.getpid()}\n")
+        # Simulate a *different* live process owning the file: any live
+        # pid that is not the writer triggers the refusal, and pid 1 is
+        # always alive.
+        path.write_text("7000\n1\n")
+        with pytest.raises(PortFileBusyError) as excinfo:
+            write_port_file(path, 7001)
+        assert excinfo.value.port == 7000
+        assert excinfo.value.pid == 1
+        # The original content is untouched.
+        assert read_port_file(path) == (7000, 1)
+
+    def test_overwrites_a_dead_owner(self, tmp_path):
+        path = tmp_path / "port"
+        path.write_text(f"7000\n{_dead_pid()}\n")
+        write_port_file(path, 7001)
+        assert read_port_file(path) == (7001, os.getpid())
+
+    def test_rewrite_by_the_same_process_is_fine(self, tmp_path):
+        path = tmp_path / "port"
+        write_port_file(path, 7000)
+        write_port_file(path, 7001)
+        assert read_port_file(path) == (7001, os.getpid())
+
+
+class TestRemove:
+    def test_remove_own_file(self, tmp_path):
+        path = tmp_path / "port"
+        write_port_file(path, 7000)
+        assert remove_port_file(path) is True
+        assert not path.exists()
+
+    def test_remove_missing_file(self, tmp_path):
+        assert remove_port_file(tmp_path / "nope") is False
+
+    def test_remove_refuses_someone_elses_file(self, tmp_path):
+        path = tmp_path / "port"
+        path.write_text("7000\n1\n")
+        assert remove_port_file(path) is False
+        assert path.exists()
+
+    def test_remove_legacy_file_without_owner(self, tmp_path):
+        path = tmp_path / "port"
+        path.write_text("7000\n")
+        assert remove_port_file(path) is True

@@ -1,7 +1,12 @@
 """Tests for the shared-memory control block (seqlock + worker slots)."""
 
+import os
+import subprocess
+import threading
+
 import pytest
 
+from repro.errors import SnapshotUnavailableError
 from repro.shm.control import (
     MAX_WORKERS,
     SLOT_FORWARDED,
@@ -9,8 +14,12 @@ from repro.shm.control import (
     SLOT_PID,
     SLOT_REQUESTS,
     ControlBlock,
+    attach_segment,
+    create_segment,
     new_base_name,
+    pid_alive,
     segment_name,
+    unlink_segment,
 )
 
 
@@ -109,3 +118,144 @@ class TestWorkerSlots:
         block.close()
         slot.release()
         block.unlink()
+
+
+def _dead_pid() -> int:
+    """A pid that was just alive and is now certainly reaped."""
+    proc = subprocess.Popen(["/bin/true"])
+    proc.wait()
+    return proc.pid
+
+
+class TestSeqlock:
+    """The seqlock contract, driven against the control block directly."""
+
+    def test_concurrent_writes_never_yield_torn_reads(self, block):
+        """A reader racing a publishing writer must never observe a
+        mixed-generation triple: every write keeps ``epoch == 2*g`` and
+        ``data_len == 3*g``, so any cross-generation mix breaks the
+        correlation."""
+        peer = ControlBlock.attach(block.name)
+        stop = threading.Event()
+        torn: list[tuple] = []
+
+        def read_loop() -> None:
+            while not stop.is_set():
+                generation, epoch, data_len, _ = peer.read_snapshot()
+                if epoch != 2 * generation or data_len != 3 * generation:
+                    torn.append((generation, epoch, data_len))
+                    return
+
+        reader = threading.Thread(target=read_loop)
+        block.write_snapshot(1, 2, 3)
+        reader.start()
+        try:
+            for generation in range(2, 3000):
+                block.write_snapshot(
+                    generation, 2 * generation, 3 * generation
+                )
+        finally:
+            stop.set()
+            reader.join(timeout=10)
+            peer.close()
+        assert torn == []
+
+    def test_reader_spins_through_in_flight_publish(self, block):
+        """With the sequence odd, read_snapshot must not return the
+        half-written triple; it returns only once the writer lands."""
+        block.write_snapshot(1, 2, 3)
+
+        def finish_publish() -> None:
+            # Simulates the second half of a publish that was in flight
+            # when the reader arrived.
+            block._cells[1] = 2      # generation
+            block._cells[2] = 4      # epoch
+            block._cells[3] = 6      # data_len
+            block._cells[0] += 1     # seq back to even
+
+        block._cells[0] += 1  # seq odd: publish in flight
+        block._cells[1] = 99  # half-written garbage a torn read would see
+        finisher = threading.Timer(0.05, finish_publish)
+        finisher.start()
+        try:
+            generation, epoch, data_len, _ = block.read_snapshot(
+                stall_timeout=5.0
+            )
+        finally:
+            finisher.join()
+        assert (generation, epoch, data_len) == (2, 4, 6)
+
+    def test_stalled_seqlock_raises_then_repairs(self, block):
+        block.write_snapshot(1, 1, 10)
+
+        class Boom(RuntimeError):
+            pass
+
+        def die_mid_flip() -> None:
+            raise Boom
+
+        # The publisher "dies" between the odd bump and the field
+        # writes — exactly the SIGKILL-mid-publish window.
+        with pytest.raises(Boom):
+            block.write_snapshot(2, 2, 20, on_flip=die_mid_flip)
+        with pytest.raises(SnapshotUnavailableError):
+            block.read_snapshot(stall_timeout=0.05)
+
+        # The respawned writer repairs the sequence, then overwrites
+        # the whole record with its first publish.
+        assert block.repair_seqlock() is True
+        assert block.repair_seqlock() is False
+        block.read_snapshot(stall_timeout=0.05)  # consistent again
+        block.write_snapshot(3, 9, 30)
+        assert block.read_snapshot()[:3] == (3, 9, 30)
+
+
+class TestProcessRoster:
+    def test_owner_pid_stamped_on_create(self, block):
+        assert block.owner_pid == os.getpid()
+
+    def test_writer_pid_and_liveness(self, block):
+        assert block.writer_pid == 0
+        assert block.writer_alive() is False
+        block.set_writer_pid(os.getpid())
+        assert block.writer_alive() is True
+        block.set_writer_pid(_dead_pid())
+        assert block.writer_alive() is False
+        block.set_writer_pid(0)
+        assert block.writer_alive() is False
+
+    def test_restart_counters(self, block):
+        peer = ControlBlock.attach(block.name)
+        try:
+            assert block.incr_worker_restarts() == 1
+            assert block.incr_writer_restarts() == 1
+            assert block.incr_writer_restarts() == 2
+            assert (peer.worker_restarts, peer.writer_restarts) == (1, 2)
+        finally:
+            peer.close()
+
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid()) is True
+        assert pid_alive(0) is False
+        assert pid_alive(-1) is False
+        assert pid_alive(_dead_pid()) is False
+
+
+class TestSegmentHelpers:
+    def test_create_attach_unlink_roundtrip(self):
+        name = f"{new_base_name()}-g1"
+        seg = create_segment(name, 128)
+        try:
+            seg.buf[:3] = b"abc"
+            peer = attach_segment(name)
+            assert bytes(peer.buf[:3]) == b"abc"
+            peer.close()
+        finally:
+            seg.close()
+            assert unlink_segment(name) is True
+        # Second unlink: the name is already gone.
+        assert unlink_segment(name) is False
+
+    def test_attach_missing_raises(self):
+        with pytest.raises(FileNotFoundError):
+            attach_segment(f"{new_base_name()}-g1")

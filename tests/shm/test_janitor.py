@@ -1,0 +1,140 @@
+"""Boot-time janitor: orphan detection, reaping, shutdown sweeps.
+
+All against the real ``/dev/shm`` — the janitor's family regex scopes
+it to ``repro-*`` names, and each test creates (and cleans up) its own
+family, so live servers and sibling tests are never touched.
+"""
+
+import os
+import subprocess
+
+import pytest
+
+from repro.obs.registry import MetricRegistry
+from repro.shm.control import (
+    ControlBlock,
+    create_segment,
+    new_base_name,
+    segment_name,
+    unlink_segment,
+)
+from repro.shm.janitor import (
+    list_families,
+    reap_orphans,
+    scan_orphans,
+    sweep_family,
+)
+
+
+def _dead_pid() -> int:
+    proc = subprocess.Popen(["/bin/true"])
+    proc.wait()
+    return proc.pid
+
+
+def _make_family(*, owner_pid=None, generations=(1,)):
+    """A control block + data segments; returns (base, block)."""
+    base = new_base_name()
+    block = ControlBlock.create(base, num_workers=1)
+    if owner_pid is not None:
+        block._cells[8] = owner_pid  # _OWNER_PID
+    segments = []
+    for generation in generations:
+        seg = create_segment(segment_name(base, generation), 64)
+        seg.close()
+        segments.append(seg)
+    return base, block
+
+
+def _cleanup(base, block) -> None:
+    try:
+        block.close()
+    except Exception:
+        pass
+    sweep_family(base)
+
+
+class TestScan:
+    def test_live_owner_family_is_not_an_orphan(self):
+        base, block = _make_family(owner_pid=os.getpid())
+        try:
+            assert base in list_families()
+            assert base not in scan_orphans()
+        finally:
+            _cleanup(base, block)
+
+    def test_dead_owner_family_is_an_orphan(self):
+        base, block = _make_family(owner_pid=_dead_pid(), generations=(1, 2))
+        try:
+            orphans = scan_orphans()
+            assert orphans[base] == sorted(
+                [f"{base}-ctl", f"{base}-g1", f"{base}-g2"]
+            )
+        finally:
+            _cleanup(base, block)
+
+    def test_controlless_family_needs_the_age_gate(self):
+        # A data segment with no control block could be a sibling
+        # writer mid-publish — only claim it once it has sat a while.
+        base = new_base_name()
+        seg = create_segment(segment_name(base, 1), 64)
+        seg.close()
+        try:
+            assert base not in scan_orphans(min_age=30.0)
+            assert base in scan_orphans(min_age=0.0)
+        finally:
+            unlink_segment(segment_name(base, 1))
+
+
+class TestReap:
+    def test_reap_unlinks_only_the_orphans(self):
+        live_base, live_block = _make_family(owner_pid=os.getpid())
+        dead_base, dead_block = _make_family(
+            owner_pid=_dead_pid(), generations=(1, 2)
+        )
+        registry = MetricRegistry()
+        try:
+            reaped = reap_orphans(registry=registry)
+            assert dead_base in reaped
+            assert live_base not in reaped
+            families = list_families()
+            assert dead_base not in families
+            assert live_base in families
+            assert registry.snapshot()["counters"][
+                "shm.janitor_reaped"
+            ] == 3
+        finally:
+            _cleanup(live_base, live_block)
+            _cleanup(dead_base, dead_block)
+
+    def test_reap_is_idempotent(self):
+        base, block = _make_family(owner_pid=_dead_pid())
+        try:
+            assert base in reap_orphans()
+            assert base not in reap_orphans()
+        finally:
+            _cleanup(base, block)
+
+
+class TestSweep:
+    def test_sweep_removes_the_whole_family_and_nothing_else(self):
+        base_a, block_a = _make_family(
+            owner_pid=os.getpid(), generations=(1, 2, 3)
+        )
+        base_b, block_b = _make_family(owner_pid=os.getpid())
+        try:
+            block_a.close()
+            removed = sweep_family(base_a)
+            assert removed == sorted(
+                [f"{base_a}-ctl"]
+                + [f"{base_a}-g{g}" for g in (1, 2, 3)]
+            )
+            families = list_families()
+            assert base_a not in families
+            assert base_b in families
+        finally:
+            sweep_family(base_a)
+            _cleanup(base_b, block_b)
+
+    def test_sweep_of_absent_family_is_a_noop(self):
+        assert sweep_family(new_base_name()) == []

@@ -12,9 +12,12 @@ import time
 
 import pytest
 
+from repro.errors import SnapshotUnavailableError
 from repro.graph.generators import random_dag
 from repro.graph.traversal import bidirectional_reachable
 from repro.service.server import ReachabilityService
+from repro.shm.control import create_segment, segment_name
+from repro.shm.janitor import sweep_family
 from repro.shm.publisher import SnapshotPublisher
 from repro.shm.reader import SnapshotReader
 
@@ -181,6 +184,170 @@ class TestHealthSection:
         assert snap.query(0, 0) is True
         assert reader.shutdown is True
         reader.close()
+
+
+class TestFailoverAttach:
+    """A successor publisher re-binding to a surviving control block —
+    the writer-respawn path, simulated in-process by abandoning the
+    first publisher without closing it (a SIGKILLed writer runs no
+    ``finally`` blocks either)."""
+
+    def test_successor_resumes_generation_and_publishes(self, graph):
+        service_a = ReachabilityService(graph.copy())
+        first = SnapshotPublisher(service_a, num_workers=1, grace_period=0.0)
+        base = first.base
+        try:
+            first.publish()
+            reader = SnapshotReader(first.control_name)
+            snap = reader.current()
+            assert snap.generation == 1
+
+            # "Respawn": a fresh service (as recovery would build) and a
+            # publisher attached to the existing control block.
+            service_b = ReachabilityService(graph.copy())
+            successor = SnapshotPublisher(
+                service_b, control=first.control_name, grace_period=0.0
+            )
+            assert successor.owns_control is False
+            assert successor.base == base
+            assert successor.generation == 1  # inherited, not reset
+
+            successor.publish()
+            snap = reader.current()
+            assert snap.generation == 2
+            # The reader re-attached across the failover and answers
+            # match the live service.
+            vertices = sorted(graph.vertices())
+            rng = random.Random(5)
+            for _ in range(100):
+                s, t = rng.choice(vertices), rng.choice(vertices)
+                assert snap.query(s, t) == bidirectional_reachable(
+                    graph, s, t
+                )
+
+            # Attach-mode close keeps the current generation linked for
+            # the readers still serving from it.
+            successor.close()
+            assert reader.shutdown is False
+            assert reader.current().generation == 2
+            reader.close()
+        finally:
+            first.control.close()  # release the abandoned mapping
+            sweep_family(base)
+
+    def test_epoch_floor_keeps_epochs_monotonic(self, graph):
+        service_a = ReachabilityService(graph.copy())
+        # Advance the first service's epoch past a fresh service's.
+        vertices = sorted(graph.vertices())
+        for k in range(3):
+            tail, head = vertices[2 * k], vertices[2 * k + 1]
+            if not graph.has_edge(tail, head):
+                service_a.insert_edge(tail, head)
+        service_a.flush()
+        first = SnapshotPublisher(service_a, grace_period=0.0)
+        base = first.base
+        try:
+            first.publish()
+            inherited_epoch = first.control.epoch
+            assert inherited_epoch > 0
+
+            # The respawned writer rebuilt from the graph file: its
+            # epoch restarts at 0, but connections that saw the old
+            # epoch must never observe it go backwards.
+            service_b = ReachabilityService(graph.copy())
+            assert service_b.epoch < inherited_epoch
+            successor = SnapshotPublisher(
+                service_b, control=first.control_name, grace_period=0.0
+            )
+            successor.publish()
+            assert successor.control.epoch >= inherited_epoch
+            successor.close()
+        finally:
+            first.control.close()  # release the abandoned mapping
+            sweep_family(base)
+
+    def test_successor_reclaims_a_stranded_next_generation(self, graph):
+        # A writer SIGKILLed mid-flip has already *created* the next
+        # generation's segment but never flipped the control block to
+        # name it.  The successor's first publish reuses that number —
+        # it must reclaim the stranded name instead of crash-looping on
+        # FileExistsError.
+        service = ReachabilityService(graph.copy())
+        first = SnapshotPublisher(service, grace_period=0.0)
+        base = first.base
+        try:
+            first.publish()
+            stranded = create_segment(segment_name(base, 2), 64)
+            stranded.close()
+            first.control._cells[0] += 1  # seqlock left odd, too
+            successor = SnapshotPublisher(
+                ReachabilityService(graph.copy()),
+                control=first.control_name,
+                grace_period=0.0,
+            )
+            assert successor.publish() == 2
+            reader = SnapshotReader(successor.control_name)
+            assert reader.current().generation == 2
+            assert reader.current().query(0, 0) is True
+            reader.close()
+            successor.close()
+        finally:
+            first.control.close()  # release the abandoned mapping
+            sweep_family(base)
+
+    def test_successor_repairs_a_stalled_seqlock(self, graph):
+        service = ReachabilityService(graph.copy())
+        first = SnapshotPublisher(service, grace_period=0.0)
+        base = first.base
+        try:
+            first.publish()
+            # Kill "mid-flip": sequence left odd, triple half-written.
+            first.control._cells[0] += 1
+            successor = SnapshotPublisher(
+                ReachabilityService(graph.copy()),
+                control=first.control_name,
+                grace_period=0.0,
+            )
+            assert successor.seqlock_repaired is True
+            successor.publish()
+            reader = SnapshotReader(successor.control_name)
+            assert reader.current().generation >= 2
+            reader.close()
+            successor.close()
+        finally:
+            first.control.close()  # release the abandoned mapping
+            sweep_family(base)
+
+
+class TestStaleServe:
+    def test_reader_falls_back_to_last_snapshot(self, plane):
+        service, publisher, reader = plane
+        snap = reader.current()
+        assert snap.generation == 1
+        # The control block names a generation whose segment does not
+        # exist (writer died after the bump, janitor took the segment).
+        publisher.control.write_snapshot(99, snap.epoch, snap.data_len)
+        stale = reader.current()
+        assert stale is snap
+        assert reader.stale_serves == 1
+        assert stale.age_ms() >= 0.0
+        # Point the control block back; the reader recovers on its own.
+        publisher.control.write_snapshot(
+            1, snap.epoch, snap.data_len
+        )
+        assert reader.current().generation == 1
+
+    def test_reader_with_no_snapshot_propagates(self, service):
+        publisher = SnapshotPublisher(service, grace_period=0.0)
+        reader = None
+        try:
+            reader = SnapshotReader(publisher.control_name)
+            with pytest.raises(SnapshotUnavailableError):
+                reader.current()  # nothing published yet
+        finally:
+            if reader is not None:
+                reader.close()
+            publisher.close()
 
 
 class TestBackgroundThread:
